@@ -1,0 +1,107 @@
+//! The vision tool: a VLM used purely as an image describer.
+
+use chipvqa_core::question::Question;
+use chipvqa_models::encoder;
+use chipvqa_models::profile::ModelProfile;
+use rand::rngs::StdRng;
+
+/// What the tool reports back for one request round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToolObservation {
+    /// Mark indices the tool perceived this round.
+    pub perceived: Vec<usize>,
+    /// The prose description handed to the planner.
+    pub description: String,
+}
+
+/// A VLM deployed as a describe-the-image tool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VisionTool {
+    profile: ModelProfile,
+}
+
+impl VisionTool {
+    /// Wraps a vision-capable profile.
+    pub fn new(profile: ModelProfile) -> Self {
+        profile.validate();
+        VisionTool { profile }
+    }
+
+    /// The wrapped profile.
+    pub fn profile(&self) -> &ModelProfile {
+        &self.profile
+    }
+
+    /// Looks at the question's image and describes what it perceived.
+    /// Each `round` re-examines the image (fresh perception roll), which
+    /// is how repeated tool calls recover facts missed earlier.
+    pub fn describe(
+        &self,
+        question: &Question,
+        round: u32,
+        rng: &mut StdRng,
+    ) -> ToolObservation {
+        let _ = round; // rounds differ through the shared rng stream
+        let percept = encoder::perceive(&self.profile, question, 1, rng);
+        let labels: Vec<String> = percept
+            .perceived
+            .iter()
+            .filter_map(|&i| question.visual.marks.get(i))
+            .map(|m| m.label.clone())
+            .collect();
+        let description = if labels.is_empty() {
+            format!(
+                "The image is a {} related to {}; no further detail is legible.",
+                question.visual_kind, question.category
+            )
+        } else {
+            format!(
+                "The {} shows: {}.",
+                question.visual_kind,
+                labels.join("; ")
+            )
+        };
+        ToolObservation {
+            perceived: percept.perceived,
+            description,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipvqa_core::ChipVqa;
+    use chipvqa_models::ModelZoo;
+    use rand::SeedableRng;
+
+    #[test]
+    fn describes_perceived_marks() {
+        let bench = ChipVqa::standard();
+        let tool = VisionTool::new(ModelZoo::gpt4o());
+        let q = bench
+            .iter()
+            .find(|q| !q.key_marks.is_empty())
+            .expect("marked question");
+        let mut rng = StdRng::seed_from_u64(0);
+        let obs = tool.describe(q, 0, &mut rng);
+        assert!(!obs.description.is_empty());
+        if !obs.perceived.is_empty() {
+            let first = &q.visual.marks[obs.perceived[0]].label;
+            assert!(obs.description.contains(first.as_str()));
+        }
+    }
+
+    #[test]
+    fn blind_tool_perceives_nothing() {
+        let bench = ChipVqa::standard();
+        let mut blind = ModelZoo::gpt4o();
+        blind.visual_acuity = 0.0;
+        let tool = VisionTool::new(blind);
+        let q = &bench.questions()[0];
+        let mut rng = StdRng::seed_from_u64(0);
+        let obs = tool.describe(q, 0, &mut rng);
+        assert!(obs.perceived.is_empty());
+        assert!(obs.description.contains("no further detail"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Tool-call transcripts, for inspection and the `agent_trace` example.
+
+use serde::{Deserialize, Serialize};
+
+/// One planner↔tool exchange.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TurnRecord {
+    /// Round index (0-based).
+    pub round: u32,
+    /// The planner's request.
+    pub request: String,
+    /// The tool's description.
+    pub description: String,
+    /// New facts that survived the channel this round.
+    pub facts_delivered: usize,
+}
+
+/// A full conversation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Transcript {
+    /// Turns in order.
+    pub turns: Vec<TurnRecord>,
+}
+
+impl Transcript {
+    /// Appends a turn.
+    pub fn push(&mut self, turn: TurnRecord) {
+        self.turns.push(turn);
+    }
+
+    /// Number of tool-call rounds.
+    pub fn rounds(&self) -> usize {
+        self.turns.len()
+    }
+
+    /// Total facts delivered across rounds.
+    pub fn total_facts(&self) -> usize {
+        self.turns.iter().map(|t| t.facts_delivered).sum()
+    }
+
+    /// Renders the conversation for terminal display.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for t in &self.turns {
+            s.push_str(&format!("[designer, round {}] {}\n", t.round, t.request));
+            s.push_str(&format!(
+                "[vision tool]        {} (+{} facts)\n",
+                t.description, t.facts_delivered
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_renders() {
+        let mut t = Transcript::default();
+        t.push(TurnRecord {
+            round: 0,
+            request: "Describe the figure.".into(),
+            description: "A schematic with gm=2mS.".into(),
+            facts_delivered: 2,
+        });
+        t.push(TurnRecord {
+            round: 1,
+            request: "More detail.".into(),
+            description: "RD=10k.".into(),
+            facts_delivered: 1,
+        });
+        assert_eq!(t.rounds(), 2);
+        assert_eq!(t.total_facts(), 3);
+        let r = t.render();
+        assert!(r.contains("round 0"));
+        assert!(r.contains("vision tool"));
+    }
+}

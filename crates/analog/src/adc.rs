@@ -1,0 +1,168 @@
+//! Data-converter facts: flash/SAR/pipeline architectures and
+//! quantization metrics. ChipVQA's analog set includes FLASH, SAR and
+//! pipeline-residue questions; the formulas here provide their golds.
+
+use serde::{Deserialize, Serialize};
+
+/// ADC architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AdcKind {
+    /// Fully parallel (flash).
+    Flash,
+    /// Successive approximation.
+    Sar,
+    /// Pipelined with per-stage residue amplification.
+    Pipeline {
+        /// Resolved bits per stage.
+        bits_per_stage: u32,
+    },
+}
+
+/// An ADC with a resolution and full-scale range.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Adc {
+    /// Architecture.
+    pub kind: AdcKind,
+    /// Resolution in bits.
+    pub bits: u32,
+    /// Full-scale input range in volts.
+    pub full_scale: f64,
+}
+
+impl Adc {
+    /// Creates an ADC description.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 24` and `full_scale > 0`.
+    pub fn new(kind: AdcKind, bits: u32, full_scale: f64) -> Self {
+        assert!((1..=24).contains(&bits), "resolution out of range");
+        assert!(full_scale > 0.0, "full scale must be positive");
+        Adc {
+            kind,
+            bits,
+            full_scale,
+        }
+    }
+
+    /// Number of comparators the architecture needs.
+    pub fn comparator_count(&self) -> u64 {
+        match self.kind {
+            AdcKind::Flash => (1u64 << self.bits) - 1,
+            AdcKind::Sar => 1,
+            AdcKind::Pipeline { bits_per_stage } => {
+                // (2^b - 1) comparators per stage × number of stages
+                let stages = self.bits.div_ceil(bits_per_stage);
+                u64::from(stages) * ((1u64 << bits_per_stage) - 1)
+            }
+        }
+    }
+
+    /// Conversion latency in clock cycles (to first valid output).
+    pub fn conversion_cycles(&self) -> u32 {
+        match self.kind {
+            AdcKind::Flash => 1,
+            AdcKind::Sar => self.bits,
+            AdcKind::Pipeline { bits_per_stage } => self.bits.div_ceil(bits_per_stage),
+        }
+    }
+
+    /// One LSB in volts.
+    pub fn lsb(&self) -> f64 {
+        self.full_scale / f64::from(1u32 << self.bits.min(31))
+    }
+
+    /// Ideal signal-to-quantization-noise ratio in dB
+    /// (`6.02·N + 1.76`).
+    pub fn sqnr_db(&self) -> f64 {
+        6.02 * f64::from(self.bits) + 1.76
+    }
+
+    /// Digital output code for an input voltage (clamped to range).
+    pub fn quantize(&self, vin: f64) -> u64 {
+        let max_code = (1u64 << self.bits) - 1;
+        if vin <= 0.0 {
+            return 0;
+        }
+        let code = (vin / self.lsb()).floor() as u64;
+        code.min(max_code)
+    }
+
+    /// Residue voltage a pipeline stage passes on:
+    /// `2^b · (vin − code·LSB_stage)` for a `b`-bit stage.
+    pub fn pipeline_residue(&self, vin: f64) -> Option<f64> {
+        let AdcKind::Pipeline { bits_per_stage } = self.kind else {
+            return None;
+        };
+        let stage_lsb = self.full_scale / f64::from(1u32 << bits_per_stage);
+        let code = (vin / stage_lsb).floor().clamp(0.0, f64::from((1u32 << bits_per_stage) - 1));
+        Some(f64::from(1u32 << bits_per_stage) * (vin - code * stage_lsb))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flash_comparator_count_exponential() {
+        let adc = Adc::new(AdcKind::Flash, 8, 1.0);
+        assert_eq!(adc.comparator_count(), 255);
+        assert_eq!(adc.conversion_cycles(), 1);
+    }
+
+    #[test]
+    fn sar_cycles_linear() {
+        let adc = Adc::new(AdcKind::Sar, 12, 2.0);
+        assert_eq!(adc.conversion_cycles(), 12);
+        assert_eq!(adc.comparator_count(), 1);
+    }
+
+    #[test]
+    fn pipeline_stage_math() {
+        let adc = Adc::new(AdcKind::Pipeline { bits_per_stage: 2 }, 10, 2.0);
+        assert_eq!(adc.conversion_cycles(), 5);
+        assert_eq!(adc.comparator_count(), 15);
+    }
+
+    #[test]
+    fn lsb_and_sqnr() {
+        let adc = Adc::new(AdcKind::Sar, 10, 1.024);
+        assert!((adc.lsb() - 0.001).abs() < 1e-12);
+        assert!((adc.sqnr_db() - 61.96).abs() < 0.01);
+    }
+
+    #[test]
+    fn quantize_clamps() {
+        let adc = Adc::new(AdcKind::Flash, 4, 1.6);
+        assert_eq!(adc.quantize(-1.0), 0);
+        assert_eq!(adc.quantize(0.25), 2); // 0.25/0.1 = 2.5 -> 2
+        assert_eq!(adc.quantize(100.0), 15);
+    }
+
+    #[test]
+    fn residue_stays_in_range() {
+        let adc = Adc::new(AdcKind::Pipeline { bits_per_stage: 1 }, 8, 1.0);
+        for vin in [0.1, 0.3, 0.49, 0.51, 0.9] {
+            let r = adc.pipeline_residue(vin).unwrap();
+            assert!((0.0..=1.0 + 1e-9).contains(&r), "vin {vin} residue {r}");
+        }
+        assert!(Adc::new(AdcKind::Sar, 8, 1.0).pipeline_residue(0.5).is_none());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn quantization_error_below_one_lsb(vin in 0.0f64..1.0) {
+                let adc = Adc::new(AdcKind::Sar, 8, 1.0);
+                let code = adc.quantize(vin);
+                let reconstructed = code as f64 * adc.lsb();
+                prop_assert!(vin - reconstructed < adc.lsb() + 1e-12);
+                prop_assert!(vin - reconstructed >= -1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Minimal complex arithmetic (the reproduction avoids external numeric
+//! crates, so `a + bi` lives here).
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A complex number with `f64` parts.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates `re + im·i`.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Builds from polar form.
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument in radians, in `(-π, π]`.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Complex {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude (cheaper than `abs()^2`).
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::new(re, 0.0)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: f64) -> Complex {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        let d = rhs.norm_sqr();
+        Complex::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.4}+{:.4}j", self.re, self.im)
+        } else {
+            write!(f, "{:.4}-{:.4}j", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex::new(3.0, -4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!((z * z.conj()).re, 25.0);
+        let w = z / z;
+        assert!((w - Complex::ONE).abs() < 1e-12);
+        assert!((Complex::I * Complex::I + Complex::ONE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex::from_polar(2.0, std::f64::consts::FRAC_PI_3);
+        assert!((z.abs() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - std::f64::consts::FRAC_PI_3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_signs() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1.0000+2.0000j");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1.0000-2.0000j");
+    }
+}

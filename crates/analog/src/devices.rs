@@ -1,0 +1,246 @@
+//! MOSFET small-signal parameters and canonical amplifier-stage analyses.
+//!
+//! The closed-form gain/resistance formulas here are the golden answers of
+//! many Analog Design questions; each is cross-checked in tests against a
+//! from-scratch [MNA](crate::mna) solve of the same linearised circuit, so
+//! the "textbook" formulas and the numeric solver validate each other.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mna::Circuit;
+
+/// Small-signal MOSFET operating-point parameters (square-law model).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mosfet {
+    /// Transconductance `gm` in siemens.
+    pub gm: f64,
+    /// Output resistance `ro` in ohms (`1/(λ·Id)`).
+    pub ro: f64,
+}
+
+impl Mosfet {
+    /// Derives small-signal parameters from a square-law bias point.
+    ///
+    /// `kn` is `µCox·W/L` in A/V², `vov` the overdrive voltage, `lambda`
+    /// the channel-length modulation coefficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `kn`, `vov` are positive and `lambda` is
+    /// non-negative.
+    pub fn from_bias(kn: f64, vov: f64, lambda: f64) -> Self {
+        assert!(kn > 0.0 && vov > 0.0 && lambda >= 0.0, "invalid bias");
+        let id = 0.5 * kn * vov * vov;
+        Mosfet {
+            gm: kn * vov,
+            ro: if lambda == 0.0 {
+                f64::INFINITY
+            } else {
+                1.0 / (lambda * id)
+            },
+        }
+    }
+
+    /// Drain current implied by `gm` and overdrive (`Id = gm·Vov/2`).
+    pub fn drain_current(&self, vov: f64) -> f64 {
+        self.gm * vov / 2.0
+    }
+
+    /// Intrinsic gain `gm·ro`.
+    pub fn intrinsic_gain(&self) -> f64 {
+        self.gm * self.ro
+    }
+}
+
+/// Parallel combination of two resistances (tolerates infinities).
+pub fn parallel(a: f64, b: f64) -> f64 {
+    if a.is_infinite() {
+        return b;
+    }
+    if b.is_infinite() {
+        return a;
+    }
+    a * b / (a + b)
+}
+
+/// Common-source amplifier small-signal voltage gain
+/// `Av = -gm · (RD ∥ ro)`.
+pub fn common_source_gain(m: Mosfet, rd: f64) -> f64 {
+    -m.gm * parallel(rd, m.ro)
+}
+
+/// Common-source stage with source degeneration `RS`:
+/// `Av ≈ -gm(RD∥ro) / (1 + gm·RS)` (ro ≫ degeneration approximation
+/// refined with the exact two-node formula when `ro` is finite).
+pub fn degenerated_cs_gain(m: Mosfet, rd: f64, rs: f64) -> f64 {
+    if m.ro.is_infinite() {
+        return -m.gm * rd / (1.0 + m.gm * rs);
+    }
+    // Exact small-signal result for finite ro:
+    // Av = -gm ro RD / (RD + ro + RS (1 + gm ro))
+    -m.gm * m.ro * rd / (rd + m.ro + rs * (1.0 + m.gm * m.ro))
+}
+
+/// Source-follower (common-drain) gain
+/// `Av = gm(RS∥ro) / (1 + gm(RS∥ro))`.
+pub fn source_follower_gain(m: Mosfet, rs: f64) -> f64 {
+    let r = parallel(rs, m.ro);
+    m.gm * r / (1.0 + m.gm * r)
+}
+
+/// Common-gate stage gain `Av = gm(RD∥ro)` (non-inverting, ro ≫ source
+/// resistance approximation).
+pub fn common_gate_gain(m: Mosfet, rd: f64) -> f64 {
+    m.gm * parallel(rd, m.ro)
+}
+
+/// Resistance looking into the source of a MOSFET whose drain sees `RD`:
+/// `Rin = (RD + ro) / (1 + gm·ro)` (≈ 1/gm when ro is large).
+pub fn looking_into_source(m: Mosfet, rd: f64) -> f64 {
+    if m.ro.is_infinite() {
+        return 1.0 / m.gm;
+    }
+    (rd + m.ro) / (1.0 + m.gm * m.ro)
+}
+
+/// Resistance looking into the drain with source degeneration `RS`:
+/// `Rout = ro (1 + gm·RS) + RS` — the cascode-boost formula.
+pub fn looking_into_drain(m: Mosfet, rs: f64) -> f64 {
+    if m.ro.is_infinite() {
+        return f64::INFINITY;
+    }
+    m.ro * (1.0 + m.gm * rs) + rs
+}
+
+/// Builds the exact small-signal MNA circuit of a degenerated
+/// common-source stage (vin node 1, drain node 2, source node 3, output at
+/// the drain), useful for cross-checking the formulas and for rendering.
+pub fn degenerated_cs_circuit(m: Mosfet, rd: f64, rs: f64) -> Circuit {
+    let mut ckt = Circuit::new();
+    ckt.add_voltage_source(1, 0, 1.0); // unit test input => V(2) = gain
+    // VCCS: id = gm (vg - vs), flowing drain -> source
+    ckt.add_vccs(2, 3, 1, 3, m.gm);
+    if m.ro.is_finite() {
+        ckt.add_resistor(2, 3, m.ro);
+    }
+    ckt.add_resistor(2, 0, rd);
+    if rs > 0.0 {
+        ckt.add_resistor(3, 0, rs);
+    } else {
+        // ideal grounded source: a tiny resistance keeps the matrix
+        // well-posed without perturbing the result measurably
+        ckt.add_resistor(3, 0, 1e-6);
+    }
+    ckt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> Mosfet {
+        Mosfet {
+            gm: 2e-3,
+            ro: 50e3,
+        }
+    }
+
+    #[test]
+    fn bias_derivation() {
+        let dev = Mosfet::from_bias(4e-3, 0.25, 0.05);
+        assert!((dev.gm - 1e-3).abs() < 1e-12);
+        // Id = 0.5*4e-3*0.0625 = 125 µA, ro = 1/(0.05*125µ) = 160 kΩ
+        assert!((dev.ro - 160e3).abs() / 160e3 < 1e-9);
+        assert!((dev.drain_current(0.25) - 125e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cs_gain_formula_vs_mna() {
+        let dev = m();
+        let rd = 10e3;
+        let formula = common_source_gain(dev, rd);
+        let ckt = degenerated_cs_circuit(dev, rd, 0.0);
+        let sol = ckt.solve().unwrap();
+        assert!(
+            (sol.voltage(2) - formula).abs() < 1e-3 * formula.abs(),
+            "mna {} vs formula {}",
+            sol.voltage(2),
+            formula
+        );
+    }
+
+    #[test]
+    fn degenerated_gain_formula_vs_mna() {
+        let dev = m();
+        let (rd, rs) = (10e3, 1e3);
+        let formula = degenerated_cs_gain(dev, rd, rs);
+        let sol = degenerated_cs_circuit(dev, rd, rs).solve().unwrap();
+        assert!(
+            (sol.voltage(2) - formula).abs() < 1e-3 * formula.abs(),
+            "mna {} vs formula {}",
+            sol.voltage(2),
+            formula
+        );
+        // degeneration reduces gain magnitude
+        assert!(formula.abs() < common_source_gain(dev, rd).abs());
+    }
+
+    #[test]
+    fn follower_gain_below_unity() {
+        let g = source_follower_gain(m(), 5e3);
+        assert!(g > 0.8 && g < 1.0, "{g}");
+    }
+
+    #[test]
+    fn common_gate_non_inverting() {
+        let g = common_gate_gain(m(), 10e3);
+        assert!(g > 0.0);
+        assert!((g - common_source_gain(m(), 10e3).abs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn impedance_formulas() {
+        let dev = m();
+        // 1/gm = 500 ohms; with RD=0 and large ro it approaches that
+        let rin = looking_into_source(dev, 0.0);
+        assert!((rin - 1.0 / dev.gm).abs() / rin < 0.02, "{rin}");
+        // cascode boost: Rout ≈ ro(1+gm·RS)
+        let rout = looking_into_drain(dev, 1e3);
+        assert!(rout > dev.ro * 2.9 && rout < dev.ro * 3.2, "{rout}");
+    }
+
+    #[test]
+    fn infinite_ro_paths() {
+        let ideal = Mosfet {
+            gm: 1e-3,
+            ro: f64::INFINITY,
+        };
+        assert!((common_source_gain(ideal, 10e3) + 10.0).abs() < 1e-12);
+        assert!(looking_into_drain(ideal, 1e3).is_infinite());
+        assert!((looking_into_source(ideal, 5e3) - 1000.0).abs() < 1e-9);
+        assert!((parallel(f64::INFINITY, 5.0) - 5.0).abs() < 1e-12);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn formula_and_mna_agree(
+                gm_ms in 0.5f64..10.0,
+                ro_k in 10.0f64..500.0,
+                rd_k in 1.0f64..50.0,
+                rs_k in 0.0f64..5.0,
+            ) {
+                let dev = Mosfet { gm: gm_ms * 1e-3, ro: ro_k * 1e3 };
+                let rd = rd_k * 1e3;
+                let rs = rs_k * 1e3;
+                let formula = degenerated_cs_gain(dev, rd, rs);
+                let sol = degenerated_cs_circuit(dev, rd, rs).solve().unwrap();
+                let rel = (sol.voltage(2) - formula).abs() / formula.abs().max(1e-9);
+                prop_assert!(rel < 5e-3, "mna {} formula {}", sol.voltage(2), formula);
+            }
+        }
+    }
+}

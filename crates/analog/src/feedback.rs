@@ -1,0 +1,147 @@
+//! Negative-feedback analysis: loop gain, closed-loop gain,
+//! desensitization and the effect of feedback on bandwidth.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tf::TransferFunction;
+
+/// An ideal negative-feedback loop: forward gain `a`, feedback factor `β`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeedbackLoop {
+    /// Open-loop (forward) gain.
+    pub a: f64,
+    /// Feedback factor (fraction of output fed back).
+    pub beta: f64,
+}
+
+impl FeedbackLoop {
+    /// Creates a loop.
+    pub fn new(a: f64, beta: f64) -> Self {
+        FeedbackLoop { a, beta }
+    }
+
+    /// Loop gain `T = a·β`.
+    pub fn loop_gain(&self) -> f64 {
+        self.a * self.beta
+    }
+
+    /// Closed-loop gain `A = a / (1 + a·β)`.
+    pub fn closed_loop_gain(&self) -> f64 {
+        self.a / (1.0 + self.loop_gain())
+    }
+
+    /// The ideal (infinite-loop-gain) closed-loop gain `1/β`.
+    pub fn ideal_gain(&self) -> f64 {
+        1.0 / self.beta
+    }
+
+    /// Amount of gain desensitization `1 + T`: a fractional change `δ` in
+    /// the forward gain produces only `δ/(1+T)` change at the output.
+    pub fn desensitivity(&self) -> f64 {
+        1.0 + self.loop_gain()
+    }
+
+    /// Fractional closed-loop gain error relative to the ideal `1/β`.
+    pub fn gain_error(&self) -> f64 {
+        (self.ideal_gain() - self.closed_loop_gain()) / self.ideal_gain()
+    }
+}
+
+/// Closes a resistive feedback loop around a single-pole forward
+/// amplifier, returning the closed-loop transfer function
+/// `A(s) = a(s) / (1 + β·a(s))`. The closed-loop bandwidth extends by
+/// `1 + T0` — the classic gain-bandwidth trade.
+pub fn close_loop(forward: &TransferFunction, beta: f64) -> TransferFunction {
+    // A = N/D closed = N / (D + beta*N)
+    let num = forward.numerator().clone();
+    let den = forward
+        .denominator()
+        .clone()
+        .mul(&crate::poly::Poly::constant(1.0));
+    let new_den = add_polys(&den, &num.scale(beta));
+    TransferFunction::new(num, new_den).expect("denominator nonzero for beta >= 0")
+}
+
+fn add_polys(a: &crate::poly::Poly, b: &crate::poly::Poly) -> crate::poly::Poly {
+    let n = a.coeffs().len().max(b.coeffs().len());
+    let mut out = vec![0.0; n];
+    for (i, &c) in a.coeffs().iter().enumerate() {
+        out[i] += c;
+    }
+    for (i, &c) in b.coeffs().iter().enumerate() {
+        out[i] += c;
+    }
+    crate::poly::Poly::new(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_loop_approaches_ideal() {
+        let lp = FeedbackLoop::new(10_000.0, 0.01);
+        assert!((lp.ideal_gain() - 100.0).abs() < 1e-12);
+        let a = lp.closed_loop_gain();
+        assert!(a < 100.0 && a > 99.0, "{a}");
+        assert!(lp.gain_error() < 0.01);
+    }
+
+    #[test]
+    fn desensitivity_is_one_plus_t() {
+        let lp = FeedbackLoop::new(1_000.0, 0.1);
+        assert!((lp.desensitivity() - 101.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_extension() {
+        let a0 = 1e4;
+        let wp = 1e3;
+        let fwd = TransferFunction::single_pole(a0, wp);
+        let beta = 0.01;
+        let closed = close_loop(&fwd, beta);
+        let t0 = a0 * beta;
+        // closed-loop DC gain a0/(1+T)
+        assert!((closed.dc_gain() - a0 / (1.0 + t0)).abs() / closed.dc_gain() < 1e-9);
+        // bandwidth extends by (1+T)
+        let bw = closed.bandwidth_3db().unwrap();
+        assert!(
+            (bw / (wp * (1.0 + t0)) - 1.0).abs() < 0.02,
+            "bw {bw}, expected {}",
+            wp * (1.0 + t0)
+        );
+    }
+
+    #[test]
+    fn gain_bandwidth_product_preserved_under_feedback() {
+        let fwd = TransferFunction::single_pole(1e5, 1e2);
+        for beta in [1e-4, 1e-3, 1e-2] {
+            let closed = close_loop(&fwd, beta);
+            let gbw_open = fwd.dc_gain() * fwd.bandwidth_3db().unwrap();
+            let gbw_closed = closed.dc_gain() * closed.bandwidth_3db().unwrap();
+            assert!(
+                (gbw_closed / gbw_open - 1.0).abs() < 0.05,
+                "beta {beta}: {gbw_closed} vs {gbw_open}"
+            );
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn closed_loop_gain_below_both_bounds(
+                a in 10.0f64..1e6,
+                beta in 1e-4f64..1.0,
+            ) {
+                let lp = FeedbackLoop::new(a, beta);
+                let g = lp.closed_loop_gain();
+                prop_assert!(g <= a);
+                prop_assert!(g <= lp.ideal_gain() + 1e-12);
+                prop_assert!(g > 0.0);
+            }
+        }
+    }
+}

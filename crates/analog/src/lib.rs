@@ -1,0 +1,60 @@
+//! Analog-design substrate for the ChipVQA reproduction.
+//!
+//! ChipVQA's Analog Design section (44 questions, the largest category)
+//! covers DC operating points, small-signal gain, equivalent resistance,
+//! feedback analysis, transfer functions, pole/zero/unity-gain
+//! frequencies, phase margin and data converters. Generating those
+//! questions with machine-checkable golds requires an actual analog
+//! solver stack, which this crate provides:
+//!
+//! - [`complex`] / [`poly`]: complex arithmetic, polynomials and a
+//!   Durand–Kerner root finder;
+//! - [`mna`]: modified nodal analysis for linear(ised) circuits —
+//!   resistors, independent sources and VCCS (transconductance) stamps;
+//! - [`tf`]: rational transfer functions with poles, zeros, Bode
+//!   evaluation, unity-gain frequency and phase margin;
+//! - [`devices`]: MOSFET small-signal parameters and canonical amplifier
+//!   stage analyses cross-checked against MNA;
+//! - [`feedback`]: loop gain, closed-loop gain and desensitization;
+//! - [`adc`]: flash/SAR/pipeline converter facts and quantization
+//!   metrics;
+//! - [`stages`]: current mirrors, differential pairs and a two-stage
+//!   Miller-compensated op-amp macro-model;
+//! - [`noise`]: thermal/kT-C/channel noise densities, SNR and noise
+//!   budgets;
+//! - [`render`]: schematic and Bode-plot drawings for the visual half of
+//!   generated questions.
+//!
+//! # Example
+//!
+//! ```
+//! use chipvqa_analog::mna::Circuit;
+//!
+//! // A 5V source across a 1k/4k divider: the midpoint sits at 4V.
+//! let mut ckt = Circuit::new();
+//! let vin = ckt.add_voltage_source(1, 0, 5.0);
+//! ckt.add_resistor(1, 2, 1_000.0);
+//! ckt.add_resistor(2, 0, 4_000.0);
+//! let sol = ckt.solve()?;
+//! assert!((sol.voltage(2) - 4.0).abs() < 1e-9);
+//! assert!((sol.source_current(vin) - 0.001).abs() < 1e-12);
+//! # Ok::<(), chipvqa_analog::mna::SolveError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adc;
+pub mod complex;
+pub mod devices;
+pub mod feedback;
+pub mod mna;
+pub mod noise;
+pub mod poly;
+pub mod render;
+pub mod stages;
+pub mod tf;
+
+pub use complex::Complex;
+pub use mna::Circuit;
+pub use tf::TransferFunction;

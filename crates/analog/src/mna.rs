@@ -1,0 +1,486 @@
+//! Modified nodal analysis (MNA) for linear DC / small-signal circuits.
+//!
+//! Supports resistors, independent current sources, independent voltage
+//! sources (group-2 elements with explicit branch currents) and
+//! voltage-controlled current sources (the small-signal `gm` stamp), which
+//! is exactly what linearised transistor amplifier analysis needs.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Handle to a voltage source inside a [`Circuit`] (indexes the extra MNA
+/// unknown carrying its branch current).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SourceId(usize);
+
+/// One circuit element.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Element {
+    /// Resistor between two nodes.
+    Resistor {
+        /// First terminal.
+        a: usize,
+        /// Second terminal.
+        b: usize,
+        /// Resistance in ohms (must be positive).
+        ohms: f64,
+    },
+    /// Independent current source pushing `amps` from `from` into `to`.
+    CurrentSource {
+        /// Current leaves this node.
+        from: usize,
+        /// Current enters this node.
+        to: usize,
+        /// Source current in amperes.
+        amps: f64,
+    },
+    /// Independent voltage source: `V(plus) - V(minus) = volts`.
+    VoltageSource {
+        /// Positive terminal.
+        plus: usize,
+        /// Negative terminal.
+        minus: usize,
+        /// Source voltage in volts.
+        volts: f64,
+    },
+    /// Voltage-controlled current source: current `gm * (V(cp) - V(cn))`
+    /// flows from `from` into `to` (the MOSFET small-signal stamp with
+    /// `cp`=gate, `cn`=source, `from`=drain... depending on orientation).
+    Vccs {
+        /// Current leaves this node.
+        from: usize,
+        /// Current enters this node.
+        to: usize,
+        /// Positive control node.
+        cp: usize,
+        /// Negative control node.
+        cn: usize,
+        /// Transconductance in siemens.
+        gm: f64,
+    },
+}
+
+/// Error solving a circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The MNA matrix is singular (floating node, source loop, …).
+    Singular,
+    /// A resistor had a non-positive resistance.
+    BadResistance {
+        /// The offending value.
+        ohms: f64,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Singular => write!(f, "singular MNA system (floating node or source loop)"),
+            SolveError::BadResistance { ohms } => {
+                write!(f, "non-positive resistance {ohms} ohms")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// A linear circuit under construction. Node `0` is ground; other node
+/// numbers are allocated implicitly by mentioning them.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Circuit {
+    elements: Vec<Element>,
+    num_nodes: usize,   // highest node index + 1 (including ground)
+    num_sources: usize, // voltage sources
+}
+
+/// The solved operating point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    node_voltages: Vec<f64>, // index 0 = ground = 0.0
+    source_currents: Vec<f64>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit.
+    pub fn new() -> Self {
+        Circuit::default()
+    }
+
+    fn touch(&mut self, node: usize) {
+        self.num_nodes = self.num_nodes.max(node + 1);
+    }
+
+    /// Adds a resistor between nodes `a` and `b`.
+    pub fn add_resistor(&mut self, a: usize, b: usize, ohms: f64) {
+        self.touch(a);
+        self.touch(b);
+        self.elements.push(Element::Resistor { a, b, ohms });
+    }
+
+    /// Adds an independent current source pushing `amps` from node `from`
+    /// into node `to`.
+    pub fn add_current_source(&mut self, from: usize, to: usize, amps: f64) {
+        self.touch(from);
+        self.touch(to);
+        self.elements.push(Element::CurrentSource { from, to, amps });
+    }
+
+    /// Adds an independent voltage source (`V(plus) − V(minus) = volts`)
+    /// and returns its id for later current lookup.
+    pub fn add_voltage_source(&mut self, plus: usize, minus: usize, volts: f64) -> SourceId {
+        self.touch(plus);
+        self.touch(minus);
+        self.elements.push(Element::VoltageSource { plus, minus, volts });
+        let id = SourceId(self.num_sources);
+        self.num_sources += 1;
+        id
+    }
+
+    /// Adds a VCCS: `gm · (V(cp) − V(cn))` amperes flow from `from` to
+    /// `to`.
+    pub fn add_vccs(&mut self, from: usize, to: usize, cp: usize, cn: usize, gm: f64) {
+        for n in [from, to, cp, cn] {
+            self.touch(n);
+        }
+        self.elements.push(Element::Vccs { from, to, cp, cn, gm });
+    }
+
+    /// Number of nodes mentioned so far (including ground).
+    pub fn node_count(&self) -> usize {
+        self.num_nodes.max(1)
+    }
+
+    /// The elements added so far.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Solves the DC operating point.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::BadResistance`] for non-positive resistors and
+    /// [`SolveError::Singular`] when the system has no unique solution
+    /// (e.g. a floating subcircuit).
+    pub fn solve(&self) -> Result<Solution, SolveError> {
+        let n = self.node_count() - 1; // unknown node voltages (ground fixed)
+        let m = self.num_sources;
+        let dim = n + m;
+        if dim == 0 {
+            return Ok(Solution {
+                node_voltages: vec![0.0],
+                source_currents: Vec::new(),
+            });
+        }
+        let mut a = vec![vec![0.0f64; dim]; dim];
+        let mut z = vec![0.0f64; dim];
+        // Helper: matrix row/col index of a node (None for ground).
+        let idx = |node: usize| -> Option<usize> { (node > 0).then(|| node - 1) };
+
+        let mut source_seen = 0usize;
+        for el in &self.elements {
+            match *el {
+                Element::Resistor { a: na, b: nb, ohms } => {
+                    if ohms <= 0.0 {
+                        return Err(SolveError::BadResistance { ohms });
+                    }
+                    let g = 1.0 / ohms;
+                    if let Some(i) = idx(na) {
+                        a[i][i] += g;
+                    }
+                    if let Some(j) = idx(nb) {
+                        a[j][j] += g;
+                    }
+                    if let (Some(i), Some(j)) = (idx(na), idx(nb)) {
+                        a[i][j] -= g;
+                        a[j][i] -= g;
+                    }
+                }
+                Element::CurrentSource { from, to, amps } => {
+                    if let Some(i) = idx(from) {
+                        z[i] -= amps;
+                    }
+                    if let Some(j) = idx(to) {
+                        z[j] += amps;
+                    }
+                }
+                Element::VoltageSource { plus, minus, volts } => {
+                    let k = n + source_seen;
+                    source_seen += 1;
+                    if let Some(i) = idx(plus) {
+                        a[i][k] += 1.0;
+                        a[k][i] += 1.0;
+                    }
+                    if let Some(j) = idx(minus) {
+                        a[j][k] -= 1.0;
+                        a[k][j] -= 1.0;
+                    }
+                    z[k] = volts;
+                }
+                Element::Vccs { from, to, cp, cn, gm } => {
+                    // I(from->to) = gm (Vcp - Vcn): stamp into KCL rows.
+                    for (node, sign) in [(from, 1.0), (to, -1.0)] {
+                        if let Some(r) = idx(node) {
+                            if let Some(c) = idx(cp) {
+                                a[r][c] += sign * gm;
+                            }
+                            if let Some(c) = idx(cn) {
+                                a[r][c] -= sign * gm;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let x = gaussian_solve(a, z).ok_or(SolveError::Singular)?;
+        let mut node_voltages = vec![0.0];
+        node_voltages.extend_from_slice(&x[..n]);
+        let source_currents = x[n..].to_vec();
+        Ok(Solution {
+            node_voltages,
+            source_currents,
+        })
+    }
+}
+
+impl Solution {
+    /// Voltage of `node` relative to ground.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was never mentioned in the circuit.
+    pub fn voltage(&self, node: usize) -> f64 {
+        self.node_voltages[node]
+    }
+
+    /// Current delivered *through* a voltage source (flowing from its
+    /// `plus` terminal through the external circuit back to `minus`;
+    /// positive values mean the source drives current out of `plus`).
+    ///
+    /// MNA's sign convention has the branch current flowing `plus → minus`
+    /// *inside* the source, so this accessor negates it to report the
+    /// conventional "sourced" current.
+    pub fn source_current(&self, id: SourceId) -> f64 {
+        -self.source_currents[id.0]
+    }
+
+    /// All node voltages, indexed by node number (ground first).
+    pub fn voltages(&self) -> &[f64] {
+        &self.node_voltages
+    }
+}
+
+/// Dense Gaussian elimination with partial pivoting; `None` for singular
+/// systems.
+fn gaussian_solve(mut a: Vec<Vec<f64>>, mut z: Vec<f64>) -> Option<Vec<f64>> {
+    let n = z.len();
+    for col in 0..n {
+        // pivot
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        z.swap(col, pivot);
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            z[row] -= f * z[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = z[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+/// Equivalent resistance seen between `node` and ground for a resistive
+/// network: injects a 1 A test current and reads the voltage.
+///
+/// # Errors
+///
+/// Propagates [`SolveError`] from the underlying solve.
+pub fn equivalent_resistance(ckt: &Circuit, node: usize) -> Result<f64, SolveError> {
+    let mut test = ckt.clone();
+    test.add_current_source(0, node, 1.0);
+    let sol = test.solve()?;
+    Ok(sol.voltage(node))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn voltage_divider() {
+        let mut ckt = Circuit::new();
+        ckt.add_voltage_source(1, 0, 10.0);
+        ckt.add_resistor(1, 2, 2_000.0);
+        ckt.add_resistor(2, 0, 3_000.0);
+        let sol = ckt.solve().unwrap();
+        assert!((sol.voltage(2) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn source_current_sign() {
+        // 5V across 1k: source drives 5 mA out of its plus terminal.
+        let mut ckt = Circuit::new();
+        let v = ckt.add_voltage_source(1, 0, 5.0);
+        ckt.add_resistor(1, 0, 1_000.0);
+        let sol = ckt.solve().unwrap();
+        assert!((sol.source_current(v) - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut ckt = Circuit::new();
+        ckt.add_current_source(0, 1, 0.002);
+        ckt.add_resistor(1, 0, 1_500.0);
+        let sol = ckt.solve().unwrap();
+        assert!((sol.voltage(1) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wheatstone_bridge_balanced() {
+        // Balanced bridge: no current through the detector resistor.
+        let mut ckt = Circuit::new();
+        ckt.add_voltage_source(1, 0, 10.0);
+        ckt.add_resistor(1, 2, 1_000.0);
+        ckt.add_resistor(2, 0, 2_000.0);
+        ckt.add_resistor(1, 3, 500.0);
+        ckt.add_resistor(3, 0, 1_000.0);
+        ckt.add_resistor(2, 3, 700.0); // detector
+        let sol = ckt.solve().unwrap();
+        assert!((sol.voltage(2) - sol.voltage(3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vccs_inverting_amplifier() {
+        // Small-signal CS stage: vin at node 1, VCCS gm from drain(2) to
+        // ground controlled by (1,0), RD from 2 to ground.
+        // vout = -gm RD vin.
+        let gm = 0.004;
+        let rd = 5_000.0;
+        let mut ckt = Circuit::new();
+        ckt.add_voltage_source(1, 0, 1.0); // 1V test input
+        ckt.add_vccs(2, 0, 1, 0, gm); // current gm*vgs leaves node 2
+        ckt.add_resistor(2, 0, rd);
+        let sol = ckt.solve().unwrap();
+        assert!((sol.voltage(2) + gm * rd).abs() < 1e-9, "{}", sol.voltage(2));
+    }
+
+    #[test]
+    fn floating_node_is_singular() {
+        let mut ckt = Circuit::new();
+        ckt.add_resistor(1, 2, 1_000.0); // nothing ties 1 or 2 to ground
+        assert_eq!(ckt.solve().unwrap_err(), SolveError::Singular);
+    }
+
+    #[test]
+    fn negative_resistance_rejected() {
+        let mut ckt = Circuit::new();
+        ckt.add_resistor(1, 0, -5.0);
+        assert!(matches!(
+            ckt.solve(),
+            Err(SolveError::BadResistance { .. })
+        ));
+    }
+
+    #[test]
+    fn equivalent_resistance_of_series_parallel() {
+        // 1k + (2k || 2k) to ground = 2k
+        let mut ckt = Circuit::new();
+        ckt.add_resistor(1, 2, 1_000.0);
+        ckt.add_resistor(2, 0, 2_000.0);
+        ckt.add_resistor(2, 0, 2_000.0);
+        let r = equivalent_resistance(&ckt, 1).unwrap();
+        assert!((r - 2_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_fig3_mathvista_style_ladder() {
+        // The MathVista sample in the paper's Fig. 3: Vs=5V, R1=1k in
+        // series, then R2=2.2k, R3=2.2k, R4=1.5k, RL=4.7k. One standard
+        // reading: R1 series with [R2 || (R3 + R4 || RL)], RL across R4.
+        let mut ckt = Circuit::new();
+        ckt.add_voltage_source(1, 0, 5.0);
+        ckt.add_resistor(1, 2, 1_000.0);
+        ckt.add_resistor(2, 0, 2_200.0);
+        ckt.add_resistor(2, 3, 2_200.0);
+        ckt.add_resistor(3, 0, 1_500.0);
+        ckt.add_resistor(3, 0, 4_700.0);
+        let sol = ckt.solve().unwrap();
+        let v_rl = sol.voltage(3);
+        // sanity: KVL bounds and hand-computed value ≈ 0.80 V
+        assert!(v_rl > 0.0 && v_rl < 5.0);
+        let r4_rl = 1.0 / (1.0 / 1_500.0 + 1.0 / 4_700.0);
+        let branch = 2_200.0 + r4_rl;
+        let mid = 1.0 / (1.0 / 2_200.0 + 1.0 / branch);
+        let v2 = 5.0 * mid / (1_000.0 + mid);
+        let expect = v2 * r4_rl / branch;
+        assert!((v_rl - expect).abs() < 1e-9);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn divider_solution_satisfies_kcl(
+                r1 in 10.0f64..1e6,
+                r2 in 10.0f64..1e6,
+                v in 0.1f64..100.0,
+            ) {
+                let mut ckt = Circuit::new();
+                let src = ckt.add_voltage_source(1, 0, v);
+                ckt.add_resistor(1, 2, r1);
+                ckt.add_resistor(2, 0, r2);
+                let sol = ckt.solve().unwrap();
+                let i1 = (sol.voltage(1) - sol.voltage(2)) / r1;
+                let i2 = sol.voltage(2) / r2;
+                prop_assert!((i1 - i2).abs() < 1e-9 * (1.0 + i1.abs()));
+                prop_assert!((sol.source_current(src) - i1).abs() < 1e-9 * (1.0 + i1.abs()));
+            }
+
+            #[test]
+            fn superposition_holds(
+                v in 0.5f64..10.0,
+                i in 1e-4f64..1e-2,
+            ) {
+                // node 2 voltage from both sources equals the sum of each
+                // source acting alone (linearity).
+                let build = |volts: f64, amps: f64| {
+                    let mut ckt = Circuit::new();
+                    ckt.add_voltage_source(1, 0, volts);
+                    ckt.add_resistor(1, 2, 1_000.0);
+                    ckt.add_resistor(2, 0, 2_200.0);
+                    ckt.add_current_source(0, 2, amps);
+                    ckt.solve().unwrap().voltage(2)
+                };
+                let both = build(v, i);
+                let only_v = build(v, 0.0);
+                let only_i = build(0.0, i);
+                prop_assert!((both - only_v - only_i).abs() < 1e-9 * (1.0 + both.abs()));
+            }
+        }
+    }
+}

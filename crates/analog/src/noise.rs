@@ -1,0 +1,162 @@
+//! Noise analysis: thermal and MOSFET channel noise densities,
+//! integrated noise and SNR — the noise-floor side of amplifier design
+//! questions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::devices::Mosfet;
+
+/// Boltzmann constant in J/K.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Thermal (Johnson) noise voltage density of a resistor:
+/// `√(4kTR)` in V/√Hz.
+///
+/// # Panics
+///
+/// Panics on non-positive resistance or temperature.
+pub fn resistor_noise_density(r_ohms: f64, temp_k: f64) -> f64 {
+    assert!(r_ohms > 0.0 && temp_k > 0.0, "positive R and T required");
+    (4.0 * BOLTZMANN * temp_k * r_ohms).sqrt()
+}
+
+/// MOSFET channel thermal-noise *current* density `√(4kT·γ·gm)` in
+/// A/√Hz, with γ the excess-noise coefficient (2/3 long-channel).
+pub fn mosfet_noise_current_density(m: Mosfet, gamma: f64, temp_k: f64) -> f64 {
+    assert!(gamma > 0.0 && temp_k > 0.0, "positive gamma and T required");
+    (4.0 * BOLTZMANN * temp_k * gamma * m.gm).sqrt()
+}
+
+/// Input-referred noise voltage density of a MOSFET,
+/// `√(4kTγ/gm)` in V/√Hz — bigger gm buys a quieter input.
+pub fn mosfet_input_noise_density(m: Mosfet, gamma: f64, temp_k: f64) -> f64 {
+    mosfet_noise_current_density(m, gamma, temp_k) / m.gm
+}
+
+/// Integrated RMS noise over a brick-wall bandwidth: `density·√BW`.
+pub fn integrated_noise(density_per_rt_hz: f64, bandwidth_hz: f64) -> f64 {
+    density_per_rt_hz * bandwidth_hz.max(0.0).sqrt()
+}
+
+/// `kT/C` sampled-noise RMS voltage of a switched capacitor, in volts.
+///
+/// # Panics
+///
+/// Panics on non-positive capacitance or temperature.
+pub fn ktc_noise(c_farads: f64, temp_k: f64) -> f64 {
+    assert!(c_farads > 0.0 && temp_k > 0.0, "positive C and T required");
+    (BOLTZMANN * temp_k / c_farads).sqrt()
+}
+
+/// Signal-to-noise ratio in dB for an RMS signal over an RMS noise.
+pub fn snr_db(signal_rms: f64, noise_rms: f64) -> f64 {
+    20.0 * (signal_rms / noise_rms).log10()
+}
+
+/// A noise budget for a simple amplifier front end.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseBudget {
+    /// Source resistance (ohms).
+    pub r_source: f64,
+    /// Input device.
+    pub device: Mosfet,
+    /// Excess-noise coefficient.
+    pub gamma: f64,
+    /// Temperature (K).
+    pub temp_k: f64,
+    /// Noise bandwidth (Hz).
+    pub bandwidth_hz: f64,
+}
+
+impl NoiseBudget {
+    /// Total input-referred RMS noise: resistor and device contributions
+    /// added in power.
+    pub fn total_input_noise_rms(&self) -> f64 {
+        let vr = resistor_noise_density(self.r_source, self.temp_k);
+        let vd = mosfet_input_noise_density(self.device, self.gamma, self.temp_k);
+        integrated_noise((vr * vr + vd * vd).sqrt(), self.bandwidth_hz)
+    }
+
+    /// Which contributor dominates (`"source resistor"` or `"device"`).
+    pub fn dominant_contributor(&self) -> &'static str {
+        let vr = resistor_noise_density(self.r_source, self.temp_k);
+        let vd = mosfet_input_noise_density(self.device, self.gamma, self.temp_k);
+        if vr >= vd {
+            "source resistor"
+        } else {
+            "device"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ROOM: f64 = 300.0;
+
+    #[test]
+    fn one_kilohm_reference_value() {
+        // classic: 1 kOhm at 300 K ≈ 4.07 nV/√Hz
+        let d = resistor_noise_density(1_000.0, ROOM);
+        assert!((d / 4.07e-9 - 1.0).abs() < 0.01, "{d}");
+    }
+
+    #[test]
+    fn noise_scales_with_sqrt_r() {
+        let d1 = resistor_noise_density(1_000.0, ROOM);
+        let d4 = resistor_noise_density(4_000.0, ROOM);
+        assert!((d4 / d1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bigger_gm_is_quieter_at_the_input() {
+        let small = Mosfet { gm: 1e-3, ro: 50e3 };
+        let big = Mosfet { gm: 10e-3, ro: 50e3 };
+        let ns = mosfet_input_noise_density(small, 2.0 / 3.0, ROOM);
+        let nb = mosfet_input_noise_density(big, 2.0 / 3.0, ROOM);
+        assert!(nb < ns);
+        assert!((ns / nb - 10f64.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ktc_reference_value() {
+        // 1 pF at 300 K ≈ 64 µV rms
+        let v = ktc_noise(1e-12, ROOM);
+        assert!((v / 64.4e-6 - 1.0).abs() < 0.02, "{v}");
+        // doubling C reduces noise by √2
+        assert!((ktc_noise(1e-12, ROOM) / ktc_noise(2e-12, ROOM) - 2f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snr_matches_definition() {
+        assert!((snr_db(1.0, 0.001) - 60.0).abs() < 1e-9);
+        assert!((snr_db(1.0, 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_dominance_flips_with_source_resistance() {
+        let device = Mosfet { gm: 5e-3, ro: 50e3 };
+        let quiet_source = NoiseBudget {
+            r_source: 10.0,
+            device,
+            gamma: 2.0 / 3.0,
+            temp_k: ROOM,
+            bandwidth_hz: 1e6,
+        };
+        assert_eq!(quiet_source.dominant_contributor(), "device");
+        let noisy_source = NoiseBudget {
+            r_source: 100e3,
+            ..quiet_source
+        };
+        assert_eq!(noisy_source.dominant_contributor(), "source resistor");
+        assert!(noisy_source.total_input_noise_rms() > quiet_source.total_input_noise_rms());
+    }
+
+    #[test]
+    fn integrated_noise_sqrt_bandwidth() {
+        let d = 4e-9;
+        assert!((integrated_noise(d, 1e6) / (d * 1e3) - 1.0).abs() < 1e-12);
+        assert_eq!(integrated_noise(d, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Real-coefficient polynomials with complex evaluation and a
+//! Durand–Kerner root finder.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::complex::Complex;
+
+/// A polynomial with real coefficients in *ascending* power order:
+/// `coeffs[k]` multiplies `s^k`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Poly {
+    coeffs: Vec<f64>,
+}
+
+impl Poly {
+    /// Creates a polynomial from ascending coefficients, trimming
+    /// high-order zeros. An all-zero input produces the zero polynomial.
+    pub fn new(coeffs: impl Into<Vec<f64>>) -> Self {
+        let mut coeffs = coeffs.into();
+        while coeffs.len() > 1 && coeffs.last() == Some(&0.0) {
+            coeffs.pop();
+        }
+        if coeffs.is_empty() {
+            coeffs.push(0.0);
+        }
+        Poly { coeffs }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: f64) -> Self {
+        Poly::new(vec![c])
+    }
+
+    /// `(s - root)` as a polynomial.
+    pub fn linear_root(root: f64) -> Self {
+        Poly::new(vec![-root, 1.0])
+    }
+
+    /// Degree (0 for constants, including the zero polynomial).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Ascending coefficients.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Whether this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0.0)
+    }
+
+    /// Evaluates at a complex point (Horner).
+    pub fn eval(&self, s: Complex) -> Complex {
+        let mut acc = Complex::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * s + Complex::from(c);
+        }
+        acc
+    }
+
+    /// Evaluates at a real point.
+    pub fn eval_real(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Polynomial product.
+    pub fn mul(&self, other: &Poly) -> Poly {
+        let mut out = vec![0.0; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        Poly::new(out)
+    }
+
+    /// Scales all coefficients.
+    pub fn scale(&self, k: f64) -> Poly {
+        Poly::new(self.coeffs.iter().map(|&c| c * k).collect::<Vec<_>>())
+    }
+
+    /// All complex roots via Durand–Kerner iteration.
+    ///
+    /// Returns an empty list for constants. Roots of multiplicity > 1
+    /// converge more slowly but the iteration cap keeps the call bounded;
+    /// accuracy is ample for the pole/zero questions (well-separated real
+    /// or conjugate roots).
+    pub fn roots(&self) -> Vec<Complex> {
+        let n = self.degree();
+        if n == 0 || self.is_zero() {
+            return Vec::new();
+        }
+        // Normalise to monic.
+        let lead = *self.coeffs.last().expect("nonempty");
+        let monic: Vec<f64> = self.coeffs.iter().map(|&c| c / lead).collect();
+        let poly = Poly { coeffs: monic };
+
+        // Initial guesses on a non-symmetric spiral (classic DK choice).
+        let mut guesses: Vec<Complex> = (0..n)
+            .map(|k| Complex::from_polar(1.0 + 0.3 * k as f64 / n as f64, 0.4 + 2.3 * k as f64))
+            .collect();
+        // Radius hint from coefficient magnitudes (Cauchy bound).
+        let bound = 1.0
+            + poly.coeffs[..n]
+                .iter()
+                .map(|c| c.abs())
+                .fold(0.0f64, f64::max);
+        for (k, g) in guesses.iter_mut().enumerate() {
+            *g = *g * (bound * (0.5 + 0.5 * (k as f64 + 1.0) / n as f64));
+        }
+
+        for _ in 0..200 {
+            let mut max_step = 0.0f64;
+            let snapshot = guesses.clone();
+            for i in 0..n {
+                let zi = snapshot[i];
+                let mut denom = Complex::ONE;
+                for (j, &zj) in snapshot.iter().enumerate() {
+                    if j != i {
+                        denom = denom * (zi - zj);
+                    }
+                }
+                if denom.abs() < 1e-300 {
+                    continue;
+                }
+                let step = poly.eval(zi) / denom;
+                guesses[i] = zi - step;
+                max_step = max_step.max(step.abs());
+            }
+            if max_step < 1e-12 * bound.max(1.0) {
+                break;
+            }
+        }
+        // Snap nearly-real roots onto the real axis for stable reporting.
+        for g in &mut guesses {
+            if g.im.abs() < 1e-7 * (1.0 + g.re.abs()) {
+                g.im = 0.0;
+            }
+        }
+        guesses.sort_by(|a, b| {
+            a.re.partial_cmp(&b.re)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.im.partial_cmp(&b.im).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        guesses
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (k, &c) in self.coeffs.iter().enumerate().rev() {
+            if c == 0.0 && self.degree() > 0 {
+                continue;
+            }
+            if !first {
+                write!(f, " + ")?;
+            }
+            match k {
+                0 => write!(f, "{c:.4}")?,
+                1 => write!(f, "{c:.4}s")?,
+                _ => write!(f, "{c:.4}s^{k}")?,
+            }
+            first = false;
+        }
+        if first {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trims_leading_zeros() {
+        let p = Poly::new(vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), 1);
+        assert_eq!(p.coeffs(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn horner_matches_direct() {
+        let p = Poly::new(vec![1.0, -3.0, 2.0]); // 2s^2 - 3s + 1
+        assert_eq!(p.eval_real(2.0), 3.0);
+        let z = p.eval(Complex::new(0.0, 1.0)); // s = j
+        // 2(-1) - 3j + 1 = -1 - 3j
+        assert!((z - Complex::new(-1.0, -3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiplication() {
+        let a = Poly::linear_root(1.0); // s - 1
+        let b = Poly::linear_root(-2.0); // s + 2
+        let p = a.mul(&b); // s^2 + s - 2
+        assert_eq!(p.coeffs(), &[-2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn roots_of_quadratic() {
+        // (s+10)(s+1000)
+        let p = Poly::linear_root(-10.0).mul(&Poly::linear_root(-1000.0));
+        let roots = p.roots();
+        assert_eq!(roots.len(), 2);
+        assert!((roots[1].re + 10.0).abs() < 1e-6, "{roots:?}");
+        assert!((roots[0].re + 1000.0).abs() < 1e-3, "{roots:?}");
+        assert!(roots.iter().all(|r| r.im == 0.0));
+    }
+
+    #[test]
+    fn complex_conjugate_roots() {
+        // s^2 + 2s + 5 -> -1 ± 2j
+        let p = Poly::new(vec![5.0, 2.0, 1.0]);
+        let roots = p.roots();
+        assert_eq!(roots.len(), 2);
+        for r in &roots {
+            assert!((r.re + 1.0).abs() < 1e-8, "{roots:?}");
+            assert!((r.im.abs() - 2.0).abs() < 1e-8, "{roots:?}");
+        }
+    }
+
+    #[test]
+    fn constant_has_no_roots() {
+        assert!(Poly::constant(4.0).roots().is_empty());
+        assert!(Poly::constant(0.0).roots().is_empty());
+    }
+
+    #[test]
+    fn widely_spread_real_roots() {
+        // poles at -1, -1e3, -1e6 (typical amplifier spread)
+        let p = Poly::linear_root(-1.0)
+            .mul(&Poly::linear_root(-1e3))
+            .mul(&Poly::linear_root(-1e6));
+        let roots = p.roots();
+        let mut res: Vec<f64> = roots.iter().map(|r| r.re).collect();
+        res.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((res[0] + 1e6).abs() / 1e6 < 1e-6);
+        assert!((res[1] + 1e3).abs() / 1e3 < 1e-6);
+        assert!((res[2] + 1.0).abs() < 1e-6);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn product_of_linear_factors_recovers_roots(
+                r1 in -100.0f64..-0.1,
+                r2 in -100.0f64..-0.1,
+            ) {
+                prop_assume!((r1 - r2).abs() > 0.5);
+                let p = Poly::linear_root(r1).mul(&Poly::linear_root(r2));
+                let roots = p.roots();
+                let mut found: Vec<f64> = roots.iter().map(|r| r.re).collect();
+                found.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let mut want = vec![r1, r2];
+                want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                for (f, w) in found.iter().zip(&want) {
+                    prop_assert!((f - w).abs() < 1e-5 * (1.0 + w.abs()), "{} vs {}", f, w);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Procedural drawings of analog visuals: amplifier schematics, Bode
+//! plots, feedback block diagrams and ADC pipelines.
+
+use chipvqa_raster::{Annotated, Pixmap, Region, BLACK};
+
+use crate::adc::{Adc, AdcKind};
+use crate::devices::Mosfet;
+use crate::tf::TransferFunction;
+
+const STROKE: i64 = 2;
+const TEXT: i64 = 2;
+
+/// Draws a resistor as the IEC box symbol with a value label; returns the
+/// label region.
+fn draw_resistor_v(img: &mut Pixmap, x: i64, y: i64, len: i64, label: &str) -> Region {
+    let bw = 18i64;
+    let bh = len - 16;
+    img.draw_line(x, y, x, y + 8, STROKE, BLACK);
+    img.draw_rect(x - bw / 2, y + 8, bw, bh, STROKE, BLACK);
+    img.draw_line(x, y + 8 + bh, x, y + len, STROKE, BLACK);
+    img.draw_text(x + bw / 2 + 6, y + len / 2 - 6, label, TEXT, BLACK);
+    Region::new(
+        (x + bw / 2 + 6).max(0) as usize,
+        (y + len / 2 - 8).max(0) as usize,
+        (label.len() as i64 * 12 + 4) as usize,
+        20,
+    )
+}
+
+/// Draws an NMOS symbol with the gate on the left at `(x, y)` being the
+/// channel centre; returns the gate-label region.
+fn draw_nmos(img: &mut Pixmap, x: i64, y: i64, name: &str) -> Region {
+    // gate bar
+    img.draw_line(x - 26, y, x - 10, y, STROKE, BLACK);
+    img.draw_line(x - 10, y - 14, x - 10, y + 14, STROKE, BLACK);
+    // channel bar
+    img.draw_line(x - 4, y - 16, x - 4, y + 16, STROKE, BLACK);
+    // drain/source stubs
+    img.draw_line(x - 4, y - 14, x + 14, y - 14, STROKE, BLACK);
+    img.draw_line(x + 14, y - 14, x + 14, y - 30, STROKE, BLACK);
+    img.draw_line(x - 4, y + 14, x + 14, y + 14, STROKE, BLACK);
+    img.draw_line(x + 14, y + 14, x + 14, y + 30, STROKE, BLACK);
+    // arrow on source (NMOS)
+    img.draw_arrow(x + 10, y + 14, x - 2, y + 14, 1, BLACK);
+    img.draw_text(x - 26, y - 30, name, TEXT, BLACK);
+    Region::new(
+        (x - 28).max(0) as usize,
+        (y - 32).max(0) as usize,
+        (name.len() as i64 * 12 + 40) as usize,
+        64,
+    )
+}
+
+/// Renders a common-source amplifier schematic with device parameters
+/// annotated (`gm`, `ro`, `RD`, optional `RS`). Marks cover the device,
+/// each resistor label and the input/output ports — the facts a model
+/// must read to compute the gain.
+pub fn render_cs_amplifier(m: Mosfet, rd: f64, rs: f64) -> Annotated {
+    let mut img = Pixmap::new(420, 360);
+    let mut marks: Vec<(String, Region)> = Vec::new();
+    let cx = 220i64;
+    let cy = 180i64;
+
+    // VDD rail
+    img.draw_line(cx - 60, 30, cx + 90, 30, STROKE, BLACK);
+    img.draw_text(cx + 96, 24, "VDD", TEXT, BLACK);
+    // RD from VDD to drain
+    let rd_label = format!("RD={}k", trim_num(rd / 1e3));
+    let r = draw_resistor_v(&mut img, cx + 14, 30, 106, &rd_label);
+    marks.push((format!("load resistor {rd_label}"), r));
+    // MOSFET
+    let g = draw_nmos(&mut img, cx, cy - 14, "M1");
+    marks.push((
+        format!("NMOS gm={}mS ro={}k", trim_num(m.gm * 1e3), trim_num(m.ro / 1e3)),
+        g,
+    ));
+    img.draw_text(cx + 20, cy - 6, &format!("gm={}mS", trim_num(m.gm * 1e3)), TEXT, BLACK);
+    // input
+    img.draw_line(cx - 80, cy - 14, cx - 26, cy - 14, STROKE, BLACK);
+    img.draw_text(cx - 120, cy - 20, "vin", TEXT, BLACK);
+    marks.push((
+        "input port vin at the gate".to_string(),
+        Region::new((cx - 122) as usize, (cy - 24) as usize, 50, 24),
+    ));
+    // output at drain
+    img.draw_line(cx + 14, cy - 44, cx + 90, cy - 44, STROKE, BLACK);
+    img.draw_text(cx + 96, cy - 50, "vout", TEXT, BLACK);
+    marks.push((
+        "output port vout at the drain".to_string(),
+        Region::new((cx + 94) as usize, (cy - 54) as usize, 58, 24),
+    ));
+    // source network
+    if rs > 0.0 {
+        let rs_label = format!("RS={}k", trim_num(rs / 1e3));
+        let reg = draw_resistor_v(&mut img, cx + 14, cy + 16, 80, &rs_label);
+        marks.push((format!("degeneration resistor {rs_label}"), reg));
+        draw_ground(&mut img, cx + 14, cy + 96);
+    } else {
+        img.draw_line(cx + 14, cy + 16, cx + 14, cy + 50, STROKE, BLACK);
+        draw_ground(&mut img, cx + 14, cy + 50);
+    }
+    let mut annotated = Annotated::new(img);
+    for (label, region) in marks {
+        annotated.mark(label, region);
+    }
+    annotated
+}
+
+fn draw_ground(img: &mut Pixmap, x: i64, y: i64) {
+    img.draw_line(x - 14, y, x + 14, y, STROKE, BLACK);
+    img.draw_line(x - 9, y + 5, x + 9, y + 5, STROKE, BLACK);
+    img.draw_line(x - 4, y + 10, x + 4, y + 10, STROKE, BLACK);
+}
+
+fn trim_num(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x:.1}")
+    }
+}
+
+/// Renders a Bode magnitude plot of `tf` over `decades` decades starting
+/// at `w_start` rad/s. Marks the DC-gain plateau and the 0 dB crossover.
+pub fn render_bode(tf: &TransferFunction, w_start: f64, decades: u32) -> Annotated {
+    let w_px = 460usize;
+    let h_px = 300usize;
+    let mut img = Pixmap::new(w_px, h_px);
+    let mut marks: Vec<(String, Region)> = Vec::new();
+    let (ox, oy) = (60i64, 20i64);
+    let plot_w = w_px as i64 - ox - 20;
+    let plot_h = h_px as i64 - oy - 50;
+
+    // axes
+    img.draw_line(ox, oy, ox, oy + plot_h, STROKE, BLACK);
+    img.draw_line(ox, oy + plot_h, ox + plot_w, oy + plot_h, STROKE, BLACK);
+    img.draw_text(4, oy, "dB", TEXT, BLACK);
+    img.draw_text(ox + plot_w - 60, oy + plot_h + 16, "w rad/s", TEXT, BLACK);
+
+    // sample the curve
+    let samples = 160usize;
+    let db_max = tf.magnitude_db(w_start).max(20.0).ceil();
+    let db_min = -40.0f64;
+    let to_y = |db: f64| -> i64 {
+        let t = (db_max - db) / (db_max - db_min);
+        oy + (t.clamp(0.0, 1.0) * plot_h as f64) as i64
+    };
+    let mut pts = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let frac = i as f64 / (samples - 1) as f64;
+        let w = w_start * 10f64.powf(frac * f64::from(decades));
+        let db = tf.magnitude_db(w);
+        let x = ox + (frac * plot_w as f64) as i64;
+        pts.push((x, to_y(db)));
+    }
+    img.draw_polyline(&pts, STROKE, BLACK);
+
+    // 0 dB gridline
+    let y0 = to_y(0.0);
+    img.draw_dashed_line(ox, y0, ox + plot_w, y0, 1, BLACK, 4, 4);
+    img.draw_text(ox - 30, y0 - 6, "0", TEXT, BLACK);
+
+    // DC gain label
+    let dc_db = tf.magnitude_db(w_start);
+    img.draw_text(ox + 8, to_y(dc_db) - 18, &format!("{:.0}dB", dc_db), TEXT, BLACK);
+    marks.push((
+        format!("low-frequency gain {:.0} dB", dc_db),
+        Region::new((ox + 8) as usize, (to_y(dc_db) - 20).max(0) as usize, 80, 24),
+    ));
+    // crossover
+    if let Some(wu) = tf.unity_gain_freq() {
+        let frac = (wu / w_start).log10() / f64::from(decades);
+        if (0.0..=1.0).contains(&frac) {
+            let x = ox + (frac * plot_w as f64) as i64;
+            img.fill_circle(x, y0, 4, BLACK);
+            marks.push((
+                format!("unity-gain crossover near {:.2e} rad/s", wu),
+                Region::new((x - 8).max(0) as usize, (y0 - 8).max(0) as usize, 16, 16),
+            ));
+        }
+    }
+    let mut annotated = Annotated::new(img);
+    for (label, region) in marks {
+        annotated.mark(label, region);
+    }
+    annotated
+}
+
+/// Renders the classic negative-feedback block diagram (summing node,
+/// forward block `a`, feedback block `β`).
+pub fn render_feedback_block(a: f64, beta: f64) -> Annotated {
+    let mut img = Pixmap::new(420, 220);
+    let mut marks: Vec<(String, Region)> = Vec::new();
+    // summing junction
+    img.draw_circle(80, 80, 14, STROKE, BLACK);
+    img.draw_text(72, 72, "+", TEXT, BLACK);
+    // forward block
+    img.draw_rect(150, 55, 90, 50, STROKE, BLACK);
+    let a_label = format!("a={}", trim_num(a));
+    img.draw_text(160, 72, &a_label, TEXT, BLACK);
+    marks.push((format!("forward amplifier {a_label}"), Region::new(150, 55, 90, 50)));
+    // feedback block
+    img.draw_rect(150, 140, 90, 44, STROKE, BLACK);
+    let b_label = format!("B={}", trim_num(beta));
+    img.draw_text(160, 154, &b_label, TEXT, BLACK);
+    marks.push((format!("feedback network {b_label}"), Region::new(150, 140, 90, 44)));
+    // wiring
+    img.draw_arrow(20, 80, 64, 80, STROKE, BLACK);
+    img.draw_text(10, 60, "x", TEXT, BLACK);
+    img.draw_arrow(94, 80, 150, 80, STROKE, BLACK);
+    img.draw_arrow(240, 80, 360, 80, STROKE, BLACK);
+    img.draw_text(366, 72, "y", TEXT, BLACK);
+    img.draw_polyline(&[(320, 80), (320, 162), (240, 162)], STROKE, BLACK);
+    img.draw_polyline(&[(150, 162), (80, 162), (80, 94)], STROKE, BLACK);
+    img.draw_text(56, 104, "-", TEXT, BLACK);
+    marks.push((
+        "negative sign at the summing junction".to_string(),
+        Region::new(50, 96, 20, 20),
+    ));
+    let mut annotated = Annotated::new(img);
+    for (label, region) in marks {
+        annotated.mark(label, region);
+    }
+    annotated
+}
+
+/// Renders an ADC as a block chain (stages for pipeline, comparator bank
+/// note for flash, single comparator + DAC loop note for SAR).
+pub fn render_adc(adc: &Adc) -> Annotated {
+    let mut img = Pixmap::new(460, 180);
+    let mut marks: Vec<(String, Region)> = Vec::new();
+    match adc.kind {
+        AdcKind::Pipeline { bits_per_stage } => {
+            let stages = adc.bits.div_ceil(bits_per_stage) as i64;
+            let shown = stages.min(5);
+            for i in 0..shown {
+                let x = 20 + i * 86;
+                img.draw_rect(x, 60, 70, 50, STROKE, BLACK);
+                let label = format!("S{} {}b", i + 1, bits_per_stage);
+                img.draw_text(x + 6, 76, &label, TEXT, BLACK);
+                if i + 1 < shown {
+                    img.draw_arrow(x + 70, 85, x + 86, 85, STROKE, BLACK);
+                }
+                marks.push((format!("pipeline stage {label}"), Region::new(x as usize, 60, 70, 50)));
+            }
+            img.draw_text(20, 130, &format!("{} stages total", stages), TEXT, BLACK);
+        }
+        AdcKind::Flash => {
+            img.draw_rect(120, 40, 160, 90, STROKE, BLACK);
+            let label = format!("{} comparators", adc.comparator_count());
+            img.draw_text(130, 70, &label, TEXT, BLACK);
+            marks.push((format!("flash bank: {label}"), Region::new(120, 40, 160, 90)));
+        }
+        AdcKind::Sar => {
+            img.draw_rect(110, 40, 100, 50, STROKE, BLACK);
+            img.draw_text(120, 56, "CMP", TEXT, BLACK);
+            img.draw_rect(110, 110, 100, 50, STROKE, BLACK);
+            img.draw_text(120, 126, "DAC", TEXT, BLACK);
+            img.draw_arrow(160, 90, 160, 110, STROKE, BLACK);
+            img.draw_polyline(&[(110, 135), (70, 135), (70, 65), (110, 65)], STROKE, BLACK);
+            let label = format!("{}-cycle SAR loop", adc.conversion_cycles());
+            img.draw_text(230, 70, &label, TEXT, BLACK);
+            marks.push((label, Region::new(228, 64, 180, 24)));
+        }
+    }
+    let mut annotated = Annotated::new(img);
+    for (label, region) in marks {
+        annotated.mark(label, region);
+    }
+    annotated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cs_schematic_marks_parameters() {
+        let m = Mosfet { gm: 2e-3, ro: 50e3 };
+        let vis = render_cs_amplifier(m, 10e3, 1e3);
+        assert!(vis.marks.len() >= 5);
+        assert!(vis.marks.iter().any(|mk| mk.label.contains("RD=10k")));
+        assert!(vis.marks.iter().any(|mk| mk.label.contains("RS=1k")));
+        assert!(vis.image.ink_pixels() > 200);
+    }
+
+    #[test]
+    fn cs_schematic_without_degeneration() {
+        let m = Mosfet { gm: 1e-3, ro: 100e3 };
+        let vis = render_cs_amplifier(m, 5e3, 0.0);
+        assert!(!vis.marks.iter().any(|mk| mk.label.contains("RS=")));
+    }
+
+    #[test]
+    fn bode_marks_crossover() {
+        let tf = TransferFunction::single_pole(1000.0, 1e3);
+        let vis = render_bode(&tf, 1.0, 8);
+        assert!(vis.marks.iter().any(|m| m.label.contains("crossover")));
+        assert!(vis.image.ink_pixels() > 400);
+    }
+
+    #[test]
+    fn feedback_block_has_both_blocks() {
+        let vis = render_feedback_block(1e4, 0.01);
+        assert!(vis.marks.iter().any(|m| m.label.contains("forward")));
+        assert!(vis.marks.iter().any(|m| m.label.contains("feedback")));
+    }
+
+    #[test]
+    fn adc_renders_each_kind() {
+        for kind in [
+            AdcKind::Flash,
+            AdcKind::Sar,
+            AdcKind::Pipeline { bits_per_stage: 2 },
+        ] {
+            let adc = Adc::new(kind, 8, 1.0);
+            let vis = render_adc(&adc);
+            assert!(!vis.marks.is_empty(), "{kind:?}");
+            assert!(vis.image.ink_pixels() > 100, "{kind:?}");
+        }
+    }
+}

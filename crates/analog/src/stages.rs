@@ -1,0 +1,258 @@
+//! Multi-transistor stages: current mirrors, differential pairs and a
+//! two-stage op-amp macro-model — the amplifier-level content of the
+//! Analog Design question set.
+
+use serde::{Deserialize, Serialize};
+
+use crate::devices::{parallel, Mosfet};
+use crate::tf::TransferFunction;
+
+/// A simple current mirror: reference branch device and output device
+/// scaled `m : 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurrentMirror {
+    /// Mirror ratio (output W/L over reference W/L).
+    pub ratio: f64,
+    /// Output device small-signal parameters.
+    pub out_device: Mosfet,
+}
+
+impl CurrentMirror {
+    /// Creates a mirror.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the ratio is positive.
+    pub fn new(ratio: f64, out_device: Mosfet) -> Self {
+        assert!(ratio > 0.0, "mirror ratio must be positive");
+        CurrentMirror { ratio, out_device }
+    }
+
+    /// Output current for a reference current (ideal square-law copy).
+    pub fn output_current(&self, i_ref: f64) -> f64 {
+        self.ratio * i_ref
+    }
+
+    /// Output resistance of the simple mirror (just `ro`).
+    pub fn output_resistance(&self) -> f64 {
+        self.out_device.ro
+    }
+
+    /// Output resistance when cascoded with an identical device:
+    /// `ro (1 + gm·ro) + ro ≈ gm·ro²`.
+    pub fn cascode_output_resistance(&self) -> f64 {
+        let m = self.out_device;
+        m.ro * (1.0 + m.gm * m.ro) + m.ro
+    }
+
+    /// Systematic gain error from channel-length modulation when the
+    /// drain voltages differ by `dv` (fractional error ≈ dv / (ro·Iout)).
+    pub fn mismatch_error(&self, i_ref: f64, dv: f64) -> f64 {
+        let iout = self.output_current(i_ref);
+        if iout == 0.0 || self.out_device.ro.is_infinite() {
+            return 0.0;
+        }
+        dv / (self.out_device.ro * iout)
+    }
+}
+
+/// A resistively-loaded (or mirror-loaded) differential pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiffPair {
+    /// Per-side input device.
+    pub device: Mosfet,
+    /// Tail current source output resistance (ohms; `INFINITY` = ideal).
+    pub tail_resistance: f64,
+    /// Single-ended load resistance per side.
+    pub load: f64,
+}
+
+impl DiffPair {
+    /// Differential-mode gain `Adm = gm (RD ∥ ro)` (differential in,
+    /// single-ended out would be half this).
+    pub fn differential_gain(&self) -> f64 {
+        self.device.gm * parallel(self.load, self.device.ro)
+    }
+
+    /// Common-mode gain `Acm ≈ −RD / (2·Rtail)` (gm·Rtail ≫ 1
+    /// approximation; 0 for an ideal tail).
+    pub fn common_mode_gain(&self) -> f64 {
+        if self.tail_resistance.is_infinite() {
+            return 0.0;
+        }
+        -self.load / (2.0 * self.tail_resistance)
+    }
+
+    /// Common-mode rejection ratio in dB.
+    pub fn cmrr_db(&self) -> f64 {
+        let acm = self.common_mode_gain().abs();
+        if acm == 0.0 {
+            return f64::INFINITY;
+        }
+        20.0 * (self.differential_gain().abs() / acm).log10()
+    }
+}
+
+/// A two-stage Miller-compensated op-amp macro-model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TwoStageOpamp {
+    /// First-stage (diff pair) transconductance.
+    pub gm1: f64,
+    /// First-stage output resistance.
+    pub r1: f64,
+    /// Second-stage transconductance.
+    pub gm2: f64,
+    /// Second-stage output resistance.
+    pub r2: f64,
+    /// Miller compensation capacitor (farads).
+    pub cc: f64,
+    /// Load capacitance (farads).
+    pub cl: f64,
+}
+
+impl TwoStageOpamp {
+    /// DC open-loop gain `gm1 r1 · gm2 r2`.
+    pub fn dc_gain(&self) -> f64 {
+        self.gm1 * self.r1 * self.gm2 * self.r2
+    }
+
+    /// Dominant pole from Miller multiplication:
+    /// `wp1 = 1 / (r1 · Cc · gm2 r2)`.
+    pub fn dominant_pole(&self) -> f64 {
+        1.0 / (self.r1 * self.cc * self.gm2 * self.r2)
+    }
+
+    /// Output (non-dominant) pole `wp2 ≈ gm2 / CL`.
+    pub fn second_pole(&self) -> f64 {
+        self.gm2 / self.cl
+    }
+
+    /// Unity-gain bandwidth `wu ≈ gm1 / Cc`.
+    pub fn unity_gain_bandwidth(&self) -> f64 {
+        self.gm1 / self.cc
+    }
+
+    /// The open-loop transfer function (two-pole model).
+    pub fn transfer_function(&self) -> TransferFunction {
+        TransferFunction::from_poles_zeros(
+            self.dc_gain(),
+            &[self.dominant_pole(), self.second_pole()],
+            &[],
+        )
+    }
+
+    /// Phase margin at unity gain under the two-pole model, degrees.
+    pub fn phase_margin_deg(&self) -> Option<f64> {
+        self.transfer_function().phase_margin_deg()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> Mosfet {
+        Mosfet { gm: 2e-3, ro: 50e3 }
+    }
+
+    #[test]
+    fn mirror_copies_and_scales() {
+        let mir = CurrentMirror::new(2.0, m());
+        assert!((mir.output_current(100e-6) - 200e-6).abs() < 1e-15);
+        assert_eq!(mir.output_resistance(), 50e3);
+    }
+
+    #[test]
+    fn cascode_boosts_output_resistance() {
+        let mir = CurrentMirror::new(1.0, m());
+        let boost = mir.cascode_output_resistance() / mir.output_resistance();
+        // gm ro = 100 -> boost ~ 102
+        assert!(boost > 90.0 && boost < 120.0, "{boost}");
+    }
+
+    #[test]
+    fn mismatch_error_scales_with_dv() {
+        let mir = CurrentMirror::new(1.0, m());
+        let e1 = mir.mismatch_error(100e-6, 0.1);
+        let e2 = mir.mismatch_error(100e-6, 0.2);
+        assert!((e2 / e1 - 2.0).abs() < 1e-12);
+        let ideal = CurrentMirror::new(
+            1.0,
+            Mosfet {
+                gm: 2e-3,
+                ro: f64::INFINITY,
+            },
+        );
+        assert_eq!(ideal.mismatch_error(100e-6, 0.5), 0.0);
+    }
+
+    #[test]
+    fn diff_pair_gains_and_cmrr() {
+        let dp = DiffPair {
+            device: m(),
+            tail_resistance: 100e3,
+            load: 10e3,
+        };
+        let adm = dp.differential_gain();
+        assert!((adm - 2e-3 * parallel(10e3, 50e3)).abs() < 1e-9);
+        let acm = dp.common_mode_gain();
+        assert!((acm + 0.05).abs() < 1e-12);
+        let cmrr = dp.cmrr_db();
+        assert!(cmrr > 40.0 && cmrr < 60.0, "{cmrr}");
+    }
+
+    #[test]
+    fn ideal_tail_gives_infinite_cmrr() {
+        let dp = DiffPair {
+            device: m(),
+            tail_resistance: f64::INFINITY,
+            load: 10e3,
+        };
+        assert_eq!(dp.common_mode_gain(), 0.0);
+        assert!(dp.cmrr_db().is_infinite());
+    }
+
+    #[test]
+    fn opamp_consistency_with_tf_machinery() {
+        let op = TwoStageOpamp {
+            gm1: 1e-3,
+            r1: 200e3,
+            gm2: 4e-3,
+            r2: 100e3,
+            cc: 2e-12,
+            cl: 5e-12,
+        };
+        // DC gain from formula matches the TF
+        let tf = op.transfer_function();
+        assert!((tf.dc_gain() - op.dc_gain()).abs() / op.dc_gain() < 1e-12);
+        // unity-gain bandwidth ~ gm1/Cc (within two-pole droop)
+        let wu = tf.unity_gain_freq().expect("crossover exists");
+        let approx = op.unity_gain_bandwidth();
+        assert!(
+            (wu / approx) > 0.5 && (wu / approx) < 1.2,
+            "wu {wu} vs gm1/Cc {approx}"
+        );
+    }
+
+    #[test]
+    fn bigger_cc_improves_phase_margin() {
+        let base = TwoStageOpamp {
+            gm1: 1e-3,
+            r1: 200e3,
+            gm2: 4e-3,
+            r2: 100e3,
+            cc: 1e-12,
+            cl: 10e-12,
+        };
+        let compensated = TwoStageOpamp { cc: 4e-12, ..base };
+        let pm_small = base.phase_margin_deg().expect("crossover");
+        let pm_big = compensated.phase_margin_deg().expect("crossover");
+        assert!(pm_big > pm_small, "{pm_big} vs {pm_small}");
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio")]
+    fn zero_ratio_rejected() {
+        let _ = CurrentMirror::new(0.0, m());
+    }
+}

@@ -1,0 +1,330 @@
+//! Rational transfer functions: poles, zeros, Bode evaluation, unity-gain
+//! frequency and phase margin.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::complex::Complex;
+use crate::poly::Poly;
+
+/// `H(s) = num(s) / den(s)` with real coefficients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferFunction {
+    num: Poly,
+    den: Poly,
+}
+
+/// Error constructing a transfer function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZeroDenominatorError;
+
+impl fmt::Display for ZeroDenominatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transfer function denominator is identically zero")
+    }
+}
+
+impl std::error::Error for ZeroDenominatorError {}
+
+impl TransferFunction {
+    /// Creates `num/den`.
+    ///
+    /// # Errors
+    ///
+    /// [`ZeroDenominatorError`] if `den` is the zero polynomial.
+    pub fn new(num: Poly, den: Poly) -> Result<Self, ZeroDenominatorError> {
+        if den.is_zero() {
+            return Err(ZeroDenominatorError);
+        }
+        Ok(TransferFunction { num, den })
+    }
+
+    /// Single-pole low-pass `H(s) = dc / (1 + s/wp)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pole_rad` is not positive.
+    pub fn single_pole(dc_gain: f64, pole_rad: f64) -> Self {
+        assert!(pole_rad > 0.0, "pole frequency must be positive");
+        TransferFunction {
+            num: Poly::constant(dc_gain),
+            den: Poly::new(vec![1.0, 1.0 / pole_rad]),
+        }
+    }
+
+    /// Builds from gain, left-half-plane pole frequencies and zero
+    /// frequencies (all in rad/s, given as positive magnitudes):
+    /// `H(s) = k · Π(1 + s/wz) / Π(1 + s/wp)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any frequency is not positive.
+    pub fn from_poles_zeros(dc_gain: f64, poles_rad: &[f64], zeros_rad: &[f64]) -> Self {
+        let mut num = Poly::constant(dc_gain);
+        for &wz in zeros_rad {
+            assert!(wz > 0.0, "zero frequency must be positive");
+            num = num.mul(&Poly::new(vec![1.0, 1.0 / wz]));
+        }
+        let mut den = Poly::constant(1.0);
+        for &wp in poles_rad {
+            assert!(wp > 0.0, "pole frequency must be positive");
+            den = den.mul(&Poly::new(vec![1.0, 1.0 / wp]));
+        }
+        TransferFunction { num, den }
+    }
+
+    /// Numerator polynomial.
+    pub fn numerator(&self) -> &Poly {
+        &self.num
+    }
+
+    /// Denominator polynomial.
+    pub fn denominator(&self) -> &Poly {
+        &self.den
+    }
+
+    /// Evaluates `H(jω)`.
+    pub fn eval_jw(&self, omega: f64) -> Complex {
+        let s = Complex::new(0.0, omega);
+        self.num.eval(s) / self.den.eval(s)
+    }
+
+    /// Gain magnitude at ω (linear).
+    pub fn magnitude(&self, omega: f64) -> f64 {
+        self.eval_jw(omega).abs()
+    }
+
+    /// Gain in dB at ω.
+    pub fn magnitude_db(&self, omega: f64) -> f64 {
+        20.0 * self.magnitude(omega).log10()
+    }
+
+    /// Phase at ω in degrees, unwrapped by walking from DC in small
+    /// logarithmic steps (so multi-pole phase accumulates beyond ±180°).
+    pub fn phase_deg(&self, omega: f64) -> f64 {
+        if omega <= 0.0 {
+            return self.eval_jw(0.0).arg().to_degrees();
+        }
+        // Walk from a decade below the first feature to ω, accumulating
+        // phase changes of < 90° per step.
+        let start = (omega / 1e9).max(1e-6);
+        let steps = 400;
+        let ratio = (omega / start).powf(1.0 / steps as f64);
+        let mut w = start;
+        let mut prev = self.eval_jw(w).arg();
+        let mut unwrapped = prev;
+        for _ in 0..steps {
+            w *= ratio;
+            let cur = self.eval_jw(w).arg();
+            let mut delta = cur - prev;
+            while delta > std::f64::consts::PI {
+                delta -= 2.0 * std::f64::consts::PI;
+            }
+            while delta < -std::f64::consts::PI {
+                delta += 2.0 * std::f64::consts::PI;
+            }
+            unwrapped += delta;
+            prev = cur;
+        }
+        unwrapped.to_degrees()
+    }
+
+    /// DC gain `H(0)`.
+    pub fn dc_gain(&self) -> f64 {
+        self.num.eval_real(0.0) / self.den.eval_real(0.0)
+    }
+
+    /// Pole locations (roots of the denominator).
+    pub fn poles(&self) -> Vec<Complex> {
+        self.den.roots()
+    }
+
+    /// Zero locations (roots of the numerator).
+    pub fn zeros(&self) -> Vec<Complex> {
+        self.num.roots()
+    }
+
+    /// Unity-gain (0 dB crossover) angular frequency, found by bisection
+    /// over a log sweep; `None` when the magnitude never crosses 1.
+    pub fn unity_gain_freq(&self) -> Option<f64> {
+        let mut lo = 1e-3;
+        let mut hi = 1e12;
+        let m_lo = self.magnitude(lo);
+        let m_hi = self.magnitude(hi);
+        if (m_lo - 1.0) * (m_hi - 1.0) > 0.0 {
+            return None;
+        }
+        for _ in 0..200 {
+            let mid = (lo.ln() + hi.ln()) / 2.0;
+            let mid = mid.exp();
+            let m = self.magnitude(mid);
+            if (m - 1.0) * (m_lo - 1.0) > 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some((lo * hi).sqrt())
+    }
+
+    /// Phase margin in degrees: `180° + ∠H(jω_u)` at the unity-gain
+    /// frequency. `None` when there is no crossover.
+    pub fn phase_margin_deg(&self) -> Option<f64> {
+        let wu = self.unity_gain_freq()?;
+        Some(180.0 + self.phase_deg(wu))
+    }
+
+    /// -3 dB bandwidth relative to the DC gain; `None` if the response
+    /// never falls 3 dB below DC within the sweep range.
+    pub fn bandwidth_3db(&self) -> Option<f64> {
+        let target = self.dc_gain().abs() / 2.0_f64.sqrt();
+        let mut lo = 1e-3;
+        let mut hi = 1e12;
+        if self.magnitude(lo) < target || self.magnitude(hi) > target {
+            return None;
+        }
+        for _ in 0..200 {
+            let mid = ((lo.ln() + hi.ln()) / 2.0).exp();
+            if self.magnitude(mid) > target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some((lo * hi).sqrt())
+    }
+
+    /// Cascade (product) of two transfer functions.
+    pub fn cascade(&self, other: &TransferFunction) -> TransferFunction {
+        TransferFunction {
+            num: self.num.mul(&other.num),
+            den: self.den.mul(&other.den),
+        }
+    }
+}
+
+impl fmt::Display for TransferFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "H(s) = ({}) / ({})", self.num, self.den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_pole_basics() {
+        let h = TransferFunction::single_pole(100.0, 1e4);
+        assert!((h.dc_gain() - 100.0).abs() < 1e-12);
+        // at the pole: -3dB and -45 degrees
+        assert!((h.magnitude_db(1e4) - (40.0 - 3.0103)).abs() < 0.01);
+        assert!((h.phase_deg(1e4) + 45.0).abs() < 0.5);
+        // unity gain at ~ dc * wp = 1e6 (gain-bandwidth)
+        let wu = h.unity_gain_freq().unwrap();
+        assert!((wu / 1e6 - 1.0).abs() < 0.01, "wu = {wu}");
+        // single-pole phase margin ~ 90 degrees
+        let pm = h.phase_margin_deg().unwrap();
+        assert!((pm - 90.0).abs() < 1.0, "pm = {pm}");
+    }
+
+    #[test]
+    fn two_pole_phase_margin_drops() {
+        // Second pole at the extrapolated unity-gain frequency. Exact
+        // crossover solves x·sqrt(1+x²)=1 with x=ω/1e6 → x≈0.786, and
+        // PM = 90° − atan(0.786) ≈ 51.8°.
+        let h = TransferFunction::from_poles_zeros(1000.0, &[1e3, 1e6], &[]);
+        let wu = h.unity_gain_freq().unwrap();
+        assert!((wu / 0.786e6 - 1.0).abs() < 0.02, "wu = {wu}");
+        let pm = h.phase_margin_deg().unwrap();
+        assert!((pm - 51.8).abs() < 2.0, "pm = {pm}");
+        // and it is far worse than the single-pole 90° margin
+        let single = TransferFunction::single_pole(1000.0, 1e3);
+        assert!(pm < single.phase_margin_deg().unwrap() - 30.0);
+    }
+
+    #[test]
+    fn poles_and_zeros_recovered() {
+        let h = TransferFunction::from_poles_zeros(10.0, &[1e2, 1e5], &[1e4]);
+        let poles = h.poles();
+        assert_eq!(poles.len(), 2);
+        let mut ps: Vec<f64> = poles.iter().map(|p| -p.re).collect();
+        ps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((ps[0] - 1e2).abs() / 1e2 < 1e-6);
+        assert!((ps[1] - 1e5).abs() / 1e5 < 1e-6);
+        let zeros = h.zeros();
+        assert_eq!(zeros.len(), 1);
+        assert!((-zeros[0].re - 1e4).abs() / 1e4 < 1e-6);
+    }
+
+    #[test]
+    fn bandwidth_of_single_pole_is_the_pole() {
+        let h = TransferFunction::single_pole(50.0, 2e3);
+        let bw = h.bandwidth_3db().unwrap();
+        assert!((bw / 2e3 - 1.0).abs() < 0.01, "bw = {bw}");
+    }
+
+    #[test]
+    fn cascade_multiplies_gain() {
+        let a = TransferFunction::single_pole(10.0, 1e4);
+        let b = TransferFunction::single_pole(20.0, 1e6);
+        let c = a.cascade(&b);
+        assert!((c.dc_gain() - 200.0).abs() < 1e-9);
+        assert_eq!(c.poles().len(), 2);
+    }
+
+    #[test]
+    fn no_crossover_returns_none() {
+        let h = TransferFunction::single_pole(0.5, 1e4); // never reaches 1
+        assert!(h.unity_gain_freq().is_none());
+        assert!(h.phase_margin_deg().is_none());
+    }
+
+    #[test]
+    fn zero_denominator_rejected() {
+        assert!(TransferFunction::new(Poly::constant(1.0), Poly::constant(0.0)).is_err());
+    }
+
+    #[test]
+    fn phase_accumulates_beyond_180_for_three_poles() {
+        let h = TransferFunction::from_poles_zeros(1e4, &[1e2, 1e3, 1e4], &[]);
+        let ph = h.phase_deg(1e7);
+        assert!(ph < -200.0, "three poles give ~-270: {ph}");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn magnitude_monotone_for_single_pole(
+                wp_exp in 2.0f64..8.0,
+                dc in 1.0f64..1e4,
+            ) {
+                let h = TransferFunction::single_pole(dc, 10f64.powf(wp_exp));
+                let mut last = h.magnitude(1.0);
+                for k in 1..=12 {
+                    let w = 10f64.powf(k as f64);
+                    let m = h.magnitude(w);
+                    prop_assert!(m <= last * (1.0 + 1e-9));
+                    last = m;
+                }
+            }
+
+            #[test]
+            fn gain_bandwidth_product_conserved(
+                dc_exp in 1.0f64..4.0,
+                wp_exp in 2.0f64..5.0,
+            ) {
+                let dc = 10f64.powf(dc_exp);
+                let wp = 10f64.powf(wp_exp);
+                let h = TransferFunction::single_pole(dc, wp);
+                let wu = h.unity_gain_freq().unwrap();
+                let gbw = dc * wp;
+                prop_assert!((wu / gbw - 1.0).abs() < 0.02, "wu={} gbw={}", wu, gbw);
+            }
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! The MESI cache-coherence protocol: the per-line state machine and a
+//! multi-cache snooping-bus simulation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// MESI line states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mesi {
+    /// Modified: exclusive and dirty.
+    Modified,
+    /// Exclusive: sole clean copy.
+    Exclusive,
+    /// Shared: clean, possibly other copies.
+    Shared,
+    /// Invalid.
+    Invalid,
+}
+
+impl fmt::Display for Mesi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Mesi::Modified => "M",
+            Mesi::Exclusive => "E",
+            Mesi::Shared => "S",
+            Mesi::Invalid => "I",
+        })
+    }
+}
+
+/// Processor-side events on a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CpuOp {
+    /// Local read.
+    Read,
+    /// Local write.
+    Write,
+}
+
+/// Bus (snooped) events on a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BusOp {
+    /// Another cache reads (BusRd).
+    BusRd,
+    /// Another cache reads-for-ownership (BusRdX).
+    BusRdX,
+}
+
+/// What a transition does on the bus / memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Action {
+    /// No bus traffic.
+    None,
+    /// Issue BusRd (read miss).
+    IssueBusRd,
+    /// Issue BusRdX (write miss / upgrade).
+    IssueBusRdX,
+    /// Flush the dirty line to memory (writeback).
+    Flush,
+}
+
+/// CPU-side MESI transition: next state and the bus action the cache must
+/// take. `others_have_copy` tells a read miss whether to load Exclusive or
+/// Shared.
+pub fn cpu_transition(state: Mesi, op: CpuOp, others_have_copy: bool) -> (Mesi, Action) {
+    use Action::*;
+    use Mesi::*;
+    match (state, op) {
+        (Modified, _) => (Modified, None),
+        (Exclusive, CpuOp::Read) => (Exclusive, None),
+        (Exclusive, CpuOp::Write) => (Modified, None), // silent upgrade
+        (Shared, CpuOp::Read) => (Shared, None),
+        (Shared, CpuOp::Write) => (Modified, IssueBusRdX),
+        (Invalid, CpuOp::Read) => {
+            if others_have_copy {
+                (Shared, IssueBusRd)
+            } else {
+                (Exclusive, IssueBusRd)
+            }
+        }
+        (Invalid, CpuOp::Write) => (Modified, IssueBusRdX),
+    }
+}
+
+/// Snoop-side MESI transition: next state and any flush required.
+pub fn snoop_transition(state: Mesi, op: BusOp) -> (Mesi, Action) {
+    use Action::*;
+    use Mesi::*;
+    match (state, op) {
+        (Modified, BusOp::BusRd) => (Shared, Flush),
+        (Modified, BusOp::BusRdX) => (Invalid, Flush),
+        (Exclusive, BusOp::BusRd) => (Shared, None),
+        (Exclusive, BusOp::BusRdX) => (Invalid, None),
+        (Shared, BusOp::BusRd) => (Shared, None),
+        (Shared, BusOp::BusRdX) => (Invalid, None),
+        (Invalid, _) => (Invalid, None),
+    }
+}
+
+/// A multi-core system of private caches on a snooping bus, tracking one
+/// state per (core, line).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BusSystem {
+    cores: usize,
+    lines: HashMap<(usize, u64), Mesi>,
+    /// Writebacks (flushes) performed.
+    pub flushes: u64,
+    /// Bus transactions issued.
+    pub bus_transactions: u64,
+    /// Invalidation messages delivered.
+    pub invalidations: u64,
+}
+
+impl BusSystem {
+    /// Creates a system with `cores` private caches.
+    pub fn new(cores: usize) -> Self {
+        BusSystem {
+            cores,
+            ..BusSystem::default()
+        }
+    }
+
+    /// Current state of `line` in `core`'s cache.
+    pub fn state(&self, core: usize, line: u64) -> Mesi {
+        self.lines.get(&(core, line)).copied().unwrap_or(Mesi::Invalid)
+    }
+
+    /// Performs a processor access and propagates snoops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access(&mut self, core: usize, line: u64, op: CpuOp) {
+        assert!(core < self.cores, "core index out of range");
+        let others_have_copy = (0..self.cores)
+            .any(|c| c != core && self.state(c, line) != Mesi::Invalid);
+        let (next, action) = cpu_transition(self.state(core, line), op, others_have_copy);
+        match action {
+            Action::IssueBusRd => {
+                self.bus_transactions += 1;
+                for c in 0..self.cores {
+                    if c == core {
+                        continue;
+                    }
+                    let (s, a) = snoop_transition(self.state(c, line), BusOp::BusRd);
+                    if a == Action::Flush {
+                        self.flushes += 1;
+                    }
+                    self.lines.insert((c, line), s);
+                }
+            }
+            Action::IssueBusRdX => {
+                self.bus_transactions += 1;
+                for c in 0..self.cores {
+                    if c == core {
+                        continue;
+                    }
+                    let before = self.state(c, line);
+                    let (s, a) = snoop_transition(before, BusOp::BusRdX);
+                    if a == Action::Flush {
+                        self.flushes += 1;
+                    }
+                    if before != Mesi::Invalid {
+                        self.invalidations += 1;
+                    }
+                    self.lines.insert((c, line), s);
+                }
+            }
+            Action::Flush => self.flushes += 1,
+            Action::None => {}
+        }
+        self.lines.insert((core, line), next);
+    }
+
+    /// Protocol invariant: at most one M/E copy, and M/E excludes any
+    /// other valid copy.
+    pub fn check_invariants(&self) -> bool {
+        let mut by_line: HashMap<u64, Vec<Mesi>> = HashMap::new();
+        for (&(_, line), &s) in &self.lines {
+            by_line.entry(line).or_default().push(s);
+        }
+        by_line.values().all(|states| {
+            let exclusive_like = states
+                .iter()
+                .filter(|s| matches!(s, Mesi::Modified | Mesi::Exclusive))
+                .count();
+            let valid = states.iter().filter(|s| **s != Mesi::Invalid).count();
+            exclusive_like <= 1 && (exclusive_like == 0 || valid == 1)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_miss_alone_loads_exclusive() {
+        let mut sys = BusSystem::new(2);
+        sys.access(0, 0x40, CpuOp::Read);
+        assert_eq!(sys.state(0, 0x40), Mesi::Exclusive);
+        assert_eq!(sys.bus_transactions, 1);
+    }
+
+    #[test]
+    fn second_reader_demotes_to_shared() {
+        let mut sys = BusSystem::new(2);
+        sys.access(0, 0x40, CpuOp::Read);
+        sys.access(1, 0x40, CpuOp::Read);
+        assert_eq!(sys.state(0, 0x40), Mesi::Shared);
+        assert_eq!(sys.state(1, 0x40), Mesi::Shared);
+    }
+
+    #[test]
+    fn silent_exclusive_to_modified_upgrade() {
+        let mut sys = BusSystem::new(2);
+        sys.access(0, 0x40, CpuOp::Read);
+        let before = sys.bus_transactions;
+        sys.access(0, 0x40, CpuOp::Write);
+        assert_eq!(sys.state(0, 0x40), Mesi::Modified);
+        assert_eq!(sys.bus_transactions, before, "E->M is silent");
+    }
+
+    #[test]
+    fn write_invalidates_sharers() {
+        let mut sys = BusSystem::new(4);
+        for c in 0..4 {
+            sys.access(c, 0x80, CpuOp::Read);
+        }
+        sys.access(0, 0x80, CpuOp::Write);
+        assert_eq!(sys.state(0, 0x80), Mesi::Modified);
+        for c in 1..4 {
+            assert_eq!(sys.state(c, 0x80), Mesi::Invalid);
+        }
+        assert_eq!(sys.invalidations, 3);
+    }
+
+    #[test]
+    fn dirty_line_flushes_on_remote_read() {
+        let mut sys = BusSystem::new(2);
+        sys.access(0, 0xC0, CpuOp::Write); // M in core 0
+        sys.access(1, 0xC0, CpuOp::Read);
+        assert_eq!(sys.flushes, 1);
+        assert_eq!(sys.state(0, 0xC0), Mesi::Shared);
+        assert_eq!(sys.state(1, 0xC0), Mesi::Shared);
+    }
+
+    #[test]
+    fn ping_pong_write_sharing_costs_bus_traffic() {
+        let mut sys = BusSystem::new(2);
+        for i in 0..10 {
+            sys.access(i % 2, 0x100, CpuOp::Write);
+        }
+        // every write after the first invalidates the other copy
+        assert!(sys.invalidations >= 9);
+        assert!(sys.flushes >= 9, "dirty hand-offs flush each time");
+    }
+
+    #[test]
+    fn transition_table_spot_checks() {
+        assert_eq!(
+            cpu_transition(Mesi::Shared, CpuOp::Write, true),
+            (Mesi::Modified, Action::IssueBusRdX)
+        );
+        assert_eq!(
+            snoop_transition(Mesi::Modified, BusOp::BusRd),
+            (Mesi::Shared, Action::Flush)
+        );
+        assert_eq!(
+            snoop_transition(Mesi::Invalid, BusOp::BusRdX),
+            (Mesi::Invalid, Action::None)
+        );
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn invariants_hold_over_random_traces(
+                ops in proptest::collection::vec((0usize..4, 0u64..4, any::<bool>()), 1..300),
+            ) {
+                let mut sys = BusSystem::new(4);
+                for (core, line, write) in ops {
+                    let op = if write { CpuOp::Write } else { CpuOp::Read };
+                    sys.access(core, line * 64, op);
+                    prop_assert!(sys.check_invariants(), "invariant violated");
+                }
+            }
+        }
+    }
+}

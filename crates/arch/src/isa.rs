@@ -1,0 +1,231 @@
+//! A tiny RISC instruction set for the pipeline and predictor models.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An architectural register (`x0`..`x31`-style; `Reg(0)` is a normal
+/// register here, not hard-wired zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Reg(pub u8);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Instr {
+    /// `rd = ra + rb`
+    Add {
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        ra: Reg,
+        /// Second source.
+        rb: Reg,
+    },
+    /// `rd = ra - rb`
+    Sub {
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        ra: Reg,
+        /// Second source.
+        rb: Reg,
+    },
+    /// `rd = mem[ra + offset]`
+    Load {
+        /// Destination.
+        rd: Reg,
+        /// Address base.
+        ra: Reg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// `mem[ra + offset] = rs`
+    Store {
+        /// Value source.
+        rs: Reg,
+        /// Address base.
+        ra: Reg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// Branch if `ra == rb` (resolution modelled in EX).
+    Beq {
+        /// First comparand.
+        ra: Reg,
+        /// Second comparand.
+        rb: Reg,
+        /// Relative target (instruction index delta).
+        target: i32,
+    },
+    /// No operation.
+    Nop,
+}
+
+impl Instr {
+    /// Destination register written by this instruction, if any.
+    pub fn dest(&self) -> Option<Reg> {
+        match self {
+            Instr::Add { rd, .. } | Instr::Sub { rd, .. } | Instr::Load { rd, .. } => Some(*rd),
+            _ => None,
+        }
+    }
+
+    /// Source registers read by this instruction.
+    pub fn sources(&self) -> Vec<Reg> {
+        match self {
+            Instr::Add { ra, rb, .. } | Instr::Sub { ra, rb, .. } | Instr::Beq { ra, rb, .. } => {
+                vec![*ra, *rb]
+            }
+            Instr::Load { ra, .. } => vec![*ra],
+            Instr::Store { rs, ra, .. } => vec![*rs, *ra],
+            Instr::Nop => Vec::new(),
+        }
+    }
+
+    /// Whether this is a memory load.
+    pub fn is_load(&self) -> bool {
+        matches!(self, Instr::Load { .. })
+    }
+
+    /// Whether this is a store.
+    pub fn is_store(&self) -> bool {
+        matches!(self, Instr::Store { .. })
+    }
+
+    /// Whether this is a branch.
+    pub fn is_branch(&self) -> bool {
+        matches!(self, Instr::Beq { .. })
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Add { rd, ra, rb } => write!(f, "add {rd}, {ra}, {rb}"),
+            Instr::Sub { rd, ra, rb } => write!(f, "sub {rd}, {ra}, {rb}"),
+            Instr::Load { rd, ra, offset } => write!(f, "ld {rd}, {offset}({ra})"),
+            Instr::Store { rs, ra, offset } => write!(f, "st {rs}, {offset}({ra})"),
+            Instr::Beq { ra, rb, target } => write!(f, "beq {ra}, {rb}, {target:+}"),
+            Instr::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+/// Fluent builder for short programs.
+///
+/// # Example
+///
+/// ```
+/// use chipvqa_arch::isa::{program, Reg};
+///
+/// let prog = program()
+///     .load(Reg(1), Reg(0), 8)
+///     .add(Reg(2), Reg(1), Reg(1))
+///     .store(Reg(2), Reg(0), 16)
+///     .build();
+/// assert_eq!(prog.len(), 3);
+/// ```
+pub fn program() -> ProgramBuilder {
+    ProgramBuilder { instrs: Vec::new() }
+}
+
+/// Builder returned by [`program`].
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    instrs: Vec<Instr>,
+}
+
+impl ProgramBuilder {
+    /// Appends an `add`.
+    pub fn add(mut self, rd: Reg, ra: Reg, rb: Reg) -> Self {
+        self.instrs.push(Instr::Add { rd, ra, rb });
+        self
+    }
+
+    /// Appends a `sub`.
+    pub fn sub(mut self, rd: Reg, ra: Reg, rb: Reg) -> Self {
+        self.instrs.push(Instr::Sub { rd, ra, rb });
+        self
+    }
+
+    /// Appends a load.
+    pub fn load(mut self, rd: Reg, ra: Reg, offset: i32) -> Self {
+        self.instrs.push(Instr::Load { rd, ra, offset });
+        self
+    }
+
+    /// Appends a store.
+    pub fn store(mut self, rs: Reg, ra: Reg, offset: i32) -> Self {
+        self.instrs.push(Instr::Store { rs, ra, offset });
+        self
+    }
+
+    /// Appends a `beq`.
+    pub fn beq(mut self, ra: Reg, rb: Reg, target: i32) -> Self {
+        self.instrs.push(Instr::Beq { ra, rb, target });
+        self
+    }
+
+    /// Appends a `nop`.
+    pub fn nop(mut self) -> Self {
+        self.instrs.push(Instr::Nop);
+        self
+    }
+
+    /// Finishes the program.
+    pub fn build(self) -> Vec<Instr> {
+        self.instrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dest_and_sources() {
+        let i = Instr::Add {
+            rd: Reg(3),
+            ra: Reg(1),
+            rb: Reg(2),
+        };
+        assert_eq!(i.dest(), Some(Reg(3)));
+        assert_eq!(i.sources(), vec![Reg(1), Reg(2)]);
+        let s = Instr::Store {
+            rs: Reg(5),
+            ra: Reg(6),
+            offset: 0,
+        };
+        assert_eq!(s.dest(), None);
+        assert!(s.sources().contains(&Reg(5)));
+    }
+
+    #[test]
+    fn builder_produces_program() {
+        let p = program()
+            .load(Reg(1), Reg(0), 0)
+            .add(Reg(2), Reg(1), Reg(1))
+            .beq(Reg(2), Reg(0), -2)
+            .nop()
+            .build();
+        assert_eq!(p.len(), 4);
+        assert!(p[2].is_branch());
+        assert!(p[0].is_load());
+    }
+
+    #[test]
+    fn display_formats() {
+        let i = Instr::Load {
+            rd: Reg(1),
+            ra: Reg(2),
+            offset: 4,
+        };
+        assert_eq!(i.to_string(), "ld r1, 4(r2)");
+    }
+}

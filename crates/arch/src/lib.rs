@@ -1,0 +1,60 @@
+//! Computer-architecture substrate for the ChipVQA reproduction.
+//!
+//! ChipVQA's Architecture section covers memory encoding, branch
+//! prediction, critical-path latency, coherence protocols, virtual-memory
+//! translation, pipelining, vector processors and network topology. This
+//! crate implements each of those as a small, testable simulator so the
+//! question generators can derive golden answers (e.g. *"how does the
+//! bolded bypass path affect CPI and frequency?"* is answered by actually
+//! running the pipeline with and without the path):
+//!
+//! - [`isa`]: a tiny RISC instruction set used by the pipeline model;
+//! - [`pipeline`]: a classic 5-stage in-order pipeline with configurable
+//!   forwarding paths, stall accounting and a cycle-time model;
+//! - [`branch`]: static, 1-bit, 2-bit and gshare predictors;
+//! - [`cache`]: a parameterised set-associative cache with LRU/FIFO and
+//!   address-breakdown helpers;
+//! - [`coherence`]: the MESI protocol as an explicit state machine plus a
+//!   multi-cache bus simulation;
+//! - [`vm`]: multi-level page-table translation with a TLB;
+//! - [`ooo`]: Tomasulo-style out-of-order execution vs an in-order
+//!   scoreboard baseline;
+//! - [`noc`]: network topology metrics (mesh/torus/hypercube/ring) and XY
+//!   routing;
+//! - [`vector`]: a convoy/chime execution-time model;
+//! - [`render`]: pipeline diagrams with bypass arrows, cache/address
+//!   layouts and topology drawings.
+//!
+//! # Example
+//!
+//! ```
+//! use chipvqa_arch::isa::{program, Reg};
+//! use chipvqa_arch::pipeline::{ForwardingConfig, Pipeline};
+//!
+//! // A load feeding the next ALU op: full forwarding still needs one
+//! // load-use stall; no forwarding needs two bubbles.
+//! let prog = program()
+//!     .load(Reg(1), Reg(0), 0)
+//!     .add(Reg(2), Reg(1), Reg(1))
+//!     .build();
+//! let full = Pipeline::new(ForwardingConfig::full()).run(&prog);
+//! let none = Pipeline::new(ForwardingConfig::none()).run(&prog);
+//! assert!(full.cycles < none.cycles);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod branch;
+pub mod cache;
+pub mod coherence;
+pub mod isa;
+pub mod noc;
+pub mod ooo;
+pub mod pipeline;
+pub mod render;
+pub mod vector;
+pub mod vm;
+
+pub use cache::Cache;
+pub use pipeline::{ForwardingConfig, Pipeline};

@@ -1,0 +1,235 @@
+//! Network-on-chip topology metrics: ring, 2-D mesh/torus, hypercube and
+//! crossbar, plus dimension-ordered (XY) routing hop counts.
+
+use serde::{Deserialize, Serialize};
+
+/// A network topology over `n` terminals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Topology {
+    /// Bidirectional ring of `n` nodes.
+    Ring {
+        /// Node count.
+        n: usize,
+    },
+    /// `w x h` 2-D mesh.
+    Mesh {
+        /// Width.
+        w: usize,
+        /// Height.
+        h: usize,
+    },
+    /// `w x h` 2-D torus (wrap-around links).
+    Torus {
+        /// Width.
+        w: usize,
+        /// Height.
+        h: usize,
+    },
+    /// `d`-dimensional hypercube (`2^d` nodes).
+    Hypercube {
+        /// Dimension.
+        d: u32,
+    },
+    /// Full crossbar over `n` nodes.
+    Crossbar {
+        /// Node count.
+        n: usize,
+    },
+}
+
+impl Topology {
+    /// Number of terminals.
+    pub fn node_count(&self) -> usize {
+        match *self {
+            Topology::Ring { n } | Topology::Crossbar { n } => n,
+            Topology::Mesh { w, h } | Topology::Torus { w, h } => w * h,
+            Topology::Hypercube { d } => 1 << d,
+        }
+    }
+
+    /// Network diameter (maximum shortest-path hops).
+    pub fn diameter(&self) -> usize {
+        match *self {
+            Topology::Ring { n } => n / 2,
+            Topology::Mesh { w, h } => (w - 1) + (h - 1),
+            Topology::Torus { w, h } => w / 2 + h / 2,
+            Topology::Hypercube { d } => d as usize,
+            Topology::Crossbar { .. } => 1,
+        }
+    }
+
+    /// Bisection width (links cut by a worst-case even bipartition).
+    pub fn bisection_width(&self) -> usize {
+        match *self {
+            Topology::Ring { .. } => 2,
+            Topology::Mesh { w, h } => w.min(h),
+            Topology::Torus { w, h } => 2 * w.min(h),
+            Topology::Hypercube { d } => 1 << (d - 1),
+            Topology::Crossbar { n } => (n / 2) * (n / 2),
+        }
+    }
+
+    /// Degree of a (non-edge) node.
+    pub fn degree(&self) -> usize {
+        match *self {
+            Topology::Ring { .. } => 2,
+            Topology::Mesh { .. } => 4,
+            Topology::Torus { .. } => 4,
+            Topology::Hypercube { d } => d as usize,
+            Topology::Crossbar { n } => n - 1,
+        }
+    }
+
+    /// Total bidirectional link count.
+    pub fn link_count(&self) -> usize {
+        match *self {
+            Topology::Ring { n } => n,
+            Topology::Mesh { w, h } => h * (w - 1) + w * (h - 1),
+            Topology::Torus { w, h } => 2 * w * h,
+            Topology::Hypercube { d } => (d as usize) << (d - 1),
+            Topology::Crossbar { n } => n * (n - 1) / 2,
+        }
+    }
+
+    /// Shortest-path hops between two node ids under the topology's
+    /// natural (dimension-ordered) routing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node id is out of range.
+    pub fn hops(&self, a: usize, b: usize) -> usize {
+        let n = self.node_count();
+        assert!(a < n && b < n, "node id out of range");
+        match *self {
+            Topology::Ring { n } => {
+                let d = a.abs_diff(b);
+                d.min(n - d)
+            }
+            Topology::Mesh { w, .. } => {
+                let (ax, ay) = (a % w, a / w);
+                let (bx, by) = (b % w, b / w);
+                ax.abs_diff(bx) + ay.abs_diff(by)
+            }
+            Topology::Torus { w, h } => {
+                let (ax, ay) = (a % w, a / w);
+                let (bx, by) = (b % w, b / w);
+                let dx = ax.abs_diff(bx);
+                let dy = ay.abs_diff(by);
+                dx.min(w - dx) + dy.min(h - dy)
+            }
+            Topology::Hypercube { .. } => (a ^ b).count_ones() as usize,
+            Topology::Crossbar { .. } => usize::from(a != b),
+        }
+    }
+
+    /// Average hop count over all ordered pairs (exact enumeration).
+    pub fn average_hops(&self) -> f64 {
+        let n = self.node_count();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut total = 0usize;
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    total += self.hops(a, b);
+                }
+            }
+        }
+        total as f64 / (n * (n - 1)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_metrics() {
+        let m = Topology::Mesh { w: 4, h: 4 };
+        assert_eq!(m.node_count(), 16);
+        assert_eq!(m.diameter(), 6);
+        assert_eq!(m.bisection_width(), 4);
+        assert_eq!(m.link_count(), 24);
+        assert_eq!(m.hops(0, 15), 6); // corner to corner
+    }
+
+    #[test]
+    fn torus_halves_diameter() {
+        let m = Topology::Mesh { w: 8, h: 8 };
+        let t = Topology::Torus { w: 8, h: 8 };
+        assert_eq!(t.diameter(), 8);
+        assert!(t.diameter() < m.diameter());
+        assert_eq!(t.bisection_width(), 2 * m.bisection_width());
+    }
+
+    #[test]
+    fn hypercube_hops_is_hamming_distance() {
+        let h = Topology::Hypercube { d: 4 };
+        assert_eq!(h.node_count(), 16);
+        assert_eq!(h.diameter(), 4);
+        assert_eq!(h.hops(0b0000, 0b1011), 3);
+        assert_eq!(h.bisection_width(), 8);
+        assert_eq!(h.link_count(), 32);
+    }
+
+    #[test]
+    fn ring_wraps() {
+        let r = Topology::Ring { n: 10 };
+        assert_eq!(r.hops(1, 9), 2);
+        assert_eq!(r.diameter(), 5);
+        assert_eq!(r.link_count(), 10);
+    }
+
+    #[test]
+    fn crossbar_is_single_hop() {
+        let x = Topology::Crossbar { n: 8 };
+        assert_eq!(x.diameter(), 1);
+        assert_eq!(x.hops(3, 3), 0);
+        assert_eq!(x.hops(0, 7), 1);
+        assert_eq!(x.link_count(), 28);
+    }
+
+    #[test]
+    fn average_hops_ordering() {
+        // For equal node counts: crossbar < hypercube < torus < mesh.
+        let n16 = [
+            Topology::Crossbar { n: 16 }.average_hops(),
+            Topology::Hypercube { d: 4 }.average_hops(),
+            Topology::Torus { w: 4, h: 4 }.average_hops(),
+            Topology::Mesh { w: 4, h: 4 }.average_hops(),
+        ];
+        for pair in n16.windows(2) {
+            assert!(pair[0] <= pair[1], "{n16:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_node() {
+        let _ = Topology::Ring { n: 4 }.hops(0, 5);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn hops_symmetric_and_bounded(
+                a in 0usize..16, b in 0usize..16,
+            ) {
+                for t in [
+                    Topology::Mesh { w: 4, h: 4 },
+                    Topology::Torus { w: 4, h: 4 },
+                    Topology::Hypercube { d: 4 },
+                    Topology::Ring { n: 16 },
+                ] {
+                    prop_assert_eq!(t.hops(a, b), t.hops(b, a));
+                    prop_assert!(t.hops(a, b) <= t.diameter());
+                    prop_assert_eq!(t.hops(a, a), 0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Procedural drawings of architecture visuals: pipeline diagrams with
+//! bypass arrows, address/cache layouts, MESI state diagrams and NoC
+//! topologies.
+
+use chipvqa_raster::{Annotated, Pixmap, Region, BLACK, GRAY};
+
+use crate::cache::CacheConfig;
+use crate::noc::Topology;
+use crate::pipeline::ForwardingConfig;
+
+const STROKE: i64 = 2;
+const TEXT: i64 = 2;
+
+/// Renders the 5-stage pipeline datapath with the enabled bypass paths
+/// drawn as bold arrows (the paper's motivating Architecture example).
+pub fn render_pipeline(cfg: ForwardingConfig) -> Annotated {
+    let mut img = Pixmap::new(560, 240);
+    let mut marks: Vec<(String, Region)> = Vec::new();
+    let stages = ["IF", "ID", "EX", "MEM", "WB"];
+    let bw = 72i64;
+    let bh = 48i64;
+    let y = 80i64;
+    let xs: Vec<i64> = (0..5).map(|i| 24 + i * (bw + 32)).collect();
+    for (i, name) in stages.iter().enumerate() {
+        img.draw_rect(xs[i], y, bw, bh, STROKE, BLACK);
+        img.draw_text(xs[i] + 20, y + 16, name, TEXT, BLACK);
+        if i + 1 < stages.len() {
+            img.draw_arrow(xs[i] + bw, y + bh / 2, xs[i + 1], y + bh / 2, STROKE, BLACK);
+        }
+        marks.push((
+            format!("{name} stage"),
+            Region::new(xs[i] as usize, y as usize, bw as usize, bh as usize),
+        ));
+    }
+    // Bypass arcs drawn above (EX->EX from EX/MEM latch) and below.
+    if cfg.ex_to_ex {
+        img.draw_polyline(
+            &[
+                (xs[2] + bw + 10, y),
+                (xs[2] + bw + 10, y - 34),
+                (xs[2] + bw / 2, y - 34),
+            ],
+            3,
+            BLACK,
+        );
+        img.draw_arrow(xs[2] + bw / 2, y - 34, xs[2] + bw / 2, y - 2, 3, BLACK);
+        img.draw_text(xs[2] - 10, y - 52, "EX-EX bypass", TEXT, BLACK);
+        marks.push((
+            "bold bypass path: EX/MEM latch back to ALU input".to_string(),
+            Region::new((xs[2] - 12) as usize, (y - 56) as usize, 170, 56),
+        ));
+    }
+    if cfg.mem_to_ex {
+        img.draw_polyline(
+            &[
+                (xs[3] + bw + 10, y + bh),
+                (xs[3] + bw + 10, y + bh + 36),
+                (xs[2] + bw / 2, y + bh + 36),
+            ],
+            3,
+            BLACK,
+        );
+        img.draw_arrow(
+            xs[2] + bw / 2,
+            y + bh + 36,
+            xs[2] + bw / 2,
+            y + bh + 2,
+            3,
+            BLACK,
+        );
+        img.draw_text(xs[2] - 10, y + bh + 44, "MEM-EX bypass", TEXT, BLACK);
+        marks.push((
+            "bold bypass path: load unit output to ALU input".to_string(),
+            Region::new((xs[2] - 12) as usize, (y + bh + 2) as usize, 200, 60),
+        ));
+    }
+    if cfg.mem_to_mem {
+        img.draw_dashed_line(xs[4] + 10, y + bh / 2, xs[3] + bw / 2, y + bh - 2, 2, GRAY, 4, 3);
+        marks.push((
+            "MEM-MEM store-data forwarding path".to_string(),
+            Region::new(xs[3] as usize, (y + bh / 2) as usize, 120, 30),
+        ));
+    }
+    let mut out = Annotated::new(img);
+    for (label, region) in marks {
+        out.mark(label, region);
+    }
+    out
+}
+
+/// Renders the tag/index/offset breakdown of an address for a cache
+/// geometry (the "memory encoding" visual).
+pub fn render_address_breakdown(cfg: CacheConfig, addr_bits: u32) -> Annotated {
+    let mut img = Pixmap::new(520, 160);
+    let mut marks: Vec<(String, Region)> = Vec::new();
+    let tag = cfg.tag_bits(addr_bits);
+    let index = cfg.index_bits();
+    let offset = cfg.offset_bits();
+    let total = f64::from(addr_bits);
+    let x0 = 30i64;
+    let width = 440f64;
+    let y = 60i64;
+    let mut x = x0;
+    for (name, bits) in [("TAG", tag), ("INDEX", index), ("OFFSET", offset)] {
+        let w = (width * f64::from(bits) / total) as i64;
+        img.draw_rect(x, y, w, 44, STROKE, BLACK);
+        img.draw_text(x + 6, y + 8, name, TEXT, BLACK);
+        img.draw_text(x + 6, y + 26, &format!("{bits}b"), TEXT, BLACK);
+        marks.push((
+            format!("{name} field: {bits} bits"),
+            Region::new(x as usize, y as usize, w.max(20) as usize, 44),
+        ));
+        x += w;
+    }
+    img.draw_text(
+        x0,
+        20,
+        &format!(
+            "{}B cache, {}B blocks, {}-way",
+            cfg.size_bytes, cfg.block_bytes, cfg.associativity
+        ),
+        TEXT,
+        BLACK,
+    );
+    marks.push((
+        "cache geometry caption".to_string(),
+        Region::new(x0 as usize, 16, 400, 24),
+    ));
+    let mut out = Annotated::new(img);
+    for (label, region) in marks {
+        out.mark(label, region);
+    }
+    out
+}
+
+/// Renders the four-state MESI diagram with labelled transitions.
+pub fn render_mesi_diagram() -> Annotated {
+    let mut img = Pixmap::new(420, 340);
+    let mut marks: Vec<(String, Region)> = Vec::new();
+    let centers = [
+        ("M", 110i64, 80i64),
+        ("E", 310, 80),
+        ("S", 110, 250),
+        ("I", 310, 250),
+    ];
+    for (name, cx, cy) in centers {
+        img.draw_circle(cx, cy, 34, STROKE, BLACK);
+        img.draw_text(cx - 5, cy - 6, name, 3, BLACK);
+        marks.push((
+            format!("state {name}"),
+            Region::new((cx - 34) as usize, (cy - 34) as usize, 68, 68),
+        ));
+    }
+    // a few canonical labelled edges
+    img.draw_arrow(276, 80, 144, 80, STROKE, BLACK); // E -> M
+    img.draw_text(180, 58, "PrWr", TEXT, BLACK);
+    marks.push(("edge E->M on processor write (silent)".to_string(), Region::new(150, 54, 120, 30)));
+    img.draw_arrow(286, 226, 134, 104, STROKE, BLACK); // I -> M
+    img.draw_text(196, 180, "PrWr/BusRdX", TEXT, BLACK);
+    marks.push(("edge I->M on write miss (BusRdX)".to_string(), Region::new(190, 172, 160, 26)));
+    img.draw_arrow(110, 114, 110, 216, STROKE, BLACK); // M -> S
+    img.draw_text(14, 160, "BusRd/Flush", TEXT, BLACK);
+    marks.push(("edge M->S on snooped read (flush)".to_string(), Region::new(10, 152, 150, 26)));
+    img.draw_arrow(144, 250, 276, 250, STROKE, BLACK); // S -> I
+    img.draw_text(180, 258, "BusRdX", TEXT, BLACK);
+    marks.push(("edge S->I on remote write".to_string(), Region::new(174, 252, 100, 26)));
+    let mut out = Annotated::new(img);
+    for (label, region) in marks {
+        out.mark(label, region);
+    }
+    out
+}
+
+/// Renders a topology as a node/link diagram (meshes and tori draw as
+/// grids, rings as circles, hypercubes as two nested squares, crossbars as
+/// a bipartite fan).
+pub fn render_topology(t: Topology) -> Annotated {
+    let mut img = Pixmap::new(420, 360);
+    let mut marks: Vec<(String, Region)> = Vec::new();
+    let node = |img: &mut Pixmap, x: i64, y: i64| {
+        img.fill_circle(x, y, 7, BLACK);
+    };
+    match t {
+        Topology::Mesh { w, h } | Topology::Torus { w, h } => {
+            let step = 64i64;
+            let (ox, oy) = (60i64, 60i64);
+            for r in 0..h as i64 {
+                for c in 0..w as i64 {
+                    let (x, y) = (ox + c * step, oy + r * step);
+                    if c + 1 < w as i64 {
+                        img.draw_line(x, y, x + step, y, STROKE, BLACK);
+                    }
+                    if r + 1 < h as i64 {
+                        img.draw_line(x, y, x, y + step, STROKE, BLACK);
+                    }
+                    node(&mut img, x, y);
+                }
+            }
+            if matches!(t, Topology::Torus { .. }) {
+                for r in 0..h as i64 {
+                    img.draw_dashed_line(
+                        ox,
+                        oy + r * step,
+                        ox + (w as i64 - 1) * step,
+                        oy + r * step - 16,
+                        1,
+                        GRAY,
+                        3,
+                        3,
+                    );
+                }
+                marks.push(("wrap-around links (torus)".to_string(), Region::new(40, 20, 340, 40)));
+            }
+            marks.push((
+                format!("{}x{} grid of routers", w, h),
+                Region::new(40, 40, 360, 300),
+            ));
+        }
+        Topology::Ring { n } => {
+            let (cx, cy, r) = (210i64, 180i64, 120f64);
+            let pos = |i: usize| -> (i64, i64) {
+                let a = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+                (cx + (r * a.cos()) as i64, cy + (r * a.sin()) as i64)
+            };
+            for i in 0..n {
+                let (x0, y0) = pos(i);
+                let (x1, y1) = pos((i + 1) % n);
+                img.draw_line(x0, y0, x1, y1, STROKE, BLACK);
+                node(&mut img, x0, y0);
+            }
+            marks.push((format!("ring of {n} nodes"), Region::new(60, 40, 300, 280)));
+        }
+        Topology::Hypercube { d } => {
+            // draw the d=3 projection (two squares + struts); higher d
+            // falls back to the same projection with a caption.
+            let inner = [(150i64, 130i64), (270, 130), (270, 250), (150, 250)];
+            let outer = [(90i64, 70i64), (330, 70), (330, 310), (90, 310)];
+            for k in 0..4 {
+                let (a, b) = (inner[k], inner[(k + 1) % 4]);
+                img.draw_line(a.0, a.1, b.0, b.1, STROKE, BLACK);
+                let (c, e) = (outer[k], outer[(k + 1) % 4]);
+                img.draw_line(c.0, c.1, e.0, e.1, STROKE, BLACK);
+                img.draw_line(a.0, a.1, c.0, c.1, STROKE, BLACK);
+                node(&mut img, a.0, a.1);
+                node(&mut img, c.0, c.1);
+            }
+            img.draw_text(100, 20, &format!("{d}-cube"), TEXT, BLACK);
+            marks.push((format!("hypercube dimension {d}"), Region::new(80, 14, 120, 28)));
+        }
+        Topology::Crossbar { n } => {
+            for i in 0..n.min(8) as i64 {
+                let y = 40 + i * 36;
+                img.draw_line(40, y, 380, y, STROKE, BLACK);
+                img.draw_line(60 + i * 40, 20, 60 + i * 40, 340, STROKE, BLACK);
+                node(&mut img, 60 + i * 40, y);
+            }
+            marks.push((format!("{n}x{n} crossbar"), Region::new(30, 10, 360, 330)));
+        }
+    }
+    let mut out = Annotated::new(img);
+    for (label, region) in marks {
+        out.mark(label, region);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::Replacement;
+
+    #[test]
+    fn pipeline_bypass_arrows_marked() {
+        let vis = render_pipeline(ForwardingConfig::full());
+        assert!(vis.marks.iter().any(|m| m.label.contains("load unit output")));
+        assert!(vis.marks.iter().any(|m| m.label.contains("EX stage")));
+        let bare = render_pipeline(ForwardingConfig::none());
+        assert!(bare.marks.iter().all(|m| !m.label.contains("bypass")));
+        assert!(vis.image.ink_pixels() > bare.image.ink_pixels());
+    }
+
+    #[test]
+    fn address_breakdown_fields_sum() {
+        let cfg = CacheConfig {
+            size_bytes: 32 * 1024,
+            block_bytes: 64,
+            associativity: 4,
+            replacement: Replacement::Lru,
+        };
+        let vis = render_address_breakdown(cfg, 32);
+        assert!(vis.marks.iter().any(|m| m.label.contains("TAG field: 19 bits")));
+        assert!(vis.marks.iter().any(|m| m.label.contains("INDEX field: 7 bits")));
+        assert!(vis.marks.iter().any(|m| m.label.contains("OFFSET field: 6 bits")));
+    }
+
+    #[test]
+    fn mesi_diagram_has_four_states() {
+        let vis = render_mesi_diagram();
+        for s in ["state M", "state E", "state S", "state I"] {
+            assert!(vis.marks.iter().any(|m| m.label == s), "{s}");
+        }
+    }
+
+    #[test]
+    fn topologies_render() {
+        for t in [
+            Topology::Mesh { w: 4, h: 4 },
+            Topology::Torus { w: 4, h: 4 },
+            Topology::Ring { n: 8 },
+            Topology::Hypercube { d: 3 },
+            Topology::Crossbar { n: 6 },
+        ] {
+            let vis = render_topology(t);
+            assert!(vis.image.ink_pixels() > 100, "{t:?}");
+            assert!(!vis.marks.is_empty(), "{t:?}");
+        }
+    }
+}

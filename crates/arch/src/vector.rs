@@ -1,0 +1,185 @@
+//! A convoy/chime execution-time model for vector processors
+//! (Hennessy–Patterson style).
+
+use serde::{Deserialize, Serialize};
+
+/// A vector functional unit class (determines convoy structural hazards).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VecUnit {
+    /// Load/store unit.
+    Memory,
+    /// FP add pipeline.
+    Add,
+    /// FP multiply pipeline.
+    Multiply,
+}
+
+/// One vector instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VecInstr {
+    /// The functional unit it occupies.
+    pub unit: VecUnit,
+    /// Destination vector register.
+    pub dest: u8,
+    /// Source vector registers.
+    pub srcs: [Option<u8>; 2],
+}
+
+/// A vector machine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VectorMachine {
+    /// Vector register length (elements per instruction).
+    pub vector_length: u32,
+    /// Parallel lanes.
+    pub lanes: u32,
+    /// Pipeline start-up overhead per convoy, in cycles.
+    pub startup_cycles: u32,
+    /// Whether chaining is supported (dependent instructions may share a
+    /// convoy).
+    pub chaining: bool,
+}
+
+impl VectorMachine {
+    /// Groups instructions into convoys: instructions that can begin in
+    /// the same chime. A structural hazard (same unit) always splits;
+    /// a data dependence splits only without chaining.
+    pub fn convoys(&self, program: &[VecInstr]) -> Vec<Vec<VecInstr>> {
+        let mut convoys: Vec<Vec<VecInstr>> = Vec::new();
+        let mut current: Vec<VecInstr> = Vec::new();
+        for &instr in program {
+            let structural = current.iter().any(|c| c.unit == instr.unit);
+            let data_dep = current.iter().any(|c| {
+                instr.srcs.iter().flatten().any(|&s| s == c.dest)
+            });
+            if structural || (data_dep && !self.chaining) || current.is_empty() {
+                if !current.is_empty() {
+                    convoys.push(std::mem::take(&mut current));
+                }
+                current.push(instr);
+            } else {
+                current.push(instr);
+            }
+        }
+        if !current.is_empty() {
+            convoys.push(current);
+        }
+        convoys
+    }
+
+    /// Total execution cycles: each convoy costs one chime
+    /// (`ceil(VL / lanes)` cycles) plus start-up.
+    pub fn execution_cycles(&self, program: &[VecInstr]) -> u64 {
+        let chime = u64::from(self.vector_length.div_ceil(self.lanes));
+        let convoys = self.convoys(program);
+        convoys.len() as u64 * (chime + u64::from(self.startup_cycles))
+    }
+
+    /// Cycles per element (the classic figure of merit).
+    pub fn cycles_per_element(&self, program: &[VecInstr]) -> f64 {
+        self.execution_cycles(program) as f64 / f64::from(self.vector_length)
+    }
+}
+
+/// The DAXPY kernel (`Y = a*X + Y`) as vector instructions.
+pub fn daxpy() -> Vec<VecInstr> {
+    vec![
+        VecInstr {
+            unit: VecUnit::Memory,
+            dest: 1,
+            srcs: [None, None],
+        }, // LV V1, X
+        VecInstr {
+            unit: VecUnit::Multiply,
+            dest: 2,
+            srcs: [Some(1), None],
+        }, // MULVS V2, V1, a
+        VecInstr {
+            unit: VecUnit::Memory,
+            dest: 3,
+            srcs: [None, None],
+        }, // LV V3, Y
+        VecInstr {
+            unit: VecUnit::Add,
+            dest: 4,
+            srcs: [Some(2), Some(3)],
+        }, // ADDV V4, V2, V3
+        VecInstr {
+            unit: VecUnit::Memory,
+            dest: 5,
+            srcs: [Some(4), None],
+        }, // SV V4 -> Y
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(chaining: bool, lanes: u32) -> VectorMachine {
+        VectorMachine {
+            vector_length: 64,
+            lanes,
+            startup_cycles: 12,
+            chaining,
+        }
+    }
+
+    #[test]
+    fn daxpy_convoy_count_matches_textbook() {
+        // Without chaining DAXPY needs 4 convoys: LV | MULVS, LV | ADDV | SV
+        // (MULVS depends on the first LV, so it can't share; second LV can
+        // pair with MULVS). With chaining: 3 convoys (memory unit reuse
+        // still splits loads/store).
+        let m = machine(false, 1);
+        let convoys = m.convoys(&daxpy());
+        assert_eq!(convoys.len(), 4, "{convoys:?}");
+        let c = machine(true, 1);
+        assert_eq!(c.convoys(&daxpy()).len(), 3);
+    }
+
+    #[test]
+    fn chaining_reduces_cycles() {
+        let without = machine(false, 1).execution_cycles(&daxpy());
+        let with = machine(true, 1).execution_cycles(&daxpy());
+        assert!(with < without, "{with} vs {without}");
+    }
+
+    #[test]
+    fn lanes_divide_chime() {
+        let one = machine(true, 1).execution_cycles(&daxpy());
+        let four = machine(true, 4).execution_cycles(&daxpy());
+        // 3 convoys: (64+12)*3 = 228 vs (16+12)*3 = 84
+        assert_eq!(one, 228);
+        assert_eq!(four, 84);
+    }
+
+    #[test]
+    fn single_instruction_is_one_convoy() {
+        let m = machine(true, 1);
+        let p = vec![VecInstr {
+            unit: VecUnit::Add,
+            dest: 1,
+            srcs: [None, None],
+        }];
+        assert_eq!(m.convoys(&p).len(), 1);
+        assert!((m.cycles_per_element(&p) - 76.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn structural_hazard_always_splits() {
+        let m = machine(true, 1);
+        let p = vec![
+            VecInstr {
+                unit: VecUnit::Add,
+                dest: 1,
+                srcs: [None, None],
+            },
+            VecInstr {
+                unit: VecUnit::Add,
+                dest: 2,
+                srcs: [None, None],
+            },
+        ];
+        assert_eq!(m.convoys(&p).len(), 2);
+    }
+}

@@ -1,0 +1,241 @@
+//! Virtual-memory translation: multi-level page tables and a small TLB.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Page-table geometry: `levels` levels of `bits_per_level` index bits
+/// over `page_bits` pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VmConfig {
+    /// log2 of the page size (12 → 4 KiB pages).
+    pub page_bits: u32,
+    /// Index bits consumed by each page-table level.
+    pub bits_per_level: u32,
+    /// Number of levels walked root-first.
+    pub levels: u32,
+}
+
+impl VmConfig {
+    /// Total virtual-address bits this configuration translates.
+    pub fn va_bits(&self) -> u32 {
+        self.page_bits + self.bits_per_level * self.levels
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> u64 {
+        1 << self.page_bits
+    }
+
+    /// Splits a virtual address into `(level indices root-first, offset)`.
+    pub fn split(&self, va: u64) -> (Vec<u64>, u64) {
+        let offset = va & (self.page_size() - 1);
+        let vpn = va >> self.page_bits;
+        let mask = (1u64 << self.bits_per_level) - 1;
+        let idx: Vec<u64> = (0..self.levels)
+            .rev()
+            .map(|l| (vpn >> (l * self.bits_per_level)) & mask)
+            .collect();
+        (idx, offset)
+    }
+}
+
+/// Outcome of a translation attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Translation {
+    /// Hit in the TLB: physical address, no walk.
+    TlbHit {
+        /// Resulting physical address.
+        pa: u64,
+    },
+    /// TLB miss, successful walk: physical address and memory accesses
+    /// spent walking (= number of levels).
+    Walked {
+        /// Resulting physical address.
+        pa: u64,
+        /// Page-table memory accesses performed.
+        walk_accesses: u32,
+    },
+    /// Page fault: no mapping.
+    Fault,
+}
+
+/// A process address space: sparse page table plus TLB.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AddressSpace {
+    config: VmConfig,
+    /// VPN → PPN.
+    mappings: HashMap<u64, u64>,
+    tlb: Vec<(u64, u64)>, // (vpn, ppn), LRU order: back = MRU
+    tlb_capacity: usize,
+    /// TLB hits observed.
+    pub tlb_hits: u64,
+    /// TLB misses observed.
+    pub tlb_misses: u64,
+}
+
+/// Error for unaligned mapping requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnalignedError;
+
+impl fmt::Display for UnalignedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "address not page-aligned")
+    }
+}
+
+impl std::error::Error for UnalignedError {}
+
+impl AddressSpace {
+    /// Creates an empty address space with a `tlb_capacity`-entry
+    /// fully-associative LRU TLB.
+    pub fn new(config: VmConfig, tlb_capacity: usize) -> Self {
+        AddressSpace {
+            config,
+            mappings: HashMap::new(),
+            tlb: Vec::new(),
+            tlb_capacity: tlb_capacity.max(1),
+            tlb_hits: 0,
+            tlb_misses: 0,
+        }
+    }
+
+    /// The geometry.
+    pub fn config(&self) -> VmConfig {
+        self.config
+    }
+
+    /// Maps virtual page starting at `va` to the physical page at `pa`.
+    ///
+    /// # Errors
+    ///
+    /// [`UnalignedError`] if either address is not page-aligned.
+    pub fn map(&mut self, va: u64, pa: u64) -> Result<(), UnalignedError> {
+        let mask = self.config.page_size() - 1;
+        if va & mask != 0 || pa & mask != 0 {
+            return Err(UnalignedError);
+        }
+        self.mappings
+            .insert(va >> self.config.page_bits, pa >> self.config.page_bits);
+        Ok(())
+    }
+
+    /// Translates a virtual address, updating the TLB.
+    pub fn translate(&mut self, va: u64) -> Translation {
+        let vpn = va >> self.config.page_bits;
+        let offset = va & (self.config.page_size() - 1);
+        if let Some(pos) = self.tlb.iter().position(|&(v, _)| v == vpn) {
+            let entry = self.tlb.remove(pos);
+            self.tlb.push(entry);
+            self.tlb_hits += 1;
+            return Translation::TlbHit {
+                pa: (entry.1 << self.config.page_bits) | offset,
+            };
+        }
+        self.tlb_misses += 1;
+        match self.mappings.get(&vpn) {
+            Some(&ppn) => {
+                if self.tlb.len() == self.tlb_capacity {
+                    self.tlb.remove(0);
+                }
+                self.tlb.push((vpn, ppn));
+                Translation::Walked {
+                    pa: (ppn << self.config.page_bits) | offset,
+                    walk_accesses: self.config.levels,
+                }
+            }
+            None => Translation::Fault,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv39ish() -> VmConfig {
+        VmConfig {
+            page_bits: 12,
+            bits_per_level: 9,
+            levels: 3,
+        }
+    }
+
+    #[test]
+    fn va_split_matches_geometry() {
+        let cfg = sv39ish();
+        assert_eq!(cfg.va_bits(), 39);
+        let va = (5u64 << 30) | (17 << 21) | (511 << 12) | 0xABC;
+        let (idx, off) = cfg.split(va);
+        assert_eq!(idx, vec![5, 17, 511]);
+        assert_eq!(off, 0xABC);
+    }
+
+    #[test]
+    fn translate_hits_after_walk() {
+        let cfg = sv39ish();
+        let mut asp = AddressSpace::new(cfg, 4);
+        asp.map(0x4000_0000, 0x8000_0000).unwrap();
+        match asp.translate(0x4000_0123) {
+            Translation::Walked { pa, walk_accesses } => {
+                assert_eq!(pa, 0x8000_0123);
+                assert_eq!(walk_accesses, 3);
+            }
+            other => panic!("expected walk, got {other:?}"),
+        }
+        match asp.translate(0x4000_0FFF) {
+            Translation::TlbHit { pa } => assert_eq!(pa, 0x8000_0FFF),
+            other => panic!("expected TLB hit, got {other:?}"),
+        }
+        assert_eq!(asp.tlb_hits, 1);
+        assert_eq!(asp.tlb_misses, 1);
+    }
+
+    #[test]
+    fn unmapped_faults() {
+        let mut asp = AddressSpace::new(sv39ish(), 4);
+        assert_eq!(asp.translate(0xdead_b000), Translation::Fault);
+    }
+
+    #[test]
+    fn unaligned_map_rejected() {
+        let mut asp = AddressSpace::new(sv39ish(), 4);
+        assert!(asp.map(0x1001, 0x2000).is_err());
+        assert!(asp.map(0x1000, 0x2008).is_err());
+    }
+
+    #[test]
+    fn tlb_evicts_lru() {
+        let mut asp = AddressSpace::new(sv39ish(), 2);
+        for i in 0..3u64 {
+            asp.map(i << 12, (i + 100) << 12).unwrap();
+        }
+        asp.translate(0 << 12); // TLB: [0]
+        asp.translate(1 << 12); // TLB: [0,1]
+        asp.translate(0); // refresh 0 -> [1,0]
+        asp.translate(2 << 12); // evict 1 -> [0,2]
+        assert!(matches!(asp.translate(0), Translation::TlbHit { .. }));
+        assert!(matches!(asp.translate(1 << 12), Translation::Walked { .. }));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn offset_preserved(vpn in 0u64..(1 << 27), ppn in 0u64..(1 << 27), off in 0u64..4096) {
+                let mut asp = AddressSpace::new(sv39ish(), 8);
+                asp.map(vpn << 12, ppn << 12).unwrap();
+                match asp.translate((vpn << 12) | off) {
+                    Translation::Walked { pa, .. } | Translation::TlbHit { pa } => {
+                        prop_assert_eq!(pa & 0xFFF, off);
+                        prop_assert_eq!(pa >> 12, ppn);
+                    }
+                    Translation::Fault => prop_assert!(false, "mapped page faulted"),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! T3 benches: the agent system's tool-call loop versus plain inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use chipvqa_agent::AgentSystem;
+use chipvqa_core::ChipVqa;
+use chipvqa_models::{ModelZoo, VlmPipeline};
+
+fn bench_agent(c: &mut Criterion) {
+    let bench = ChipVqa::standard();
+    let agent = AgentSystem::paper_setup();
+    let base = VlmPipeline::new(ModelZoo::gpt4o());
+    let q = bench.get("manuf-000").expect("canonical id");
+
+    let mut group = c.benchmark_group("agent");
+    group.sample_size(10);
+
+    group.bench_function("plain_gpt4o_single", |b| {
+        b.iter(|| black_box(base.infer(q, 1, 0)))
+    });
+
+    group.bench_function("agent_tool_loop_single", |b| {
+        b.iter(|| black_box(agent.answer(q, 0)))
+    });
+
+    group.bench_function("agent_full_142", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for q in bench.iter() {
+                n += agent.answer(q, 0).text.len();
+            }
+            black_box(n)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_agent);
+criterion_main!(benches);

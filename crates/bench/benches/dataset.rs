@@ -1,0 +1,36 @@
+//! T1 benches: building the 142-question collection, computing Table-I
+//! statistics and round-tripping the JSON export.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use chipvqa_core::stats::DatasetStats;
+use chipvqa_core::ChipVqa;
+
+fn bench_dataset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset");
+    group.sample_size(10);
+
+    group.bench_function("build_standard_142", |b| {
+        b.iter(|| black_box(ChipVqa::standard()))
+    });
+
+    let bench = ChipVqa::standard();
+    group.bench_function("table1_stats", |b| {
+        b.iter(|| black_box(DatasetStats::compute(&bench)))
+    });
+
+    group.bench_function("challenge_transform", |b| {
+        b.iter(|| black_box(bench.challenge()))
+    });
+
+    let json = bench.to_json().expect("serializes");
+    group.bench_function("json_roundtrip", |b| {
+        b.iter(|| black_box(ChipVqa::from_json(&json).expect("deserializes")))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dataset);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! R1 benches: the resolution-degradation study (perception over
+//! downsampled images) at each factor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use chipvqa_core::question::Category;
+use chipvqa_core::ChipVqa;
+use chipvqa_eval::harness::{evaluate, EvalOptions};
+use chipvqa_models::{ModelZoo, VlmPipeline};
+
+fn bench_resolution(c: &mut Criterion) {
+    let bench = ChipVqa::standard();
+    let pipe = VlmPipeline::new(ModelZoo::gpt4o());
+
+    let mut group = c.benchmark_group("resolution");
+    group.sample_size(10);
+    for factor in [1usize, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("digital_eval_at", factor),
+            &factor,
+            |b, &factor| {
+                b.iter(|| {
+                    let report = evaluate(
+                        &pipe,
+                        &bench,
+                        EvalOptions {
+                            attempts: 1,
+                            downsample: factor,
+                        },
+                    );
+                    black_box(report.category_rate(Category::Digital))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_resolution);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Substrate microbenches: the domain solvers the benchmark's golden
+//! answers come from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use chipvqa_analog::mna::Circuit;
+use chipvqa_arch::cache::{Cache, CacheConfig, Replacement};
+use chipvqa_arch::isa::{program, Reg};
+use chipvqa_arch::pipeline::{ForwardingConfig, Pipeline};
+use chipvqa_logic::minimize::minimize;
+use chipvqa_logic::Expr;
+use chipvqa_physd::geom::Point;
+use chipvqa_physd::maze::Grid;
+use chipvqa_physd::steiner::{rmst_cost, rsmt_cost};
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+
+    // Quine–McCluskey over a dense 6-variable function.
+    let minterms: Vec<usize> = (0..64).filter(|i| i % 3 != 0).collect();
+    group.bench_function("qm_minimize_6var", |b| {
+        b.iter(|| black_box(minimize(6, &minterms, &[])))
+    });
+
+    let e = Expr::parse("A'BC + AB'C + ABC' + A'B'C' + ABD").expect("parses");
+    group.bench_function("expr_truth_table", |b| {
+        b.iter(|| black_box(e.truth_table().expect("small")))
+    });
+
+    // MNA: a 12-node resistive ladder with a VCCS.
+    group.bench_function("mna_ladder_solve", |b| {
+        b.iter(|| {
+            let mut ckt = Circuit::new();
+            ckt.add_voltage_source(1, 0, 5.0);
+            for n in 1..12 {
+                ckt.add_resistor(n, n + 1, 1_000.0);
+                ckt.add_resistor(n + 1, 0, 2_200.0);
+            }
+            ckt.add_vccs(12, 0, 1, 0, 2e-3);
+            black_box(ckt.solve().expect("well-posed"))
+        })
+    });
+
+    // Maze routing across a 64x64 grid with a wall.
+    let mut grid = Grid::new(64, 64);
+    grid.block_rect(32, 0, 1, 60);
+    group.bench_function("maze_route_64x64", |b| {
+        b.iter(|| black_box(grid.route(Point::new(2, 2), Point::new(60, 60)).expect("routable")))
+    });
+
+    // Steiner vs spanning over 8 pins.
+    let pins: Vec<Point> = (0..8)
+        .map(|i| Point::new((i * 37) % 50, (i * 23) % 50))
+        .collect();
+    group.bench_function("rsmt_8pins", |b| b.iter(|| black_box(rsmt_cost(&pins))));
+    group.bench_function("rmst_8pins", |b| b.iter(|| black_box(rmst_cost(&pins))));
+
+    // Pipeline simulation of a 300-instruction hazard-rich program.
+    let mut builder = program();
+    for i in 0..100 {
+        builder = builder
+            .load(Reg(1), Reg(0), 4 * i)
+            .add(Reg(2), Reg(1), Reg(1))
+            .store(Reg(2), Reg(0), 8 * i);
+    }
+    let prog = builder.build();
+    group.bench_function("pipeline_300_instrs", |b| {
+        b.iter(|| black_box(Pipeline::new(ForwardingConfig::full()).run(&prog)))
+    });
+
+    // Cache trace of 10k accesses.
+    let trace: Vec<u64> = (0..10_000u64).map(|i| (i * 97) % 65_536).collect();
+    group.bench_function("cache_10k_trace", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(CacheConfig {
+                size_bytes: 32 * 1024,
+                block_bytes: 64,
+                associativity: 4,
+                replacement: Replacement::Lru,
+            })
+            .expect("geometry valid");
+            black_box(cache.run_trace(&trace))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

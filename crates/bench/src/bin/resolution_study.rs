@@ -1,0 +1,31 @@
+//! Regenerates the §IV-B resolution study: GPT-4o on the Digital
+//! category at native, 8x and 16x downsampled image resolution.
+
+use chipvqa_core::question::Category;
+use chipvqa_core::ChipVqa;
+use chipvqa_eval::resolution::resolution_sweep;
+use chipvqa_models::{ModelZoo, VlmPipeline};
+
+fn main() {
+    let bench = ChipVqa::standard();
+    let pipe = VlmPipeline::new(ModelZoo::gpt4o());
+    let pts = resolution_sweep(&pipe, &bench, Category::Digital, &[1, 2, 4, 8, 16, 32]);
+    println!("Resolution study (GPT-4o, Digital category)  [paper: 49% -> ~49% @8x -> 37% @16x]");
+    println!("{:>8} {:>10}", "factor", "pass rate");
+    for p in &pts {
+        println!("{:>7}x {:>9.2}", p.factor, p.pass_rate);
+    }
+    let native = pts[0].pass_rate;
+    let at8 = pts.iter().find(|p| p.factor == 8).map(|p| p.pass_rate);
+    let at16 = pts.iter().find(|p| p.factor == 16).map(|p| p.pass_rate);
+    if let (Some(a8), Some(a16)) = (at8, at16) {
+        println!(
+            "\nshape check: 8x {} native ({native:.2} vs {a8:.2}); 16x drops to {a16:.2}",
+            if (native - a8).abs() <= 0.1 {
+                "preserves"
+            } else {
+                "deviates from"
+            }
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Regenerates Table I (dataset statistics) and, with `--fig1`, the
+//! Fig. 1 composition view (disciplines x visual kinds x difficulty).
+
+use chipvqa_core::compare::depth_by_category;
+use chipvqa_core::question::Category;
+use chipvqa_core::stats::DatasetStats;
+use chipvqa_core::ChipVqa;
+
+fn main() {
+    let bench = ChipVqa::standard();
+    let stats = DatasetStats::compute(&bench);
+    println!("{stats}");
+
+    if std::env::args().any(|a| a == "--fig1") {
+        println!("\nFig. 1 composition view");
+        println!("  knowledge disciplines: 5 (expert-curated equivalents)");
+        for (cat, depth) in depth_by_category(&bench) {
+            let n = bench.category(cat).count();
+            let mc = bench
+                .category(cat)
+                .filter(|q| q.is_multiple_choice())
+                .count();
+            println!(
+                "    {:<14} {:>3} questions ({} MC / {} SA), mean knowledge depth {:.2}",
+                cat.label(),
+                n,
+                mc,
+                n - mc,
+                depth
+            );
+        }
+        let kinds: std::collections::BTreeSet<_> =
+            bench.iter().map(|q| q.visual_kind).collect();
+        println!("  diverse visual contents: {} kinds", kinds.len());
+        let max_steps = bench
+            .iter()
+            .map(|q| q.difficulty.reasoning_steps)
+            .max()
+            .unwrap_or(0);
+        println!(
+            "  comprehensive difficulties: reasoning depth 1..{} steps, \
+             knowledge depth {:.2}..{:.2}",
+            max_steps,
+            bench
+                .iter()
+                .map(|q| q.difficulty.knowledge_depth)
+                .fold(f64::INFINITY, f64::min),
+            bench
+                .iter()
+                .map(|q| q.difficulty.knowledge_depth)
+                .fold(0.0, f64::max),
+        );
+        let _ = Category::ALL;
+    }
+}

@@ -1,0 +1,33 @@
+//! Regenerates Table II: zero-shot pass@1 of all twelve models on the
+//! standard (with-choice) and challenge (no-choice) collections.
+
+use chipvqa_bench::{paper_reference, run_table2};
+use chipvqa_core::ChipVqa;
+
+fn main() {
+    let bench = ChipVqa::standard();
+    let table = run_table2(&bench);
+    println!("{table}");
+    println!("paper reference (all-column):");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>10}",
+        "Model", "repro w/", "paper w/", "repro w/o", "paper w/o"
+    );
+    for (name, std_ref, chal_ref) in paper_reference() {
+        if let Some(row) = table.model(name) {
+            println!(
+                "{:<16} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+                name,
+                row.standard.overall(),
+                std_ref,
+                row.challenge.overall(),
+                chal_ref
+            );
+        }
+    }
+    let gpt = table.model("GPT4o").expect("zoo includes GPT4o");
+    println!(
+        "\nGPT-4o lead over open-source mean: {:.2} (paper: ~0.20)",
+        gpt.standard.overall() - table.open_source_mean("GPT4o")
+    );
+}

@@ -1,0 +1,57 @@
+//! Shared helpers for the ChipVQA benchmark harnesses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use chipvqa_core::ChipVqa;
+use chipvqa_eval::harness::{evaluate, EvalOptions};
+use chipvqa_eval::report::{ModelRow, Table2};
+use chipvqa_models::{ModelZoo, VlmPipeline};
+
+/// Runs the full Table-II evaluation: every zoo model on the standard and
+/// challenge collections.
+pub fn run_table2(bench: &ChipVqa) -> Table2 {
+    let challenge = bench.challenge();
+    let rows = ModelZoo::all()
+        .into_iter()
+        .map(|profile| {
+            let pipe = VlmPipeline::new(profile);
+            ModelRow {
+                standard: evaluate(&pipe, bench, EvalOptions::default()),
+                challenge: evaluate(&pipe, &challenge, EvalOptions::default()),
+            }
+        })
+        .collect();
+    Table2 { rows }
+}
+
+/// The paper's Table II reference numbers `(standard all, challenge all)`
+/// per model, used for shape comparison in harness output.
+pub fn paper_reference() -> Vec<(&'static str, f64, f64)> {
+    vec![
+        ("LLaVA-7b", 0.22, 0.04),
+        ("LLaVA-13b", 0.18, 0.06),
+        ("LLaVA-34b", 0.24, 0.09),
+        ("LLaVA-LLaMa-3", 0.25, 0.06),
+        ("NeVA-22b", 0.22, 0.08),
+        ("fuyu-8b", 0.16, 0.03),
+        ("paligemma", 0.08, 0.03),
+        ("kosmos-2", 0.03, 0.03),
+        ("phi3-vision", 0.20, 0.08),
+        ("VILA-Yi-34B", 0.29, 0.09),
+        ("LLaMA-3.2-90B", 0.31, 0.09),
+        ("GPT4o", 0.44, 0.20),
+    ]
+}
+
+/// The paper's GPT-4o per-category reference `(standard, challenge)` in
+/// `Category::ALL` order.
+pub fn paper_gpt4o_categories() -> [(f64, f64); 5] {
+    [
+        (0.49, 0.17),
+        (0.51, 0.09),
+        (0.30, 0.15),
+        (0.20, 0.30),
+        (0.61, 0.48),
+    ]
+}

@@ -1,0 +1,142 @@
+//! Dataset statistics — the machinery that regenerates Table I.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::ChipVqa;
+use crate::question::{Category, VisualKind};
+use crate::tokens::{count_tokens, TokenStats};
+
+/// The Table-I statistics block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Total questions.
+    pub total: usize,
+    /// Multiple-choice count.
+    pub multiple_choice: usize,
+    /// Short-answer count.
+    pub short_answer: usize,
+    /// Per-category counts (paper order).
+    pub by_category: Vec<(Category, usize)>,
+    /// Per-visual-kind counts (descending).
+    pub by_visual: Vec<(VisualKind, usize)>,
+    /// Prompt token statistics.
+    pub prompt_tokens: TokenStats,
+}
+
+impl DatasetStats {
+    /// Computes the statistics of a collection.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty collection (no token statistics exist).
+    pub fn compute(bench: &ChipVqa) -> DatasetStats {
+        assert!(!bench.is_empty(), "empty collection has no statistics");
+        let mut by_category: BTreeMap<Category, usize> = BTreeMap::new();
+        let mut by_visual: BTreeMap<VisualKind, usize> = BTreeMap::new();
+        let mut mc = 0usize;
+        let mut token_counts = Vec::new();
+        for q in bench.iter() {
+            *by_category.entry(q.category).or_default() += 1;
+            *by_visual.entry(q.visual_kind).or_default() += 1;
+            if q.is_multiple_choice() {
+                mc += 1;
+            }
+            token_counts.push(count_tokens(&q.prompt));
+        }
+        let mut by_visual: Vec<(VisualKind, usize)> = by_visual.into_iter().collect();
+        by_visual.sort_by(|a, b| b.1.cmp(&a.1));
+        DatasetStats {
+            total: bench.len(),
+            multiple_choice: mc,
+            short_answer: bench.len() - mc,
+            by_category: Category::ALL
+                .iter()
+                .map(|&c| (c, by_category.get(&c).copied().unwrap_or(0)))
+                .collect(),
+            by_visual,
+            prompt_tokens: TokenStats::compute(&token_counts).expect("nonempty"),
+        }
+    }
+}
+
+impl fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "TABLE I  Statistics of ChipVQA (reproduced)")?;
+        writeln!(
+            f,
+            "  Data      Total {}   MC {}   SA {}",
+            self.total, self.multiple_choice, self.short_answer
+        )?;
+        writeln!(f, "  Category")?;
+        for (cat, n) in &self.by_category {
+            writeln!(f, "    {:<16} {}", cat.label(), n)?;
+        }
+        writeln!(f, "  Visual")?;
+        for (kind, n) in &self.by_visual {
+            writeln!(f, "    {:<16} {}", kind.label(), n)?;
+        }
+        let t = &self.prompt_tokens;
+        writeln!(f, "  Prompt Token")?;
+        writeln!(f, "    mean  {:.2}", t.mean)?;
+        writeln!(f, "    std   {:.2}", t.std)?;
+        writeln!(f, "    min   {}", t.min)?;
+        writeln!(f, "    25%   {}", t.p25)?;
+        writeln!(f, "    50%   {}", t.p50)?;
+        writeln!(f, "    75%   {}", t.p75)?;
+        writeln!(f, "    max   {}", t.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_totals() {
+        let stats = DatasetStats::compute(&ChipVqa::standard());
+        assert_eq!(stats.total, 142);
+        assert_eq!(stats.multiple_choice, 99);
+        assert_eq!(stats.short_answer, 43);
+    }
+
+    #[test]
+    fn table1_category_row() {
+        let stats = DatasetStats::compute(&ChipVqa::standard());
+        let counts: Vec<usize> = stats.by_category.iter().map(|&(_, n)| n).collect();
+        assert_eq!(counts, vec![35, 44, 20, 20, 23]);
+    }
+
+    #[test]
+    fn table1_visual_majority() {
+        let stats = DatasetStats::compute(&ChipVqa::standard());
+        // The paper: schematic (53), diagram (29) and layout (16) are the
+        // majority kinds, in that order.
+        assert_eq!(stats.by_visual[0], (VisualKind::Schematic, 53));
+        assert_eq!(stats.by_visual[1], (VisualKind::Diagram, 29));
+        assert_eq!(stats.by_visual[2], (VisualKind::Layout, 16));
+        let total: usize = stats.by_visual.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 142);
+        assert_eq!(stats.by_visual.len(), 12, "twelve distinct visual kinds");
+    }
+
+    #[test]
+    fn token_spread_matches_paper_band() {
+        let stats = DatasetStats::compute(&ChipVqa::standard());
+        let t = &stats.prompt_tokens;
+        // paper: 5..370 tokens; our generators span a comparable band
+        assert!(t.min <= 15, "min {}", t.min);
+        assert!(t.max >= 150 && t.max <= 400, "max {}", t.max);
+        assert!(t.mean > 25.0 && t.mean < 100.0, "mean {}", t.mean);
+    }
+
+    #[test]
+    fn display_renders_all_blocks() {
+        let s = DatasetStats::compute(&ChipVqa::standard()).to_string();
+        assert!(s.contains("TABLE I"));
+        assert!(s.contains("schematic"));
+        assert!(s.contains("mean"));
+    }
+}

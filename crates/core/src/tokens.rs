@@ -1,0 +1,148 @@
+//! Prompt token accounting and summary statistics (the "Prompt Token"
+//! block of Table I).
+
+use serde::{Deserialize, Serialize};
+
+/// Counts prompt tokens the way LLM tokenizers roughly do: whitespace
+/// splits, plus standalone punctuation and number/word boundaries count
+/// separately. Deterministic and dependency-free; calibrated so typical
+/// English question prompts land near their BPE token counts.
+pub fn count_tokens(text: &str) -> usize {
+    let mut count = 0usize;
+    for word in text.split_whitespace() {
+        let mut runs = 0usize;
+        let mut last_class = 0u8; // 0 none, 1 alpha, 2 digit, 3 punct
+        for ch in word.chars() {
+            let class = if ch.is_alphabetic() {
+                1
+            } else if ch.is_ascii_digit() {
+                2
+            } else {
+                3
+            };
+            if class != last_class || class == 3 {
+                runs += 1;
+                last_class = class;
+            }
+        }
+        count += runs.max(1);
+        // long words split into subword pieces roughly every 8 chars
+        let alpha_len = word.chars().filter(|c| c.is_alphabetic()).count();
+        count += alpha_len / 9;
+    }
+    count
+}
+
+/// Summary statistics over a set of token counts (the Table-I block).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TokenStats {
+    /// Mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: usize,
+    /// 25th percentile.
+    pub p25: usize,
+    /// Median.
+    pub p50: usize,
+    /// 75th percentile.
+    pub p75: usize,
+    /// Maximum.
+    pub max: usize,
+}
+
+impl TokenStats {
+    /// Computes statistics; returns `None` for an empty input.
+    pub fn compute(counts: &[usize]) -> Option<TokenStats> {
+        if counts.is_empty() {
+            return None;
+        }
+        let mut sorted = counts.to_vec();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<usize>() as f64 / n as f64;
+        let var = sorted
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n as f64;
+        let pct = |p: f64| -> usize {
+            let idx = ((n - 1) as f64 * p).round() as usize;
+            sorted[idx]
+        };
+        Some(TokenStats {
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            p25: pct(0.25),
+            p50: pct(0.50),
+            p75: pct(0.75),
+            max: sorted[n - 1],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_sentences() {
+        assert_eq!(count_tokens("What is shown?"), 4); // what is shown ?
+        assert_eq!(count_tokens(""), 0);
+        assert_eq!(count_tokens("hello"), 1);
+    }
+
+    #[test]
+    fn numbers_and_units_split() {
+        // "100" + "nm" + "/" + "min" style splits
+        let t = count_tokens("etches SiO2 at 100 nm/min");
+        assert!(t >= 7, "{t}");
+    }
+
+    #[test]
+    fn long_words_cost_extra() {
+        assert!(count_tokens("electroencephalography") >= 2);
+    }
+
+    #[test]
+    fn stats_of_known_set() {
+        let counts = vec![5, 10, 15, 20, 25];
+        let s = TokenStats::compute(&counts).unwrap();
+        assert_eq!(s.mean, 15.0);
+        assert_eq!(s.min, 5);
+        assert_eq!(s.max, 25);
+        assert_eq!(s.p50, 15);
+        assert!((s.std - 7.071).abs() < 0.01);
+    }
+
+    #[test]
+    fn empty_has_no_stats() {
+        assert!(TokenStats::compute(&[]).is_none());
+    }
+
+    #[test]
+    fn percentiles_ordered() {
+        let counts: Vec<usize> = (1..=100).collect();
+        let s = TokenStats::compute(&counts).unwrap();
+        assert!(s.min <= s.p25 && s.p25 <= s.p50 && s.p50 <= s.p75 && s.p75 <= s.max);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn token_count_monotone_under_concat(a in "[a-zA-Z0-9 ?.,]{0,60}", b in "[a-zA-Z0-9 ?.,]{0,60}") {
+                let joined = format!("{a} {b}");
+                prop_assert!(count_tokens(&joined) >= count_tokens(&a));
+                prop_assert!(count_tokens(&joined) >= count_tokens(&b));
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Evaluation harness for the ChipVQA reproduction.
+//!
+//! The paper uses a hybrid judge: GPT-4 checks response/gold equivalence,
+//! with human checks for visually-entangled cases. This reproduction
+//! substitutes a rule-based [`judge`] (documented in DESIGN.md):
+//! normalisation plus per-answer-type equivalence — option letters for
+//! multiple choice, tolerance-checked numbers with units, alias sets for
+//! free text, and *semantic* boolean-expression equivalence through the
+//! logic substrate. For machine-generated golds the rule judge is exact
+//! where an LLM judge is approximate; the [`judge::Judge`] trait keeps
+//! the seam where a model-based judge would plug in.
+//!
+//! [`harness`] runs models over collections and produces the per-category
+//! pass@1 reports of Table II; [`resolution`] runs the §IV-B image
+//! degradation study; [`noisy`] models an imperfect LLM auto-judge and
+//! the paper's hybrid manual-override mechanism for robustness studies.
+//!
+//! # Example
+//!
+//! ```
+//! use chipvqa_core::ChipVqa;
+//! use chipvqa_eval::harness::{evaluate, EvalOptions};
+//! use chipvqa_models::{ModelZoo, VlmPipeline};
+//!
+//! let bench = ChipVqa::standard();
+//! let pipe = VlmPipeline::new(ModelZoo::gpt4o());
+//! let report = evaluate(&pipe, &bench, EvalOptions::default());
+//! assert!(report.overall() > 0.0 && report.overall() < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod judge;
+pub mod noisy;
+pub mod normalize;
+pub mod report;
+pub mod resolution;
+
+pub use harness::{evaluate, EvalOptions, EvalReport};
+pub use judge::{Judge, RuleJudge};
+pub use noisy::{HybridJudge, NoisyJudge};

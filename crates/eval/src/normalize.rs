@@ -1,0 +1,127 @@
+//! Answer normalisation: the text wrangling a judge performs before
+//! comparing a model response to the golden answer.
+
+/// Lowercases, trims, strips leading articles and surrounding
+/// punctuation, and collapses whitespace.
+pub fn normalize_text(s: &str) -> String {
+    let lowered = s.trim().to_lowercase();
+    let stripped: String = lowered
+        .chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '.' || c == '-' || c == '+' || c == '\'' {
+                c
+            } else {
+                ' '
+            }
+        })
+        .collect();
+    let mut words: Vec<&str> = stripped.split_whitespace().collect();
+    while let Some(first) = words.first() {
+        if ["a", "an", "the"].contains(first) {
+            words.remove(0);
+        } else {
+            break;
+        }
+    }
+    words.join(" ")
+}
+
+/// Extracts an MC option letter from typical response shapes:
+/// `(b)`, `b)`, `B.`, `answer: b`, `The answer is (B) …`.
+pub fn extract_choice_letter(s: &str) -> Option<char> {
+    let lower = s.trim().to_lowercase();
+    // parenthesised letter anywhere
+    let bytes = lower.as_bytes();
+    for i in 0..bytes.len().saturating_sub(2) {
+        if bytes[i] == b'('
+            && bytes[i + 2] == b')'
+            && (b'a'..=b'd').contains(&bytes[i + 1])
+        {
+            return Some(bytes[i + 1] as char);
+        }
+    }
+    // leading "b)", "b.", "b:" or a lone letter
+    let first = lower.split_whitespace().next()?;
+    let head: Vec<char> = first.chars().collect();
+    if head.len() <= 2 && ('a'..='d').contains(&head[0]) {
+        if head.len() == 1 || matches!(head[1], ')' | '.' | ':') {
+            return Some(head[0]);
+        }
+    }
+    // "answer is b" / "answer: b"
+    if let Some(pos) = lower.find("answer") {
+        let tail = &lower[pos..];
+        for token in tail.split_whitespace().skip(1).take(3) {
+            let t: Vec<char> = token.chars().collect();
+            if t.len() <= 2 && ('a'..='d').contains(&t[0]) {
+                return Some(t[0]);
+            }
+        }
+    }
+    None
+}
+
+/// Parses the first number in a response, handling sign, decimals,
+/// scientific notation and `0x` hexadecimal.
+pub fn extract_number(s: &str) -> Option<f64> {
+    let lower = s.trim().to_lowercase();
+    for raw in lower.split(|c: char| c.is_whitespace() || c == '=' || c == ',') {
+        let token = raw.trim_matches(|c: char| {
+            !(c.is_ascii_hexdigit() || c == '.' || c == '-' || c == '+' || c == 'x' || c == 'e')
+        });
+        if token.is_empty() {
+            continue;
+        }
+        if let Some(hex) = token.strip_prefix("0x") {
+            if let Ok(v) = u64::from_str_radix(hex, 16) {
+                return Some(v as f64);
+            }
+        }
+        if token.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+' || c == '.')
+        {
+            if let Ok(v) = token.parse::<f64>() {
+                return Some(v);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_normalisation() {
+        assert_eq!(normalize_text("  The Half-Adder! "), "half-adder");
+        assert_eq!(normalize_text("A  2-to-1   Multiplexer"), "2-to-1 multiplexer");
+        assert_eq!(normalize_text("S'Q + SR'"), "s'q + sr'");
+    }
+
+    #[test]
+    fn letters_from_common_shapes() {
+        assert_eq!(extract_choice_letter("(b) Q = S'Q + S"), Some('b'));
+        assert_eq!(extract_choice_letter("B."), Some('b'));
+        assert_eq!(extract_choice_letter("c) because..."), Some('c'));
+        assert_eq!(extract_choice_letter("The answer is (D)"), Some('d'));
+        assert_eq!(extract_choice_letter("answer: a"), Some('a'));
+        assert_eq!(extract_choice_letter("I think it's probably fine"), None);
+        assert_eq!(extract_choice_letter("42"), None);
+    }
+
+    #[test]
+    fn numbers_from_common_shapes() {
+        assert_eq!(extract_number("5.5 minutes"), Some(5.5));
+        assert_eq!(extract_number("-3.25"), Some(-3.25));
+        assert_eq!(extract_number("approximately 1e6 rad/s"), Some(1e6));
+        assert_eq!(extract_number("0x8000123"), Some(f64::from(0x8000123u32)));
+        assert_eq!(extract_number("no number here"), None);
+        assert_eq!(extract_number("the result = 42 volts"), Some(42.0));
+    }
+
+    #[test]
+    fn hex_and_decimal_disambiguation() {
+        assert_eq!(extract_number("0x10"), Some(16.0));
+        assert_eq!(extract_number("10"), Some(10.0));
+    }
+}

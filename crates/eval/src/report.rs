@@ -1,0 +1,119 @@
+//! Table rendering: regenerates the paper's Table II layout from
+//! evaluation reports.
+
+use std::fmt;
+
+use chipvqa_core::question::Category;
+
+use crate::harness::EvalReport;
+
+/// One model's standard + challenge results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelRow {
+    /// Results on the standard (with-choice) collection.
+    pub standard: EvalReport,
+    /// Results on the challenge (no-choice) collection.
+    pub challenge: EvalReport,
+}
+
+/// The full Table II.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table2 {
+    /// One row per model, paper order.
+    pub rows: Vec<ModelRow>,
+}
+
+impl Table2 {
+    /// Finds a model's row by name.
+    pub fn model(&self, name: &str) -> Option<&ModelRow> {
+        self.rows.iter().find(|r| r.standard.model == name)
+    }
+
+    /// Mean standard pass rate of the open-source models (all rows except
+    /// the given proprietary one) — used for the "GPT-4o leads by ~20%"
+    /// claim.
+    pub fn open_source_mean(&self, excluding: &str) -> f64 {
+        let rows: Vec<&ModelRow> = self
+            .rows
+            .iter()
+            .filter(|r| r.standard.model != excluding)
+            .collect();
+        if rows.is_empty() {
+            return 0.0;
+        }
+        rows.iter().map(|r| r.standard.overall()).sum::<f64>() / rows.len() as f64
+    }
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "TABLE II  Zero-Shot Evaluation on ChipVQA (reproduced)")?;
+        write!(f, "{:<16}", "Model")?;
+        for _ in 0..2 {
+            for cat in Category::ALL {
+                write!(f, " {:>7.7}", cat.label())?;
+            }
+            write!(f, " {:>7}", "all")?;
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "{:<16} {:^47} {:^47}",
+            "", "--- w/ Multi-Choice ---", "--- w/o Multi-Choice ---"
+        )?;
+        for row in &self.rows {
+            write!(f, "{:<16}", row.standard.model)?;
+            for report in [&row.standard, &row.challenge] {
+                let (cats, all) = report.row();
+                for c in cats {
+                    write!(f, " {c:>7.2}")?;
+                }
+                write!(f, " {all:>7.2}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{evaluate, EvalOptions};
+    use chipvqa_core::ChipVqa;
+    use chipvqa_models::{ModelZoo, VlmPipeline};
+
+    fn tiny_table() -> Table2 {
+        let bench = ChipVqa::standard();
+        let challenge = bench.challenge();
+        let rows = [ModelZoo::gpt4o(), ModelZoo::llava_7b()]
+            .into_iter()
+            .map(|p| {
+                let pipe = VlmPipeline::new(p);
+                ModelRow {
+                    standard: evaluate(&pipe, &bench, EvalOptions::default()),
+                    challenge: evaluate(&pipe, &challenge, EvalOptions::default()),
+                }
+            })
+            .collect();
+        Table2 { rows }
+    }
+
+    #[test]
+    fn renders_both_halves() {
+        let t = tiny_table();
+        let s = t.to_string();
+        assert!(s.contains("w/ Multi-Choice"));
+        assert!(s.contains("w/o Multi-Choice"));
+        assert!(s.contains("GPT4o"));
+    }
+
+    #[test]
+    fn model_lookup_and_means() {
+        let t = tiny_table();
+        assert!(t.model("GPT4o").is_some());
+        assert!(t.model("nonexistent").is_none());
+        let mean = t.open_source_mean("GPT4o");
+        assert!(mean > 0.0 && mean < 1.0);
+    }
+}

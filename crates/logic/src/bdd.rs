@@ -1,0 +1,388 @@
+//! Reduced ordered binary decision diagrams (ROBDDs): canonical
+//! representation of boolean functions with hash-consing, the `apply`
+//! algorithm, satisfy-count and equivalence in O(1) after construction.
+//!
+//! BDDs complement the truth-table machinery in [`crate::expr`]: truth
+//! tables are exponential in variables, BDDs are often compact, and a
+//! canonical form makes equivalence a pointer comparison — which the
+//! tests exploit to cross-check the two engines against each other.
+
+use std::collections::HashMap;
+
+use crate::expr::Expr;
+
+/// Index of a BDD node inside a [`Bdd`] manager (0 = false, 1 = true).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeRef(usize);
+
+impl NodeRef {
+    /// The constant-false terminal.
+    pub const FALSE: NodeRef = NodeRef(0);
+    /// The constant-true terminal.
+    pub const TRUE: NodeRef = NodeRef(1);
+
+    /// Whether this is a terminal node.
+    pub fn is_terminal(self) -> bool {
+        self.0 < 2
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    var: usize, // variable level (terminals use usize::MAX)
+    lo: NodeRef,
+    hi: NodeRef,
+}
+
+/// A BDD manager over a fixed variable ordering.
+#[derive(Debug, Clone)]
+pub struct Bdd {
+    order: Vec<char>,
+    nodes: Vec<Node>,
+    unique: HashMap<Node, NodeRef>,
+}
+
+impl Bdd {
+    /// Creates a manager with the given variable ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ordering contains duplicates.
+    pub fn new(order: &[char]) -> Self {
+        let mut seen = std::collections::BTreeSet::new();
+        for &v in order {
+            assert!(seen.insert(v), "duplicate variable {v} in ordering");
+        }
+        let terminal = |_: bool| Node {
+            var: usize::MAX,
+            lo: NodeRef::FALSE,
+            hi: NodeRef::FALSE,
+        };
+        Bdd {
+            order: order.to_vec(),
+            nodes: vec![terminal(false), terminal(true)],
+            unique: HashMap::new(),
+        }
+    }
+
+    /// The variable ordering.
+    pub fn order(&self) -> &[char] {
+        &self.order
+    }
+
+    /// Number of live nodes (including the two terminals).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn mk(&mut self, var: usize, lo: NodeRef, hi: NodeRef) -> NodeRef {
+        if lo == hi {
+            return lo; // reduction rule
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&r) = self.unique.get(&node) {
+            return r;
+        }
+        let r = NodeRef(self.nodes.len());
+        self.nodes.push(node);
+        self.unique.insert(node, r);
+        r
+    }
+
+    /// The BDD of a single variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not in the ordering.
+    pub fn var(&mut self, v: char) -> NodeRef {
+        let level = self
+            .order
+            .iter()
+            .position(|&x| x == v)
+            .expect("variable must be in the ordering");
+        self.mk(level, NodeRef::FALSE, NodeRef::TRUE)
+    }
+
+    fn level(&self, r: NodeRef) -> usize {
+        self.nodes[r.0].var
+    }
+
+    fn cofactors(&self, r: NodeRef, level: usize) -> (NodeRef, NodeRef) {
+        if r.is_terminal() || self.level(r) > level {
+            (r, r)
+        } else {
+            let n = self.nodes[r.0];
+            (n.lo, n.hi)
+        }
+    }
+
+    /// Binary apply for AND/OR/XOR.
+    fn apply(
+        &mut self,
+        op: fn(bool, bool) -> bool,
+        a: NodeRef,
+        b: NodeRef,
+        memo: &mut HashMap<(NodeRef, NodeRef), NodeRef>,
+    ) -> NodeRef {
+        if a.is_terminal() && b.is_terminal() {
+            return if op(a == NodeRef::TRUE, b == NodeRef::TRUE) {
+                NodeRef::TRUE
+            } else {
+                NodeRef::FALSE
+            };
+        }
+        if let Some(&r) = memo.get(&(a, b)) {
+            return r;
+        }
+        let level = self.level(a).min(self.level(b));
+        let (alo, ahi) = self.cofactors(a, level);
+        let (blo, bhi) = self.cofactors(b, level);
+        let lo = self.apply(op, alo, blo, memo);
+        let hi = self.apply(op, ahi, bhi, memo);
+        let r = self.mk(level, lo, hi);
+        memo.insert((a, b), r);
+        r
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, a: NodeRef, b: NodeRef) -> NodeRef {
+        self.apply(|x, y| x && y, a, b, &mut HashMap::new())
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, a: NodeRef, b: NodeRef) -> NodeRef {
+        self.apply(|x, y| x || y, a, b, &mut HashMap::new())
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, a: NodeRef, b: NodeRef) -> NodeRef {
+        self.apply(|x, y| x ^ y, a, b, &mut HashMap::new())
+    }
+
+    /// Complement (via XOR with true).
+    pub fn not(&mut self, a: NodeRef) -> NodeRef {
+        self.xor(a, NodeRef::TRUE)
+    }
+
+    /// Builds the BDD of an expression (its variables must all be in the
+    /// ordering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression mentions a variable outside the
+    /// ordering.
+    pub fn from_expr(&mut self, e: &Expr) -> NodeRef {
+        match e {
+            Expr::Const(true) => NodeRef::TRUE,
+            Expr::Const(false) => NodeRef::FALSE,
+            Expr::Var(v) => self.var(*v),
+            Expr::Not(x) => {
+                let inner = self.from_expr(x);
+                self.not(inner)
+            }
+            Expr::And(xs) => {
+                let mut acc = NodeRef::TRUE;
+                for x in xs {
+                    let b = self.from_expr(x);
+                    acc = self.and(acc, b);
+                }
+                acc
+            }
+            Expr::Or(xs) => {
+                let mut acc = NodeRef::FALSE;
+                for x in xs {
+                    let b = self.from_expr(x);
+                    acc = self.or(acc, b);
+                }
+                acc
+            }
+            Expr::Xor(a, b) => {
+                let ra = self.from_expr(a);
+                let rb = self.from_expr(b);
+                self.xor(ra, rb)
+            }
+        }
+    }
+
+    /// Evaluates a BDD under an assignment over the ordering.
+    pub fn eval(&self, mut r: NodeRef, assignment: &[bool]) -> bool {
+        while !r.is_terminal() {
+            let n = self.nodes[r.0];
+            r = if assignment[n.var] { n.hi } else { n.lo };
+        }
+        r == NodeRef::TRUE
+    }
+
+    /// Number of satisfying assignments over the full ordering.
+    pub fn sat_count(&self, r: NodeRef) -> u64 {
+        let n = self.order.len();
+        let mut memo: HashMap<NodeRef, u64> = HashMap::new();
+        self.sat_count_from(r, 0, n, &mut memo)
+    }
+
+    fn sat_count_from(
+        &self,
+        r: NodeRef,
+        level: usize,
+        total: usize,
+        memo: &mut HashMap<NodeRef, u64>,
+    ) -> u64 {
+        let node_level = if r.is_terminal() { total } else { self.level(r) };
+        let skipped = (node_level - level) as u32;
+        let below = if r == NodeRef::FALSE {
+            0
+        } else if r == NodeRef::TRUE {
+            1
+        } else if let Some(&m) = memo.get(&r) {
+            m
+        } else {
+            let n = self.nodes[r.0];
+            let m = self.sat_count_from(n.lo, node_level + 1, total, memo)
+                + self.sat_count_from(n.hi, node_level + 1, total, memo);
+            memo.insert(r, m);
+            m
+        };
+        below << skipped
+    }
+
+    /// Reachable node count of one function (its BDD size).
+    pub fn size(&self, root: NodeRef) -> usize {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut stack = vec![root];
+        while let Some(r) = stack.pop() {
+            if seen.insert(r) && !r.is_terminal() {
+                let n = self.nodes[r.0];
+                stack.push(n.lo);
+                stack.push(n.hi);
+            }
+        }
+        seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Expr {
+        Expr::parse(s).expect(s)
+    }
+
+    #[test]
+    fn canonical_equivalence_is_pointer_equality() {
+        let mut bdd = Bdd::new(&['A', 'B', 'Q', 'R', 'S']);
+        let a = bdd.from_expr(&p("S'Q + SR'"));
+        let b = bdd.from_expr(&p("QS' + R'S"));
+        assert_eq!(a, b, "equivalent functions share the canonical node");
+        let c = bdd.from_expr(&p("S + R'Q"));
+        assert_ne!(a, c, "distinct functions get distinct nodes");
+    }
+
+    #[test]
+    fn demorgan_via_apply() {
+        let mut bdd = Bdd::new(&['A', 'B']);
+        let a = bdd.var('A');
+        let b = bdd.var('B');
+        let and = bdd.and(a, b);
+        let nand = bdd.not(and);
+        let na = bdd.not(a);
+        let nb = bdd.not(b);
+        let or = bdd.or(na, nb);
+        assert_eq!(nand, or);
+    }
+
+    #[test]
+    fn sat_count_examples() {
+        let mut bdd = Bdd::new(&['A', 'B', 'C']);
+        let f = bdd.from_expr(&p("A ^ B ^ C"));
+        assert_eq!(bdd.sat_count(f), 4); // parity: half of 8
+        let g = bdd.from_expr(&p("AB"));
+        assert_eq!(bdd.sat_count(g), 2); // A=B=1, C free
+        assert_eq!(bdd.sat_count(NodeRef::TRUE), 8);
+        assert_eq!(bdd.sat_count(NodeRef::FALSE), 0);
+    }
+
+    #[test]
+    fn tautology_and_contradiction_collapse_to_terminals() {
+        let mut bdd = Bdd::new(&['A']);
+        assert_eq!(bdd.from_expr(&p("A + A'")), NodeRef::TRUE);
+        assert_eq!(bdd.from_expr(&p("AA'")), NodeRef::FALSE);
+    }
+
+    #[test]
+    fn ordering_affects_size_not_function() {
+        // the classic (A1 B1) + (A2 B2) example: interleaved ordering is
+        // small, grouped ordering blows up
+        let e = p("ac + bd");
+        let mut good = Bdd::new(&['a', 'c', 'b', 'd']);
+        let mut bad = Bdd::new(&['a', 'b', 'c', 'd']);
+        let rg = good.from_expr(&e);
+        let rb = bad.from_expr(&e);
+        assert!(good.size(rg) <= bad.size(rb));
+        assert_eq!(good.sat_count(rg), bad.sat_count(rb));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the ordering")]
+    fn unknown_variable_panics() {
+        let mut bdd = Bdd::new(&['A']);
+        let _ = bdd.from_expr(&p("Z"));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_expr() -> impl Strategy<Value = Expr> {
+            let leaf = proptest::sample::select(vec!['A', 'B', 'C', 'D']).prop_map(Expr::Var);
+            leaf.prop_recursive(4, 24, 2, |inner| {
+                prop_oneof![
+                    inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+                    (inner.clone(), inner.clone())
+                        .prop_map(|(a, b)| Expr::And(vec![a, b])),
+                    (inner.clone(), inner.clone())
+                        .prop_map(|(a, b)| Expr::Or(vec![a, b])),
+                    (inner.clone(), inner)
+                        .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+                ]
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            #[test]
+            fn bdd_agrees_with_truth_table(e in arb_expr()) {
+                let order = ['A', 'B', 'C', 'D'];
+                let mut bdd = Bdd::new(&order);
+                let root = bdd.from_expr(&e);
+                let mut sat_from_table = 0u64;
+                for row in 0..16usize {
+                    let assignment: Vec<bool> =
+                        (0..4).map(|i| row >> (3 - i) & 1 == 1).collect();
+                    let pairs: Vec<(char, bool)> = order
+                        .iter()
+                        .copied()
+                        .zip(assignment.iter().copied())
+                        .collect();
+                    let expect = e.eval(&pairs);
+                    prop_assert_eq!(bdd.eval(root, &assignment), expect, "row {}", row);
+                    if expect {
+                        sat_from_table += 1;
+                    }
+                }
+                prop_assert_eq!(bdd.sat_count(root), sat_from_table);
+            }
+
+            #[test]
+            fn equivalence_matches_expr_engine(a in arb_expr(), b in arb_expr()) {
+                let order = ['A', 'B', 'C', 'D'];
+                let mut bdd = Bdd::new(&order);
+                let ra = bdd.from_expr(&a);
+                let rb = bdd.from_expr(&b);
+                let expr_equiv = a.equivalent(&b).expect("small");
+                prop_assert_eq!(ra == rb, expr_equiv);
+            }
+        }
+    }
+}

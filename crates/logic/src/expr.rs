@@ -1,0 +1,639 @@
+//! Boolean expression AST, textbook-syntax parser, evaluation, truth
+//! tables and semantic equivalence.
+//!
+//! The parser accepts the notation chip-design textbooks (and the ChipVQA
+//! answer choices) use: postfix `'` for complement, juxtaposition or `&`
+//! for AND, `+` or `|` for OR, `^` for XOR, `!`/`~` as prefix complement,
+//! and `0`/`1` constants. Operator precedence is `'`/`!` over AND over XOR
+//! over OR.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of distinct variables for truth-table construction.
+pub const MAX_TABLE_VARS: usize = 20;
+
+/// A boolean expression over single-character variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Expr {
+    /// Constant `0` or `1`.
+    Const(bool),
+    /// A named variable (`A`, `q`, …). Case-sensitive.
+    Var(char),
+    /// Logical complement.
+    Not(Box<Expr>),
+    /// Conjunction of two or more terms.
+    And(Vec<Expr>),
+    /// Disjunction of two or more terms.
+    Or(Vec<Expr>),
+    /// Exclusive or.
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+/// Error parsing a boolean expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseExprError {
+    message: String,
+    position: usize,
+}
+
+impl ParseExprError {
+    /// Byte offset in the input where parsing failed.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+}
+
+impl fmt::Display for ParseExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at offset {}", self.message, self.position)
+    }
+}
+
+impl std::error::Error for ParseExprError {}
+
+/// Error raised when an operation would need a truth table over too many
+/// variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TooManyVarsError {
+    /// Number of variables requested.
+    pub vars: usize,
+}
+
+impl fmt::Display for TooManyVarsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "expression has {} variables, more than the supported {}",
+            self.vars, MAX_TABLE_VARS
+        )
+    }
+}
+
+impl std::error::Error for TooManyVarsError {}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseExprError {
+        ParseExprError {
+            message: message.into(),
+            position: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && (self.src[self.pos] as char).is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.src.get(self.pos).map(|&b| b as char)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    /// expr := xorterm ( ('+'|'|') xorterm )*
+    fn expr(&mut self) -> Result<Expr, ParseExprError> {
+        let mut terms = vec![self.xorterm()?];
+        while matches!(self.peek(), Some('+') | Some('|')) {
+            self.bump();
+            terms.push(self.xorterm()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("nonempty")
+        } else {
+            Expr::Or(terms)
+        })
+    }
+
+    /// xorterm := term ( '^' term )*
+    fn xorterm(&mut self) -> Result<Expr, ParseExprError> {
+        let mut lhs = self.term()?;
+        while self.peek() == Some('^') {
+            self.bump();
+            let rhs = self.term()?;
+            lhs = Expr::Xor(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    /// term := factor ( '&'? factor )*   (juxtaposition is AND)
+    fn term(&mut self) -> Result<Expr, ParseExprError> {
+        let mut factors = vec![self.factor()?];
+        loop {
+            match self.peek() {
+                Some('&') => {
+                    self.bump();
+                    factors.push(self.factor()?);
+                }
+                Some(c) if c.is_ascii_alphabetic() || c == '(' || c == '!' || c == '~' => {
+                    factors.push(self.factor()?);
+                }
+                Some('0') | Some('1') => {
+                    factors.push(self.factor()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(if factors.len() == 1 {
+            factors.pop().expect("nonempty")
+        } else {
+            Expr::And(factors)
+        })
+    }
+
+    /// factor := atom "'"*
+    fn factor(&mut self) -> Result<Expr, ParseExprError> {
+        let mut e = self.atom()?;
+        while self.peek() == Some('\'') {
+            self.bump();
+            e = Expr::Not(Box::new(e));
+        }
+        Ok(e)
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseExprError> {
+        match self.peek() {
+            Some('(') => {
+                self.bump();
+                let inner = self.expr()?;
+                if self.peek() != Some(')') {
+                    return Err(self.error("expected ')'"));
+                }
+                self.bump();
+                Ok(inner)
+            }
+            Some('!') | Some('~') => {
+                self.bump();
+                Ok(Expr::Not(Box::new(self.factor()?)))
+            }
+            Some('0') => {
+                self.bump();
+                Ok(Expr::Const(false))
+            }
+            Some('1') => {
+                self.bump();
+                Ok(Expr::Const(true))
+            }
+            Some(c) if c.is_ascii_alphabetic() => {
+                self.bump();
+                Ok(Expr::Var(c))
+            }
+            Some(c) => Err(self.error(format!("unexpected character '{c}'"))),
+            None => Err(self.error("unexpected end of expression")),
+        }
+    }
+}
+
+impl Expr {
+    /// Parses textbook boolean notation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseExprError`] on malformed input (unbalanced
+    /// parentheses, dangling operators, illegal characters).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use chipvqa_logic::expr::Expr;
+    ///
+    /// let e = Expr::parse("A'B + AB'")?; // an XOR in SOP form
+    /// assert!(e.equivalent(&Expr::parse("A ^ B")?)?);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn parse(src: &str) -> Result<Expr, ParseExprError> {
+        let mut p = Parser::new(src);
+        let e = p.expr()?;
+        p.skip_ws();
+        if p.pos != p.src.len() {
+            return Err(p.error("trailing characters after expression"));
+        }
+        Ok(e)
+    }
+
+    /// Evaluates the expression under `assign`, a function from variable
+    /// name to value.
+    pub fn eval_with(&self, assign: &dyn Fn(char) -> bool) -> bool {
+        match self {
+            Expr::Const(b) => *b,
+            Expr::Var(v) => assign(*v),
+            Expr::Not(e) => !e.eval_with(assign),
+            Expr::And(es) => es.iter().all(|e| e.eval_with(assign)),
+            Expr::Or(es) => es.iter().any(|e| e.eval_with(assign)),
+            Expr::Xor(a, b) => a.eval_with(assign) ^ b.eval_with(assign),
+        }
+    }
+
+    /// Evaluates under an explicit `(variable, value)` assignment list;
+    /// unassigned variables read as `false`.
+    pub fn eval(&self, assignment: &[(char, bool)]) -> bool {
+        self.eval_with(&|v| {
+            assignment
+                .iter()
+                .find(|(name, _)| *name == v)
+                .map(|&(_, val)| val)
+                .unwrap_or(false)
+        })
+    }
+
+    /// The set of distinct variables, in sorted order.
+    pub fn vars(&self) -> Vec<char> {
+        let mut set = BTreeSet::new();
+        self.collect_vars(&mut set);
+        set.into_iter().collect()
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<char>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Var(v) => {
+                out.insert(*v);
+            }
+            Expr::Not(e) => e.collect_vars(out),
+            Expr::And(es) | Expr::Or(es) => es.iter().for_each(|e| e.collect_vars(out)),
+            Expr::Xor(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// Builds the truth table over this expression's own variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TooManyVarsError`] if the expression mentions more than
+    /// [`MAX_TABLE_VARS`] variables.
+    pub fn truth_table(&self) -> Result<TruthTable, TooManyVarsError> {
+        self.truth_table_over(&self.vars())
+    }
+
+    /// Builds the truth table over an explicit variable ordering (which
+    /// must be a superset of the expression's variables for a faithful
+    /// table; extra variables become don't-affect columns).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TooManyVarsError`] if `vars` is longer than
+    /// [`MAX_TABLE_VARS`].
+    pub fn truth_table_over(&self, vars: &[char]) -> Result<TruthTable, TooManyVarsError> {
+        if vars.len() > MAX_TABLE_VARS {
+            return Err(TooManyVarsError { vars: vars.len() });
+        }
+        let n = vars.len();
+        let rows = 1usize << n;
+        let mut outputs = Vec::with_capacity(rows);
+        for row in 0..rows {
+            let value = self.eval_with(&|v| {
+                vars.iter()
+                    .position(|&x| x == v)
+                    // MSB-first convention: variable 0 is the high bit.
+                    .map(|i| row >> (n - 1 - i) & 1 == 1)
+                    .unwrap_or(false)
+            });
+            outputs.push(value);
+        }
+        Ok(TruthTable {
+            vars: vars.to_vec(),
+            outputs,
+        })
+    }
+
+    /// Semantic equivalence: equal truth tables over the union of both
+    /// variable sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TooManyVarsError`] if the union exceeds
+    /// [`MAX_TABLE_VARS`].
+    pub fn equivalent(&self, other: &Expr) -> Result<bool, TooManyVarsError> {
+        let mut vars: BTreeSet<char> = self.vars().into_iter().collect();
+        vars.extend(other.vars());
+        let vars: Vec<char> = vars.into_iter().collect();
+        let a = self.truth_table_over(&vars)?;
+        let b = other.truth_table_over(&vars)?;
+        Ok(a.outputs == b.outputs)
+    }
+
+    /// Structural complexity: number of AST nodes. Used as a difficulty
+    /// proxy by the question generators.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => 1,
+            Expr::Not(e) => 1 + e.node_count(),
+            Expr::And(es) | Expr::Or(es) => 1 + es.iter().map(Expr::node_count).sum::<usize>(),
+            Expr::Xor(a, b) => 1 + a.node_count() + b.node_count(),
+        }
+    }
+
+    /// Number of literal occurrences (variable references).
+    pub fn literal_count(&self) -> usize {
+        match self {
+            Expr::Const(_) => 0,
+            Expr::Var(_) => 1,
+            Expr::Not(e) => e.literal_count(),
+            Expr::And(es) | Expr::Or(es) => es.iter().map(Expr::literal_count).sum(),
+            Expr::Xor(a, b) => a.literal_count() + b.literal_count(),
+        }
+    }
+
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent: u8) -> fmt::Result {
+        // precedence: Or=1, Xor=2, And=3, Not/atom=4
+        let prec = match self {
+            Expr::Or(_) => 1,
+            Expr::Xor(..) => 2,
+            Expr::And(_) => 3,
+            _ => 4,
+        };
+        let parens = prec < parent;
+        if parens {
+            write!(f, "(")?;
+        }
+        match self {
+            Expr::Const(b) => write!(f, "{}", if *b { '1' } else { '0' })?,
+            Expr::Var(v) => write!(f, "{v}")?,
+            Expr::Not(e) => match e.as_ref() {
+                Expr::Var(v) => write!(f, "{v}'")?,
+                Expr::Const(b) => write!(f, "{}'", if *b { '1' } else { '0' })?,
+                inner => {
+                    write!(f, "(")?;
+                    inner.fmt_prec(f, 1)?;
+                    write!(f, ")'")?;
+                }
+            },
+            Expr::And(es) => {
+                for e in es {
+                    e.fmt_prec(f, 3)?;
+                }
+            }
+            Expr::Or(es) => {
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    e.fmt_prec(f, 1)?;
+                }
+            }
+            Expr::Xor(a, b) => {
+                a.fmt_prec(f, 3)?;
+                write!(f, " ^ ")?;
+                b.fmt_prec(f, 3)?;
+            }
+        }
+        if parens {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+/// A complete truth table over an ordered variable list.
+///
+/// Row `i` assigns the variables from the binary expansion of `i`,
+/// MSB-first: `vars[0]` is the most significant bit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TruthTable {
+    /// Input variable ordering (MSB first).
+    pub vars: Vec<char>,
+    /// Output for each of the `2^n` input rows.
+    pub outputs: Vec<bool>,
+}
+
+impl TruthTable {
+    /// Constructs a table directly from a variable ordering and the output
+    /// column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outputs.len() != 2^vars.len()`.
+    pub fn new(vars: Vec<char>, outputs: Vec<bool>) -> Self {
+        assert_eq!(
+            outputs.len(),
+            1usize << vars.len(),
+            "output column must have 2^n rows"
+        );
+        TruthTable { vars, outputs }
+    }
+
+    /// Number of input variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Indices of rows whose output is `1` (the minterm list).
+    pub fn minterms(&self) -> Vec<usize> {
+        self.outputs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i))
+            .collect()
+    }
+
+    /// The output for a specific input row index.
+    pub fn output(&self, row: usize) -> Option<bool> {
+        self.outputs.get(row).copied()
+    }
+
+    /// Value of variable `var` on `row` under the MSB-first convention.
+    pub fn input_bit(&self, row: usize, var: usize) -> bool {
+        row >> (self.vars.len() - 1 - var) & 1 == 1
+    }
+
+    /// The canonical sum-of-minterms expression for this table.
+    pub fn to_canonical_sop(&self) -> Expr {
+        let minterms = self.minterms();
+        if minterms.is_empty() {
+            return Expr::Const(false);
+        }
+        if minterms.len() == self.outputs.len() {
+            return Expr::Const(true);
+        }
+        let terms: Vec<Expr> = minterms
+            .into_iter()
+            .map(|m| {
+                let factors: Vec<Expr> = self
+                    .vars
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| {
+                        if self.input_bit(m, i) {
+                            Expr::Var(v)
+                        } else {
+                            Expr::Not(Box::new(Expr::Var(v)))
+                        }
+                    })
+                    .collect();
+                if factors.len() == 1 {
+                    factors.into_iter().next().expect("one factor")
+                } else {
+                    Expr::And(factors)
+                }
+            })
+            .collect();
+        if terms.len() == 1 {
+            terms.into_iter().next().expect("one term")
+        } else {
+            Expr::Or(terms)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Expr {
+        Expr::parse(s).expect(s)
+    }
+
+    #[test]
+    fn parses_primes_and_juxtaposition() {
+        let e = p("S'Q + SR'");
+        assert_eq!(e.vars(), vec!['Q', 'R', 'S']);
+        assert!(e.eval(&[('S', false), ('Q', true), ('R', false)]));
+        assert!(e.eval(&[('S', true), ('R', false), ('Q', false)]));
+        assert!(!e.eval(&[('S', true), ('R', true), ('Q', true)]));
+    }
+
+    #[test]
+    fn parses_alternative_operators() {
+        assert!(p("A & B | !C").equivalent(&p("AB + C'")).unwrap());
+        assert!(p("~A").equivalent(&p("A'")).unwrap());
+        assert!(p("A ^ B").equivalent(&p("A'B + AB'")).unwrap());
+    }
+
+    #[test]
+    fn parse_constants() {
+        assert!(p("1").eval(&[]));
+        assert!(!p("0").eval(&[]));
+        assert!(p("A + 1").equivalent(&Expr::Const(true)).unwrap());
+        assert!(p("A & 0").equivalent(&Expr::Const(false)).unwrap());
+    }
+
+    #[test]
+    fn precedence_not_over_and_over_xor_over_or() {
+        // A + B C ^ D == A + ((B&C) ^ D)
+        let e = p("A + BC ^ D");
+        assert!(e.eval(&[('A', false), ('B', true), ('C', true), ('D', false)]));
+        assert!(!e.eval(&[('A', false), ('B', true), ('C', true), ('D', true)]));
+        assert!(e.eval(&[('A', true), ('B', true), ('C', true), ('D', true)]));
+    }
+
+    #[test]
+    fn double_prime_cancels() {
+        assert!(p("A''").equivalent(&p("A")).unwrap());
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let err = Expr::parse("A + ").unwrap_err();
+        assert!(err.position() >= 3, "{err}");
+        assert!(Expr::parse("(A + B").is_err());
+        assert!(Expr::parse("A $ B").is_err());
+        assert!(Expr::parse("").is_err());
+    }
+
+    #[test]
+    fn display_roundtrips_semantics() {
+        for src in [
+            "S'Q + SR'",
+            "(A + B)'C",
+            "A ^ B ^ C",
+            "A(B + C')",
+            "AB + A'B' + C",
+            "1",
+            "0",
+        ] {
+            let e = p(src);
+            let printed = e.to_string();
+            let re = p(&printed);
+            assert!(
+                e.equivalent(&re).unwrap(),
+                "{src} printed as {printed} changed meaning"
+            );
+        }
+    }
+
+    #[test]
+    fn truth_table_msb_convention() {
+        let e = p("AB'");
+        let tt = e.truth_table().unwrap();
+        assert_eq!(tt.vars, vec!['A', 'B']);
+        // rows: 00, 01, 10, 11 -> A=1,B=0 is row 2
+        assert_eq!(tt.outputs, vec![false, false, true, false]);
+        assert_eq!(tt.minterms(), vec![2]);
+        assert!(tt.input_bit(2, 0));
+        assert!(!tt.input_bit(2, 1));
+    }
+
+    #[test]
+    fn canonical_sop_matches_table() {
+        let e = p("A ^ B ^ C");
+        let tt = e.truth_table().unwrap();
+        let sop = tt.to_canonical_sop();
+        assert!(e.equivalent(&sop).unwrap());
+    }
+
+    #[test]
+    fn canonical_sop_extremes() {
+        let zero = p("AA'");
+        assert_eq!(zero.truth_table().unwrap().to_canonical_sop(), Expr::Const(false));
+        let one = p("A + A'");
+        assert_eq!(one.truth_table().unwrap().to_canonical_sop(), Expr::Const(true));
+    }
+
+    #[test]
+    fn equivalence_distinguishes() {
+        assert!(!p("A + B").equivalent(&p("AB")).unwrap());
+        assert!(p("(AB)'").equivalent(&p("A' + B'")).unwrap()); // De Morgan
+        assert!(p("(A + B)'").equivalent(&p("A'B'")).unwrap());
+    }
+
+    #[test]
+    fn too_many_vars_rejected() {
+        // Build an AND over 21 distinct variables.
+        let vars: Vec<Expr> = ('a'..='u').map(Expr::Var).collect();
+        assert_eq!(vars.len(), 21);
+        let e = Expr::And(vars);
+        assert!(e.truth_table().is_err());
+    }
+
+    #[test]
+    fn node_and_literal_counts() {
+        let e = p("S'Q + SR'");
+        assert_eq!(e.literal_count(), 4);
+        assert!(e.node_count() >= 7);
+    }
+
+    #[test]
+    fn truth_table_new_panics_on_bad_len() {
+        let r = std::panic::catch_unwind(|| TruthTable::new(vec!['A'], vec![true]));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! Digital-design substrate for the ChipVQA reproduction.
+//!
+//! ChipVQA's Digital Design section asks questions like *"Derive the
+//! function for Q given the state table and excitation maps"* with answer
+//! choices such as `Q = S'Q + SR'`. Answering — and, for this
+//! reproduction, *generating and judging* — such questions requires a real
+//! digital-logic toolkit. This crate provides it:
+//!
+//! - [`expr`]: boolean expression AST, a parser for the classic
+//!   prime-and-plus textbook syntax (`S'Q + SR'`), evaluation, truth
+//!   tables and semantic equivalence;
+//! - [`mod@minimize`]: Quine–McCluskey two-level minimisation with don't-cares;
+//! - [`bdd`]: reduced ordered binary decision diagrams with canonical
+//!   equivalence and satisfy counting;
+//! - [`netlist`]: gate-level netlists, combinational simulation and
+//!   unit/weighted-delay critical paths;
+//! - [`clocked`]: synchronous circuits (registers + next-state logic)
+//!   synthesised straight from state tables and simulated per clock;
+//! - [`mapping`]: NAND-only / NOR-only technology mapping, verified by
+//!   exhaustive simulation;
+//! - [`seq`]: flip-flops (SR/JK/D/T), characteristic equations, excitation
+//!   tables and binary-encoded state tables with next-state derivation;
+//! - [`numbers`]: two's complement, Gray code, BCD and fixed-point;
+//! - [`builders`]: canonical structural blocks (half/full adders,
+//!   ripple-carry adders, multiplexers, decoders);
+//! - [`render`]: procedural drawings (truth tables, Karnaugh maps, gate
+//!   schematics, waveforms) used as the visual half of generated VQA
+//!   triplets.
+//!
+//! # Example
+//!
+//! ```
+//! use chipvqa_logic::expr::Expr;
+//!
+//! let f = Expr::parse("S'Q + SR'")?;
+//! let g = Expr::parse("QS' + R'S")?;
+//! assert!(f.equivalent(&g)?);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bdd;
+pub mod builders;
+pub mod clocked;
+pub mod mapping;
+pub mod expr;
+pub mod minimize;
+pub mod netlist;
+pub mod numbers;
+pub mod render;
+pub mod seq;
+
+pub use expr::{Expr, TruthTable};
+pub use minimize::minimize;
+pub use netlist::Netlist;
+pub use seq::{FlipFlop, StateTable};

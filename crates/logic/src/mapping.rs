@@ -1,0 +1,235 @@
+//! Technology mapping: lowering an arbitrary expression to a NAND-only
+//! (or NOR-only) netlist — the classic "implement F using only NAND
+//! gates" exercise, with the mapped netlist verified against the source
+//! expression by exhaustive simulation.
+
+use crate::expr::Expr;
+use crate::netlist::{GateKind, Netlist, NodeId};
+
+/// The single gate type to map onto.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UniversalGate {
+    /// Two-input NAND.
+    Nand,
+    /// Two-input NOR.
+    Nor,
+}
+
+/// Maps `expr` to a netlist using only 2-input gates of the chosen
+/// universal type (inputs aside). Output is named `f`.
+///
+/// Construction uses the textbook identities
+/// `NOT x = NAND(x, x)`, `AND = NOT NAND`, `OR = NAND(NOT a, NOT b)`
+/// (dually for NOR); XOR decomposes to the 4-NAND form.
+pub fn map_to_universal(expr: &Expr, gate: UniversalGate) -> Netlist {
+    let mut nl = Netlist::new();
+    let vars = expr.vars();
+    let inputs: Vec<(char, NodeId)> = vars
+        .iter()
+        .map(|&v| (v, nl.add_input(v.to_string())))
+        .collect();
+    let out = build(&mut nl, expr, &inputs, gate);
+    nl.mark_output(out, "f");
+    nl
+}
+
+fn prim(nl: &mut Netlist, gate: UniversalGate, a: NodeId, b: NodeId) -> NodeId {
+    let kind = match gate {
+        UniversalGate::Nand => GateKind::Nand,
+        UniversalGate::Nor => GateKind::Nor,
+    };
+    nl.add_gate(kind, &[a, b]).expect("binary gate arity")
+}
+
+fn invert(nl: &mut Netlist, gate: UniversalGate, a: NodeId) -> NodeId {
+    prim(nl, gate, a, a)
+}
+
+fn and2(nl: &mut Netlist, gate: UniversalGate, a: NodeId, b: NodeId) -> NodeId {
+    match gate {
+        UniversalGate::Nand => {
+            let n = prim(nl, gate, a, b);
+            invert(nl, gate, n)
+        }
+        UniversalGate::Nor => {
+            // AND = NOR(NOT a, NOT b)
+            let na = invert(nl, gate, a);
+            let nb = invert(nl, gate, b);
+            prim(nl, gate, na, nb)
+        }
+    }
+}
+
+fn or2(nl: &mut Netlist, gate: UniversalGate, a: NodeId, b: NodeId) -> NodeId {
+    match gate {
+        UniversalGate::Nand => {
+            let na = invert(nl, gate, a);
+            let nb = invert(nl, gate, b);
+            prim(nl, gate, na, nb)
+        }
+        UniversalGate::Nor => {
+            let n = prim(nl, gate, a, b);
+            invert(nl, gate, n)
+        }
+    }
+}
+
+fn build(
+    nl: &mut Netlist,
+    expr: &Expr,
+    inputs: &[(char, NodeId)],
+    gate: UniversalGate,
+) -> NodeId {
+    match expr {
+        Expr::Const(b) => {
+            // x NAND x' = 1; invert for 0 (dually for NOR)
+            let base = inputs
+                .first()
+                .map(|&(_, id)| id)
+                .unwrap_or_else(|| nl.add_input("const"));
+            let nb = invert(nl, gate, base);
+            let one_like = or2(nl, gate, base, nb); // always-1
+            if *b {
+                one_like
+            } else {
+                invert(nl, gate, one_like)
+            }
+        }
+        Expr::Var(v) => {
+            inputs
+                .iter()
+                .find(|(name, _)| name == v)
+                .expect("vars collected")
+                .1
+        }
+        Expr::Not(e) => {
+            let inner = build(nl, e, inputs, gate);
+            invert(nl, gate, inner)
+        }
+        Expr::And(es) => {
+            let ids: Vec<NodeId> = es.iter().map(|e| build(nl, e, inputs, gate)).collect();
+            ids.into_iter()
+                .reduce(|a, b| and2(nl, gate, a, b))
+                .expect("And is nonempty")
+        }
+        Expr::Or(es) => {
+            let ids: Vec<NodeId> = es.iter().map(|e| build(nl, e, inputs, gate)).collect();
+            ids.into_iter()
+                .reduce(|a, b| or2(nl, gate, a, b))
+                .expect("Or is nonempty")
+        }
+        Expr::Xor(a, b) => {
+            let ia = build(nl, a, inputs, gate);
+            let ib = build(nl, b, inputs, gate);
+            // classic 4-NAND XOR; for NOR use OR/AND composition
+            match gate {
+                UniversalGate::Nand => {
+                    let m = prim(nl, gate, ia, ib);
+                    let l = prim(nl, gate, ia, m);
+                    let r = prim(nl, gate, ib, m);
+                    prim(nl, gate, l, r)
+                }
+                UniversalGate::Nor => {
+                    // a^b = (a OR b) AND NOT(a AND b)
+                    let o = or2(nl, gate, ia, ib);
+                    let na = and2(nl, gate, ia, ib);
+                    let nn = invert(nl, gate, na);
+                    and2(nl, gate, o, nn)
+                }
+            }
+        }
+    }
+}
+
+/// Number of universal gates a mapped netlist uses.
+pub fn gate_count(nl: &Netlist) -> usize {
+    nl.gate_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_equivalent(expr: &Expr, gate: UniversalGate) {
+        let nl = map_to_universal(expr, gate);
+        // only the chosen gate kind appears
+        for g in nl.gates() {
+            let ok = matches!(g.kind, GateKind::Input)
+                || match gate {
+                    UniversalGate::Nand => g.kind == GateKind::Nand,
+                    UniversalGate::Nor => g.kind == GateKind::Nor,
+                };
+            assert!(ok, "foreign gate {:?}", g.kind);
+        }
+        let vars = expr.vars();
+        let n_inputs = nl.inputs().len();
+        for row in 0..(1usize << n_inputs) {
+            let bits: Vec<bool> = (0..n_inputs)
+                .map(|i| row >> (n_inputs - 1 - i) & 1 == 1)
+                .collect();
+            let pairs: Vec<(char, bool)> = vars
+                .iter()
+                .copied()
+                .zip(bits.iter().copied())
+                .collect();
+            assert_eq!(
+                nl.eval(&bits).expect("sized")[0],
+                expr.eval(&pairs),
+                "{expr} row {row} via {gate:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn classic_functions_map_to_nand() {
+        for src in ["A ^ B", "AB + C", "(A + B)'", "S'Q + SR'", "A"] {
+            check_equivalent(&Expr::parse(src).expect(src), UniversalGate::Nand);
+        }
+    }
+
+    #[test]
+    fn classic_functions_map_to_nor() {
+        for src in ["A ^ B", "AB + C", "(A + B)'", "S'Q + SR'"] {
+            check_equivalent(&Expr::parse(src).expect(src), UniversalGate::Nor);
+        }
+    }
+
+    #[test]
+    fn constants_map() {
+        check_equivalent(&Expr::Const(true), UniversalGate::Nand);
+        check_equivalent(&Expr::Const(false), UniversalGate::Nor);
+    }
+
+    #[test]
+    fn xor_uses_four_nands() {
+        let nl = map_to_universal(&Expr::parse("A ^ B").expect("parses"), UniversalGate::Nand);
+        assert_eq!(gate_count(&nl), 4, "textbook 4-NAND XOR");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_expr() -> impl Strategy<Value = Expr> {
+            let leaf = proptest::sample::select(vec!['A', 'B', 'C']).prop_map(Expr::Var);
+            leaf.prop_recursive(3, 16, 2, |inner| {
+                prop_oneof![
+                    inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+                    (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(vec![a, b])),
+                    (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(vec![a, b])),
+                    (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+                ]
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(96))]
+
+            #[test]
+            fn mapping_preserves_semantics(e in arb_expr(), to_nor: bool) {
+                let gate = if to_nor { UniversalGate::Nor } else { UniversalGate::Nand };
+                check_equivalent(&e, gate);
+            }
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Quine–McCluskey two-level minimisation.
+//!
+//! Produces a minimal (or near-minimal: essential prime implicants plus a
+//! greedy cover of the remainder) sum-of-products for a function given as
+//! minterms and optional don't-cares. This is the engine behind the
+//! "derive the function from the K-map / state table" family of ChipVQA
+//! questions: the golden answers are *derived*, not hand-written.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::expr::{Expr, TruthTable};
+
+/// A product term over `n` variables: for each variable position the
+/// implicant either requires a value (`mask` bit set) or doesn't care.
+///
+/// Bit positions follow the truth-table convention: bit `n-1-i` of
+/// `value`/`mask` corresponds to variable `i` (MSB first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Implicant {
+    /// Required values on the cared-about positions.
+    pub value: u32,
+    /// Which bit positions are cared about (1 = cared).
+    pub mask: u32,
+}
+
+impl Implicant {
+    /// The implicant covering exactly one minterm.
+    pub fn from_minterm(m: usize, num_vars: usize) -> Self {
+        Implicant {
+            value: m as u32,
+            mask: ((1u64 << num_vars) - 1) as u32,
+        }
+    }
+
+    /// Whether this implicant covers minterm `m`.
+    pub fn covers(&self, m: usize) -> bool {
+        (m as u32 & self.mask) == (self.value & self.mask)
+    }
+
+    /// Tries to merge with another implicant differing in exactly one
+    /// cared bit.
+    pub fn merge(&self, other: &Implicant) -> Option<Implicant> {
+        if self.mask != other.mask {
+            return None;
+        }
+        let diff = (self.value ^ other.value) & self.mask;
+        if diff.count_ones() == 1 {
+            Some(Implicant {
+                value: self.value & !diff,
+                mask: self.mask & !diff,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Number of literals this implicant contributes to an SOP cover.
+    pub fn literal_count(&self) -> u32 {
+        self.mask.count_ones()
+    }
+
+    /// Converts to a product-term expression over `vars` (MSB first).
+    /// A fully don't-care implicant converts to the constant `1`.
+    pub fn to_expr(&self, vars: &[char]) -> Expr {
+        let n = vars.len();
+        let mut factors = Vec::new();
+        for (i, &v) in vars.iter().enumerate() {
+            let bit = 1u32 << (n - 1 - i);
+            if self.mask & bit != 0 {
+                if self.value & bit != 0 {
+                    factors.push(Expr::Var(v));
+                } else {
+                    factors.push(Expr::Not(Box::new(Expr::Var(v))));
+                }
+            }
+        }
+        match factors.len() {
+            0 => Expr::Const(true),
+            1 => factors.into_iter().next().expect("one factor"),
+            _ => Expr::And(factors),
+        }
+    }
+}
+
+impl fmt::Display for Implicant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Implicant(value={:b}, mask={:b})", self.value, self.mask)
+    }
+}
+
+/// Minimises the function defined by `minterms` (and optional `dont_cares`)
+/// over `num_vars` variables, returning the selected prime implicants.
+///
+/// The cover consists of all essential prime implicants plus a greedy
+/// (most-coverage-first, fewest-literals tie-break) completion — the
+/// standard textbook procedure.
+///
+/// # Panics
+///
+/// Panics if `num_vars > 20` or any minterm is out of range.
+pub fn minimize(num_vars: usize, minterms: &[usize], dont_cares: &[usize]) -> Vec<Implicant> {
+    assert!(num_vars <= 20, "too many variables for QM");
+    let limit = 1usize << num_vars;
+    for &m in minterms.iter().chain(dont_cares) {
+        assert!(m < limit, "minterm {m} out of range for {num_vars} vars");
+    }
+    if minterms.is_empty() {
+        return Vec::new();
+    }
+
+    // 1. Find all prime implicants over minterms + don't-cares.
+    let mut current: BTreeSet<Implicant> = minterms
+        .iter()
+        .chain(dont_cares)
+        .map(|&m| Implicant::from_minterm(m, num_vars))
+        .collect();
+    let mut primes: BTreeSet<Implicant> = BTreeSet::new();
+    while !current.is_empty() {
+        let items: Vec<Implicant> = current.iter().copied().collect();
+        let mut merged_flags = vec![false; items.len()];
+        let mut next: BTreeSet<Implicant> = BTreeSet::new();
+        for i in 0..items.len() {
+            for j in i + 1..items.len() {
+                if let Some(m) = items[i].merge(&items[j]) {
+                    merged_flags[i] = true;
+                    merged_flags[j] = true;
+                    next.insert(m);
+                }
+            }
+        }
+        for (i, item) in items.iter().enumerate() {
+            if !merged_flags[i] {
+                primes.insert(*item);
+            }
+        }
+        current = next;
+    }
+
+    // 2. Select essential primes, then greedily cover the rest.
+    let primes: Vec<Implicant> = primes.into_iter().collect();
+    let mut uncovered: BTreeSet<usize> = minterms.iter().copied().collect();
+    let mut chosen: Vec<Implicant> = Vec::new();
+
+    for &m in minterms {
+        let covering: Vec<&Implicant> = primes.iter().filter(|p| p.covers(m)).collect();
+        if covering.len() == 1 {
+            let essential = *covering[0];
+            if !chosen.contains(&essential) {
+                uncovered.retain(|&u| !essential.covers(u));
+                chosen.push(essential);
+            }
+        }
+    }
+
+    while !uncovered.is_empty() {
+        let best = primes
+            .iter()
+            .filter(|p| !chosen.contains(p))
+            .max_by_key(|p| {
+                let cover = uncovered.iter().filter(|&&m| p.covers(m)).count();
+                (cover, std::cmp::Reverse(p.literal_count()))
+            })
+            .copied()
+            .expect("primes must cover all minterms");
+        uncovered.retain(|&u| !best.covers(u));
+        chosen.push(best);
+    }
+
+    chosen.sort();
+    chosen
+}
+
+/// Minimises a [`TruthTable`] into a sum-of-products [`Expr`].
+///
+/// # Example
+///
+/// ```
+/// use chipvqa_logic::expr::Expr;
+/// use chipvqa_logic::minimize::minimize_table;
+///
+/// let f = Expr::parse("A'B + AB + AB'")?; // = A + B
+/// let min = minimize_table(&f.truth_table().unwrap());
+/// assert!(min.equivalent(&Expr::parse("A + B")?).unwrap());
+/// assert!(min.literal_count() <= 2);
+/// # Ok::<(), chipvqa_logic::expr::ParseExprError>(())
+/// ```
+pub fn minimize_table(table: &TruthTable) -> Expr {
+    let minterms = table.minterms();
+    if minterms.is_empty() {
+        return Expr::Const(false);
+    }
+    if minterms.len() == table.outputs.len() {
+        return Expr::Const(true);
+    }
+    let implicants = minimize(table.num_vars(), &minterms, &[]);
+    implicants_to_expr(&implicants, &table.vars)
+}
+
+/// Converts a selected implicant cover into an SOP expression.
+pub fn implicants_to_expr(implicants: &[Implicant], vars: &[char]) -> Expr {
+    match implicants.len() {
+        0 => Expr::Const(false),
+        1 => implicants[0].to_expr(vars),
+        _ => Expr::Or(implicants.iter().map(|imp| imp.to_expr(vars)).collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn p(s: &str) -> Expr {
+        Expr::parse(s).expect(s)
+    }
+
+    #[test]
+    fn merge_requires_single_bit_difference() {
+        let a = Implicant::from_minterm(0b000, 3);
+        let b = Implicant::from_minterm(0b001, 3);
+        let c = Implicant::from_minterm(0b011, 3);
+        let ab = a.merge(&b).expect("adjacent");
+        assert_eq!(ab.mask, 0b110);
+        assert!(a.merge(&c).is_none());
+    }
+
+    #[test]
+    fn classic_textbook_example() {
+        // f(A,B,C,D) = sum m(0,1,2,5,6,7,8,9,10,14) -> known 4-term minimum
+        let cover = minimize(4, &[0, 1, 2, 5, 6, 7, 8, 9, 10, 14], &[]);
+        let expr = implicants_to_expr(&cover, &['A', 'B', 'C', 'D']);
+        let canonical = TruthTableHelper::sop(4, &[0, 1, 2, 5, 6, 7, 8, 9, 10, 14]);
+        assert!(expr.equivalent(&canonical).unwrap());
+        let lits = expr.literal_count();
+        assert!(lits <= 11, "cover should be small, got {lits} literals");
+    }
+
+    #[test]
+    fn dont_cares_shrink_cover() {
+        // f = m(1,3) with dc(5,7): minimises to just "C" over A,B,C
+        // minterms where C=1: 1,3,5,7.
+        let with_dc = minimize(3, &[1, 3], &[5, 7]);
+        let expr = implicants_to_expr(&with_dc, &['A', 'B', 'C']);
+        assert!(expr.equivalent(&p("C")).unwrap() || expr.equivalent(&p("A'C")).unwrap());
+        let without = minimize(3, &[1, 3], &[]);
+        let e2 = implicants_to_expr(&without, &['A', 'B', 'C']);
+        assert!(e2.equivalent(&p("A'C")).unwrap());
+    }
+
+    #[test]
+    fn empty_and_full_functions() {
+        assert!(minimize(3, &[], &[]).is_empty());
+        let all: Vec<usize> = (0..8).collect();
+        let cover = minimize(3, &all, &[]);
+        let expr = implicants_to_expr(&cover, &['A', 'B', 'C']);
+        assert!(expr.equivalent(&Expr::Const(true)).unwrap());
+    }
+
+    #[test]
+    fn minimize_table_equivalence() {
+        let f = p("A'B'C + A'BC + AB'C + ABC + ABC'");
+        let min = minimize_table(&f.truth_table().unwrap());
+        assert!(min.equivalent(&f).unwrap());
+        assert!(min.literal_count() < f.literal_count());
+    }
+
+    #[test]
+    fn xor_is_irreducible() {
+        let f = p("A ^ B");
+        let min = minimize_table(&f.truth_table().unwrap());
+        assert!(min.equivalent(&f).unwrap());
+        // XOR needs 4 literals in SOP
+        assert_eq!(min.literal_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_minterm_panics() {
+        let _ = minimize(2, &[4], &[]);
+    }
+
+    struct TruthTableHelper;
+    impl TruthTableHelper {
+        fn sop(num_vars: usize, minterms: &[usize]) -> Expr {
+            let vars: Vec<char> = ('A'..).take(num_vars).collect();
+            let mut outputs = vec![false; 1 << num_vars];
+            for &m in minterms {
+                outputs[m] = true;
+            }
+            crate::expr::TruthTable::new(vars, outputs).to_canonical_sop()
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn minimized_cover_is_equivalent(
+                minterm_bits in 0u32..(1 << 16),
+            ) {
+                let minterms: Vec<usize> =
+                    (0..16).filter(|&i| minterm_bits >> i & 1 == 1).collect();
+                let vars = ['A', 'B', 'C', 'D'];
+                let cover = minimize(4, &minterms, &[]);
+                let expr = implicants_to_expr(&cover, &vars);
+                // Every minterm covered, every non-minterm excluded.
+                for row in 0..16usize {
+                    let assignment: Vec<(char, bool)> = vars
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &v)| (v, row >> (3 - i) & 1 == 1))
+                        .collect();
+                    let expected = minterms.contains(&row);
+                    prop_assert_eq!(expr.eval(&assignment), expected, "row {}", row);
+                }
+            }
+
+            #[test]
+            fn cover_never_larger_than_minterm_count(
+                minterm_bits in 1u32..(1 << 16),
+            ) {
+                let minterms: Vec<usize> =
+                    (0..16).filter(|&i| minterm_bits >> i & 1 == 1).collect();
+                let cover = minimize(4, &minterms, &[]);
+                prop_assert!(cover.len() <= minterms.len());
+            }
+        }
+    }
+}

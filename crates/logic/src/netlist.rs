@@ -1,0 +1,514 @@
+//! Gate-level netlists: construction, combinational simulation and
+//! critical-path analysis.
+//!
+//! Netlists are append-only DAGs of [`Gate`]s referencing earlier nodes by
+//! [`NodeId`], which makes cycles unrepresentable by construction and
+//! keeps evaluation a single forward pass.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::expr::Expr;
+
+/// Index of a node inside a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// The logic function a gate computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GateKind {
+    /// Primary input (no fan-in).
+    Input,
+    /// Buffer (identity).
+    Buf,
+    /// Inverter.
+    Not,
+    /// N-input AND.
+    And,
+    /// N-input OR.
+    Or,
+    /// N-input NAND.
+    Nand,
+    /// N-input NOR.
+    Nor,
+    /// 2-input XOR.
+    Xor,
+    /// 2-input XNOR.
+    Xnor,
+}
+
+impl GateKind {
+    /// Typical relative propagation delay of the gate, in arbitrary
+    /// "inverter delay" units (used for critical-path questions).
+    pub fn unit_delay(self) -> f64 {
+        match self {
+            GateKind::Input => 0.0,
+            GateKind::Buf => 1.0,
+            GateKind::Not => 1.0,
+            GateKind::Nand | GateKind::Nor => 1.0,
+            GateKind::And | GateKind::Or => 2.0, // NAND/NOR + inverter
+            GateKind::Xor | GateKind::Xnor => 3.0,
+        }
+    }
+
+    /// Short label used in schematic drawings.
+    pub fn label(self) -> &'static str {
+        match self {
+            GateKind::Input => "IN",
+            GateKind::Buf => "BUF",
+            GateKind::Not => "NOT",
+            GateKind::And => "AND",
+            GateKind::Or => "OR",
+            GateKind::Nand => "NAND",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One gate instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gate {
+    /// Function computed.
+    pub kind: GateKind,
+    /// Fan-in node ids (must precede this gate in the netlist).
+    pub inputs: Vec<NodeId>,
+    /// Optional instance name (pin names for inputs, net names otherwise).
+    pub name: Option<String>,
+}
+
+/// Error constructing or evaluating a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A gate referenced a node id that does not exist yet.
+    ForwardReference {
+        /// The offending reference.
+        reference: usize,
+        /// Number of nodes present when the gate was added.
+        len: usize,
+    },
+    /// A gate was given the wrong number of inputs for its kind.
+    BadArity {
+        /// Gate kind.
+        kind: GateKind,
+        /// Inputs supplied.
+        got: usize,
+    },
+    /// Evaluation was given the wrong number of primary-input values.
+    BadInputCount {
+        /// Values supplied.
+        got: usize,
+        /// Primary inputs in the netlist.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::ForwardReference { reference, len } => write!(
+                f,
+                "gate references node {reference} but only {len} nodes exist"
+            ),
+            NetlistError::BadArity { kind, got } => {
+                write!(f, "{kind} gate given {got} inputs")
+            }
+            NetlistError::BadInputCount { got, expected } => {
+                write!(f, "evaluation given {got} inputs, netlist has {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// A combinational gate-level netlist.
+///
+/// # Example
+///
+/// ```
+/// use chipvqa_logic::netlist::{GateKind, Netlist};
+///
+/// let mut nl = Netlist::new();
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let sum = nl.add_gate(GateKind::Xor, &[a, b])?;
+/// let carry = nl.add_gate(GateKind::And, &[a, b])?;
+/// nl.mark_output(sum, "sum");
+/// nl.mark_output(carry, "carry");
+/// assert_eq!(nl.eval(&[true, true])?, vec![false, true]);
+/// # Ok::<(), chipvqa_logic::netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Netlist {
+    gates: Vec<Gate>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<(NodeId, String)>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Netlist::default()
+    }
+
+    /// Adds a named primary input and returns its node id.
+    pub fn add_input(&mut self, name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.gates.len());
+        self.gates.push(Gate {
+            kind: GateKind::Input,
+            inputs: Vec::new(),
+            name: Some(name.into()),
+        });
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds a gate fed by existing nodes.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::ForwardReference`] if an input id is out of range,
+    /// [`NetlistError::BadArity`] if the input count is illegal for the
+    /// gate kind (NOT/BUF take exactly one, XOR/XNOR exactly two, the
+    /// N-input gates at least two).
+    pub fn add_gate(&mut self, kind: GateKind, inputs: &[NodeId]) -> Result<NodeId, NetlistError> {
+        for &NodeId(i) in inputs {
+            if i >= self.gates.len() {
+                return Err(NetlistError::ForwardReference {
+                    reference: i,
+                    len: self.gates.len(),
+                });
+            }
+        }
+        let arity_ok = match kind {
+            GateKind::Input => false,
+            GateKind::Not | GateKind::Buf => inputs.len() == 1,
+            GateKind::Xor | GateKind::Xnor => inputs.len() == 2,
+            _ => inputs.len() >= 2,
+        };
+        if !arity_ok {
+            return Err(NetlistError::BadArity {
+                kind,
+                got: inputs.len(),
+            });
+        }
+        let id = NodeId(self.gates.len());
+        self.gates.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            name: None,
+        });
+        Ok(id)
+    }
+
+    /// Marks a node as a named primary output.
+    pub fn mark_output(&mut self, node: NodeId, name: impl Into<String>) {
+        self.outputs.push((node, name.into()));
+    }
+
+    /// All gates, in definition order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Primary input ids in declaration order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Primary outputs as `(node, name)` pairs.
+    pub fn outputs(&self) -> &[(NodeId, String)] {
+        &self.outputs
+    }
+
+    /// Number of non-input gates.
+    pub fn gate_count(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| g.kind != GateKind::Input)
+            .count()
+    }
+
+    /// Evaluates all nodes for one input vector (ordered like
+    /// [`Netlist::inputs`]); returns the values of the marked outputs.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::BadInputCount`] on input-vector length mismatch.
+    pub fn eval(&self, input_values: &[bool]) -> Result<Vec<bool>, NetlistError> {
+        let values = self.eval_all(input_values)?;
+        Ok(self.outputs.iter().map(|&(NodeId(i), _)| values[i]).collect())
+    }
+
+    /// Evaluates and returns every node's value.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::BadInputCount`] on input-vector length mismatch.
+    pub fn eval_all(&self, input_values: &[bool]) -> Result<Vec<bool>, NetlistError> {
+        if input_values.len() != self.inputs.len() {
+            return Err(NetlistError::BadInputCount {
+                got: input_values.len(),
+                expected: self.inputs.len(),
+            });
+        }
+        let mut values = vec![false; self.gates.len()];
+        let mut next_input = 0usize;
+        for (i, gate) in self.gates.iter().enumerate() {
+            let v = |id: &NodeId| values[id.0];
+            values[i] = match gate.kind {
+                GateKind::Input => {
+                    let val = input_values[next_input];
+                    next_input += 1;
+                    val
+                }
+                GateKind::Buf => v(&gate.inputs[0]),
+                GateKind::Not => !v(&gate.inputs[0]),
+                GateKind::And => gate.inputs.iter().all(v),
+                GateKind::Or => gate.inputs.iter().any(v),
+                GateKind::Nand => !gate.inputs.iter().all(v),
+                GateKind::Nor => !gate.inputs.iter().any(v),
+                GateKind::Xor => v(&gate.inputs[0]) ^ v(&gate.inputs[1]),
+                GateKind::Xnor => !(v(&gate.inputs[0]) ^ v(&gate.inputs[1])),
+            };
+        }
+        Ok(values)
+    }
+
+    /// Longest input-to-output delay using each gate's
+    /// [`GateKind::unit_delay`]. Returns `0.0` for netlists with no marked
+    /// outputs.
+    pub fn critical_path_delay(&self) -> f64 {
+        let mut arrival = vec![0.0f64; self.gates.len()];
+        for (i, gate) in self.gates.iter().enumerate() {
+            let input_arrival = gate
+                .inputs
+                .iter()
+                .map(|id| arrival[id.0])
+                .fold(0.0f64, f64::max);
+            arrival[i] = input_arrival + gate.kind.unit_delay();
+        }
+        self.outputs
+            .iter()
+            .map(|&(NodeId(i), _)| arrival[i])
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Logic depth (gate count along the deepest path to any output).
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![0usize; self.gates.len()];
+        for (i, gate) in self.gates.iter().enumerate() {
+            let d = gate.inputs.iter().map(|id| depth[id.0]).max().unwrap_or(0);
+            depth[i] = if gate.kind == GateKind::Input { 0 } else { d + 1 };
+        }
+        self.outputs
+            .iter()
+            .map(|&(NodeId(i), _)| depth[i])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Builds a netlist computing `expr`; input order is the expression's
+    /// sorted variable order and the single output is named `f`.
+    pub fn from_expr(expr: &Expr) -> Netlist {
+        let vars = expr.vars();
+        Netlist::from_exprs(&[("f", expr.clone())], &vars)
+    }
+
+    /// Builds a multi-output netlist over an explicit shared input order:
+    /// one named output per `(name, expr)` pair, all reading the same
+    /// input nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an expression mentions a variable missing from `vars`.
+    pub fn from_exprs(outputs: &[(&str, Expr)], vars: &[char]) -> Netlist {
+        let mut nl = Netlist::new();
+        let var_ids: Vec<(char, NodeId)> = vars
+            .iter()
+            .map(|&v| (v, nl.add_input(v.to_string())))
+            .collect();
+        for (name, expr) in outputs {
+            for v in expr.vars() {
+                assert!(
+                    vars.contains(&v),
+                    "expression variable {v} missing from input order"
+                );
+            }
+            let out = nl.build_expr(expr, &var_ids);
+            nl.mark_output(out, *name);
+        }
+        nl
+    }
+
+    fn build_expr(&mut self, expr: &Expr, vars: &[(char, NodeId)]) -> NodeId {
+        match expr {
+            Expr::Const(b) => {
+                // Constants are modelled as x AND x' (0) or x OR x' (1) on
+                // the first input, or a dedicated tied input when none.
+                let base = if let Some(&(_, id)) = vars.first() {
+                    id
+                } else {
+                    self.add_input("const")
+                };
+                let inv = self
+                    .add_gate(GateKind::Not, &[base])
+                    .expect("valid arity");
+                let kind = if *b { GateKind::Or } else { GateKind::And };
+                self.add_gate(kind, &[base, inv]).expect("valid arity")
+            }
+            Expr::Var(v) => {
+                vars.iter()
+                    .find(|(name, _)| name == v)
+                    .expect("variable collected in vars()")
+                    .1
+            }
+            Expr::Not(e) => {
+                let inner = self.build_expr(e, vars);
+                self.add_gate(GateKind::Not, &[inner]).expect("valid arity")
+            }
+            Expr::And(es) | Expr::Or(es) => {
+                let kind = if matches!(expr, Expr::And(_)) {
+                    GateKind::And
+                } else {
+                    GateKind::Or
+                };
+                let ids: Vec<NodeId> = es.iter().map(|e| self.build_expr(e, vars)).collect();
+                if ids.len() == 1 {
+                    ids[0]
+                } else {
+                    self.add_gate(kind, &ids).expect("valid arity")
+                }
+            }
+            Expr::Xor(a, b) => {
+                let ia = self.build_expr(a, vars);
+                let ib = self.build_expr(b, vars);
+                self.add_gate(GateKind::Xor, &[ia, ib]).expect("valid arity")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn half_adder() -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let s = nl.add_gate(GateKind::Xor, &[a, b]).unwrap();
+        let c = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        nl.mark_output(s, "sum");
+        nl.mark_output(c, "carry");
+        nl
+    }
+
+    #[test]
+    fn half_adder_truth_table() {
+        let nl = half_adder();
+        assert_eq!(nl.eval(&[false, false]).unwrap(), vec![false, false]);
+        assert_eq!(nl.eval(&[false, true]).unwrap(), vec![true, false]);
+        assert_eq!(nl.eval(&[true, false]).unwrap(), vec![true, false]);
+        assert_eq!(nl.eval(&[true, true]).unwrap(), vec![false, true]);
+    }
+
+    #[test]
+    fn arity_checks() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        assert!(matches!(
+            nl.add_gate(GateKind::Not, &[a, a]),
+            Err(NetlistError::BadArity { .. })
+        ));
+        assert!(matches!(
+            nl.add_gate(GateKind::And, &[a]),
+            Err(NetlistError::BadArity { .. })
+        ));
+        assert!(matches!(
+            nl.add_gate(GateKind::Xor, &[a, a, a]),
+            Err(NetlistError::BadArity { .. })
+        ));
+    }
+
+    #[test]
+    fn forward_reference_rejected() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        assert!(matches!(
+            nl.add_gate(GateKind::Not, &[NodeId(5)]),
+            Err(NetlistError::ForwardReference { .. })
+        ));
+        let _ = a;
+    }
+
+    #[test]
+    fn bad_input_count() {
+        let nl = half_adder();
+        assert!(matches!(
+            nl.eval(&[true]),
+            Err(NetlistError::BadInputCount {
+                got: 1,
+                expected: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn critical_path_and_depth() {
+        let nl = half_adder();
+        assert_eq!(nl.depth(), 1);
+        // XOR delay 3 > AND delay 2.
+        assert!((nl.critical_path_delay() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_expr_matches_expression() {
+        for src in ["S'Q + SR'", "A ^ B ^ C", "(A + B)(C + D)'", "AB + CD"] {
+            let e = Expr::parse(src).unwrap();
+            let nl = Netlist::from_expr(&e);
+            let vars = e.vars();
+            for row in 0..(1usize << vars.len()) {
+                let assignment: Vec<bool> = (0..vars.len())
+                    .map(|i| row >> (vars.len() - 1 - i) & 1 == 1)
+                    .collect();
+                let pairs: Vec<(char, bool)> = vars
+                    .iter()
+                    .copied()
+                    .zip(assignment.iter().copied())
+                    .collect();
+                assert_eq!(
+                    nl.eval(&assignment).unwrap()[0],
+                    e.eval(&pairs),
+                    "{src} row {row}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_expressions_build() {
+        for (expr, expected) in [(Expr::Const(true), true), (Expr::Const(false), false)] {
+            let nl = Netlist::from_expr(&expr);
+            let inputs = vec![false; nl.inputs().len()];
+            assert_eq!(nl.eval(&inputs).unwrap()[0], expected);
+        }
+    }
+
+    #[test]
+    fn gate_count_excludes_inputs() {
+        let nl = half_adder();
+        assert_eq!(nl.gate_count(), 2);
+        assert_eq!(nl.gates().len(), 4);
+    }
+}

@@ -1,0 +1,264 @@
+//! Number representation: two's complement, Gray code, BCD and signed
+//! arithmetic with overflow — the "Data Representation" topic of the
+//! Digital Design question set.
+
+use std::fmt;
+
+/// Error for values that do not fit in a requested bit width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeError {
+    /// The value that failed to fit.
+    pub value: i64,
+    /// Target width in bits.
+    pub width: u32,
+}
+
+impl fmt::Display for RangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "value {} does not fit in {} two's-complement bits",
+            self.value, self.width
+        )
+    }
+}
+
+impl std::error::Error for RangeError {}
+
+/// Encodes `value` in `width`-bit two's complement.
+///
+/// # Errors
+///
+/// [`RangeError`] when the value is outside `[-2^(w-1), 2^(w-1) - 1]`.
+///
+/// # Example
+///
+/// ```
+/// use chipvqa_logic::numbers::twos_complement;
+///
+/// assert_eq!(twos_complement(-1, 8)?, 0xFF);
+/// assert_eq!(twos_complement(-128, 8)?, 0x80);
+/// assert!(twos_complement(128, 8).is_err());
+/// # Ok::<(), chipvqa_logic::numbers::RangeError>(())
+/// ```
+pub fn twos_complement(value: i64, width: u32) -> Result<u64, RangeError> {
+    assert!((1..=63).contains(&width), "width must be 1..=63");
+    let min = -(1i64 << (width - 1));
+    let max = (1i64 << (width - 1)) - 1;
+    if value < min || value > max {
+        return Err(RangeError { value, width });
+    }
+    Ok((value as u64) & ((1u64 << width) - 1))
+}
+
+/// Decodes a `width`-bit two's-complement pattern to a signed value.
+///
+/// # Panics
+///
+/// Panics if `bits` has set bits above `width`.
+pub fn from_twos_complement(bits: u64, width: u32) -> i64 {
+    assert!((1..=63).contains(&width), "width must be 1..=63");
+    assert!(bits >> width == 0, "pattern wider than {width} bits");
+    let sign = bits >> (width - 1) & 1;
+    if sign == 1 {
+        bits as i64 - (1i64 << width)
+    } else {
+        bits as i64
+    }
+}
+
+/// Result of a width-limited signed addition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddResult {
+    /// The wrapped `width`-bit sum pattern.
+    pub bits: u64,
+    /// The signed value the pattern represents.
+    pub value: i64,
+    /// Signed overflow flag (result sign inconsistent with operands).
+    pub overflow: bool,
+    /// Carry out of the MSB.
+    pub carry_out: bool,
+}
+
+/// Adds two signed values in `width`-bit two's complement, reporting
+/// overflow and carry exactly as an ALU status register would.
+///
+/// # Errors
+///
+/// [`RangeError`] if either operand does not fit in `width` bits.
+pub fn add_twos_complement(a: i64, b: i64, width: u32) -> Result<AddResult, RangeError> {
+    let pa = twos_complement(a, width)?;
+    let pb = twos_complement(b, width)?;
+    let full = pa + pb;
+    let mask = (1u64 << width) - 1;
+    let bits = full & mask;
+    let carry_out = full >> width & 1 == 1;
+    let value = from_twos_complement(bits, width);
+    let overflow = (a >= 0) == (b >= 0) && (value >= 0) != (a >= 0);
+    Ok(AddResult {
+        bits,
+        value,
+        overflow,
+        carry_out,
+    })
+}
+
+/// Converts binary to Gray code.
+pub fn to_gray(n: u64) -> u64 {
+    n ^ (n >> 1)
+}
+
+/// Converts Gray code back to binary (prefix-xor over halving shifts).
+pub fn from_gray(g: u64) -> u64 {
+    let mut b = g;
+    b ^= b >> 1;
+    b ^= b >> 2;
+    b ^= b >> 4;
+    b ^= b >> 8;
+    b ^= b >> 16;
+    b ^= b >> 32;
+    b
+}
+
+/// Packs a decimal number into BCD (4 bits per digit).
+///
+/// # Panics
+///
+/// Panics when the value needs more than 16 BCD digits (u64 capacity).
+pub fn to_bcd(mut value: u64) -> u64 {
+    let mut out = 0u64;
+    let mut shift = 0;
+    loop {
+        assert!(shift < 64, "value too large for 16 BCD digits");
+        out |= (value % 10) << shift;
+        value /= 10;
+        if value == 0 {
+            break;
+        }
+        shift += 4;
+    }
+    out
+}
+
+/// Unpacks BCD back to a decimal number.
+pub fn from_bcd(mut bcd: u64) -> u64 {
+    let mut out = 0u64;
+    let mut scale = 1u64;
+    while bcd > 0 {
+        out += (bcd & 0xF) * scale;
+        scale *= 10;
+        bcd >>= 4;
+    }
+    out
+}
+
+/// Value of a fixed-point pattern with `frac_bits` fractional bits
+/// (Q-format), interpreting `bits` as `width`-bit two's complement.
+pub fn fixed_point_value(bits: u64, width: u32, frac_bits: u32) -> f64 {
+    from_twos_complement(bits, width) as f64 / f64::from(1u32 << frac_bits.min(31)) as f64
+}
+
+/// Smallest representable step of a Q-format with `frac_bits` fractional
+/// bits.
+pub fn fixed_point_resolution(frac_bits: u32) -> f64 {
+    1.0 / f64::from(1u32 << frac_bits.min(31))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twos_complement_boundaries() {
+        assert_eq!(twos_complement(127, 8).unwrap(), 0x7F);
+        assert_eq!(twos_complement(-128, 8).unwrap(), 0x80);
+        assert!(twos_complement(128, 8).is_err());
+        assert!(twos_complement(-129, 8).is_err());
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        for v in [-128i64, -1, 0, 1, 127] {
+            let bits = twos_complement(v, 8).unwrap();
+            assert_eq!(from_twos_complement(bits, 8), v);
+        }
+    }
+
+    #[test]
+    fn addition_overflow_cases() {
+        // 127 + 1 overflows in 8 bits
+        let r = add_twos_complement(127, 1, 8).unwrap();
+        assert!(r.overflow);
+        assert_eq!(r.value, -128);
+        assert!(!r.carry_out);
+        // -1 + -1 produces carry but no overflow
+        let r = add_twos_complement(-1, -1, 8).unwrap();
+        assert!(!r.overflow);
+        assert_eq!(r.value, -2);
+        assert!(r.carry_out);
+        // mixed signs never overflow
+        let r = add_twos_complement(-100, 100, 8).unwrap();
+        assert!(!r.overflow);
+        assert_eq!(r.value, 0);
+    }
+
+    #[test]
+    fn gray_code_adjacent_values_differ_by_one_bit() {
+        for n in 0u64..256 {
+            let a = to_gray(n);
+            let b = to_gray(n + 1);
+            assert_eq!((a ^ b).count_ones(), 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn gray_roundtrip() {
+        for n in 0u64..1024 {
+            assert_eq!(from_gray(to_gray(n)), n);
+        }
+    }
+
+    #[test]
+    fn bcd_roundtrip_and_packing() {
+        assert_eq!(to_bcd(1995), 0x1995);
+        assert_eq!(from_bcd(0x1995), 1995);
+        for n in [0u64, 9, 10, 99, 12345, 9999999] {
+            assert_eq!(from_bcd(to_bcd(n)), n);
+        }
+    }
+
+    #[test]
+    fn fixed_point() {
+        // Q4.4: pattern 0b0001_1000 = 1.5
+        assert!((fixed_point_value(0b0001_1000, 8, 4) - 1.5).abs() < 1e-12);
+        // negative: 0xF8 = -0.5 in Q4.4
+        assert!((fixed_point_value(0xF8, 8, 4) + 0.5).abs() < 1e-12);
+        assert!((fixed_point_resolution(4) - 0.0625).abs() < 1e-12);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn encode_decode_roundtrip(v in -(1i64 << 15)..(1i64 << 15)) {
+                let bits = twos_complement(v, 16).unwrap();
+                prop_assert_eq!(from_twos_complement(bits, 16), v);
+            }
+
+            #[test]
+            fn add_matches_wrapping_semantics(a in -128i64..=127, b in -128i64..=127) {
+                let r = add_twos_complement(a, b, 8).unwrap();
+                let wrapped = ((a + b + 128).rem_euclid(256)) - 128;
+                prop_assert_eq!(r.value, wrapped);
+                prop_assert_eq!(r.overflow, a + b > 127 || a + b < -128);
+            }
+
+            #[test]
+            fn gray_bijective(n in 0u64..(1 << 20)) {
+                prop_assert_eq!(from_gray(to_gray(n)), n);
+            }
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! Procedural drawings of digital-design visuals: truth tables, Karnaugh
+//! maps, gate schematics, state tables and waveforms.
+//!
+//! Every renderer returns an [`Annotated`] image: pixels plus [`Mark`]s
+//! locating the features a viewer must read to answer a question about the
+//! drawing. The simulated visual encoders perceive a fact only if the
+//! pixels under its mark stay legible at the encoder's input resolution,
+//! which ties the paper's resolution study to real raster content.
+//!
+//! [`Mark`]: chipvqa_raster::Mark
+
+use chipvqa_raster::{Annotated, Pixmap, Region, BLACK};
+
+use crate::expr::TruthTable;
+use crate::netlist::{GateKind, Netlist};
+use crate::seq::StateTable;
+
+const CELL_W: i64 = 42;
+const CELL_H: i64 = 26;
+const TEXT: i64 = 2;
+const STROKE: i64 = 2;
+
+/// Renders a truth table as a ruled grid.
+///
+/// # Panics
+///
+/// Panics for tables over more than 6 variables (they stop being readable
+/// figures, and the paper's visuals never exceed 4).
+pub fn render_truth_table(tt: &TruthTable, output_name: &str) -> Annotated {
+    assert!(tt.num_vars() <= 6, "truth table too wide to render");
+    let cols = tt.num_vars() as i64 + 1;
+    let rows = tt.outputs.len() as i64 + 1;
+    let w = (cols * CELL_W + 40) as usize;
+    let h = (rows * CELL_H + 40) as usize;
+    let mut img = Pixmap::new(w, h);
+    let mut ann_marks: Vec<(String, Region)> = Vec::new();
+    let ox = 20i64;
+    let oy = 20i64;
+
+    for r in 0..=rows {
+        img.draw_line(ox, oy + r * CELL_H, ox + cols * CELL_W, oy + r * CELL_H, STROKE, BLACK);
+    }
+    for c in 0..=cols {
+        img.draw_line(ox + c * CELL_W, oy, ox + c * CELL_W, oy + rows * CELL_H, STROKE, BLACK);
+    }
+    // header
+    for (i, v) in tt.vars.iter().enumerate() {
+        let x = ox + i as i64 * CELL_W + 14;
+        img.draw_text(x, oy + 6, &v.to_string(), TEXT, BLACK);
+    }
+    let fx = ox + tt.num_vars() as i64 * CELL_W + 8;
+    img.draw_text(fx, oy + 6, output_name, TEXT, BLACK);
+    ann_marks.push((
+        format!("output column header {output_name}"),
+        Region::new(fx as usize, oy as usize, CELL_W as usize, CELL_H as usize),
+    ));
+    // rows
+    for (row, &out) in tt.outputs.iter().enumerate() {
+        let y = oy + (row as i64 + 1) * CELL_H + 6;
+        for v in 0..tt.num_vars() {
+            let bit = tt.input_bit(row, v);
+            img.draw_text(
+                ox + v as i64 * CELL_W + 16,
+                y,
+                if bit { "1" } else { "0" },
+                TEXT,
+                BLACK,
+            );
+        }
+        let cell_x = ox + tt.num_vars() as i64 * CELL_W + 16;
+        img.draw_text(cell_x, y, if out { "1" } else { "0" }, TEXT, BLACK);
+        ann_marks.push((
+            format!("row {row}: {output_name}={}", u8::from(out)),
+            Region::new(
+                (cell_x - 8) as usize,
+                (y - 6) as usize,
+                CELL_W as usize,
+                CELL_H as usize,
+            ),
+        ));
+    }
+    let mut annotated = Annotated::new(img);
+    for (label, region) in ann_marks {
+        annotated.mark(label, region);
+    }
+    annotated
+}
+
+/// Gray-code column/row ordering used by K-maps.
+fn gray_order(bits: usize) -> Vec<usize> {
+    (0..(1usize << bits)).map(|i| i ^ (i >> 1)).collect()
+}
+
+/// Renders a Karnaugh map for a 2-, 3- or 4-variable function.
+///
+/// # Panics
+///
+/// Panics for functions of fewer than 2 or more than 4 variables.
+pub fn render_kmap(tt: &TruthTable) -> Annotated {
+    let n = tt.num_vars();
+    assert!((2..=4).contains(&n), "K-maps render for 2..=4 variables");
+    let row_bits = n / 2; // 1 for 2-3 vars, 2 for 4 vars
+    let col_bits = n - row_bits;
+    let rows = gray_order(row_bits);
+    let cols = gray_order(col_bits);
+    let ox = 80i64;
+    let oy = 60i64;
+    let w = (ox + cols.len() as i64 * CELL_W + 30) as usize;
+    let h = (oy + rows.len() as i64 * CELL_H + 30) as usize;
+    let mut img = Pixmap::new(w, h);
+    let mut marks: Vec<(String, Region)> = Vec::new();
+
+    let row_vars: String = tt.vars[..row_bits].iter().collect();
+    let col_vars: String = tt.vars[row_bits..].iter().collect();
+    img.draw_text(10, 10, &format!("{row_vars} \\ {col_vars}"), TEXT, BLACK);
+
+    for (ci, &c) in cols.iter().enumerate() {
+        img.draw_text(
+            ox + ci as i64 * CELL_W + 10,
+            oy - 20,
+            &format!("{:0width$b}", c, width = col_bits),
+            TEXT,
+            BLACK,
+        );
+    }
+    for (ri, &r) in rows.iter().enumerate() {
+        img.draw_text(
+            ox - 40,
+            oy + ri as i64 * CELL_H + 6,
+            &format!("{:0width$b}", r, width = row_bits),
+            TEXT,
+            BLACK,
+        );
+    }
+    for r in 0..=rows.len() as i64 {
+        img.draw_line(ox, oy + r * CELL_H, ox + cols.len() as i64 * CELL_W, oy + r * CELL_H, STROKE, BLACK);
+    }
+    for c in 0..=cols.len() as i64 {
+        img.draw_line(ox + c * CELL_W, oy, ox + c * CELL_W, oy + rows.len() as i64 * CELL_H, STROKE, BLACK);
+    }
+    for (ri, &r) in rows.iter().enumerate() {
+        for (ci, &c) in cols.iter().enumerate() {
+            let minterm = (r << col_bits) | c;
+            let value = tt.output(minterm).expect("minterm within table");
+            let x = ox + ci as i64 * CELL_W + 16;
+            let y = oy + ri as i64 * CELL_H + 6;
+            img.draw_text(x, y, if value { "1" } else { "0" }, TEXT, BLACK);
+            marks.push((
+                format!("m{minterm}={}", u8::from(value)),
+                Region::new((x - 6) as usize, (y - 4) as usize, CELL_W as usize, CELL_H as usize),
+            ));
+        }
+    }
+    let mut annotated = Annotated::new(img);
+    for (label, region) in marks {
+        annotated.mark(label, region);
+    }
+    annotated
+}
+
+/// Renders a gate-level schematic as a layered left-to-right diagram:
+/// inputs in the left column, gates placed by logic depth, wires drawn as
+/// elbow polylines, outputs labelled on the right.
+pub fn render_schematic(nl: &Netlist) -> Annotated {
+    // Column = logic depth, row = order of appearance within that column.
+    let gates = nl.gates();
+    let mut depth = vec![0usize; gates.len()];
+    for (i, g) in gates.iter().enumerate() {
+        let d = g.inputs.iter().map(|id| depth[id.0]).max().unwrap_or(0);
+        depth[i] = if g.kind == GateKind::Input { 0 } else { d + 1 };
+    }
+    let max_depth = depth.iter().copied().max().unwrap_or(0);
+    let mut row_in_col = vec![0usize; gates.len()];
+    let mut col_counts = vec![0usize; max_depth + 1];
+    for (i, &d) in depth.iter().enumerate() {
+        row_in_col[i] = col_counts[d];
+        col_counts[d] += 1;
+    }
+    let max_rows = col_counts.iter().copied().max().unwrap_or(1);
+
+    const GW: i64 = 72; // gate box width
+    const GH: i64 = 34;
+    const HSP: i64 = 130;
+    const VSP: i64 = 58;
+    let w = (60 + (max_depth as i64 + 1) * HSP + 80) as usize;
+    let h = (40 + max_rows as i64 * VSP + 40) as usize;
+    let mut img = Pixmap::new(w.max(200), h.max(120));
+    let mut marks: Vec<(String, Region)> = Vec::new();
+
+    let pos = |i: usize| -> (i64, i64) {
+        let x = 30 + depth[i] as i64 * HSP;
+        let y = 30 + row_in_col[i] as i64 * VSP;
+        (x, y)
+    };
+
+    // wires first (under the boxes)
+    for (i, g) in gates.iter().enumerate() {
+        let (x, y) = pos(i);
+        for id in &g.inputs {
+            let (sx, sy) = pos(id.0);
+            let mid = x - 18;
+            img.draw_polyline(
+                &[
+                    (sx + GW, sy + GH / 2),
+                    (mid, sy + GH / 2),
+                    (mid, y + GH / 2),
+                    (x, y + GH / 2),
+                ],
+                STROKE,
+                BLACK,
+            );
+        }
+    }
+    for (i, g) in gates.iter().enumerate() {
+        let (x, y) = pos(i);
+        img.draw_rect(x, y, GW, GH, STROKE, BLACK);
+        let label = match (&g.name, g.kind) {
+            (Some(name), GateKind::Input) => name.clone(),
+            _ => g.kind.label().to_string(),
+        };
+        img.draw_text(x + 6, y + 10, &label, TEXT, BLACK);
+        marks.push((
+            format!("node {i}: {label}"),
+            Region::new(x as usize, y as usize, GW as usize, GH as usize),
+        ));
+        // bubble for inverting gates
+        if matches!(g.kind, GateKind::Not | GateKind::Nand | GateKind::Nor | GateKind::Xnor) {
+            img.draw_circle(x + GW + 5, y + GH / 2, 4, STROKE, BLACK);
+        }
+    }
+    for (out, name) in nl.outputs() {
+        let (x, y) = pos(out.0);
+        img.draw_arrow(x + GW + 10, y + GH / 2, x + GW + 40, y + GH / 2, STROKE, BLACK);
+        img.draw_text(x + GW + 44, y + GH / 2 - 6, name, TEXT, BLACK);
+        marks.push((
+            format!("output {name}"),
+            Region::new((x + GW + 10) as usize, y as usize, 70, GH as usize),
+        ));
+    }
+    let mut annotated = Annotated::new(img);
+    for (label, region) in marks {
+        annotated.mark(label, region);
+    }
+    annotated
+}
+
+/// Renders a binary-encoded state table (present state, input, next
+/// state).
+pub fn render_state_table(st: &StateTable) -> Annotated {
+    let in_bits = st.input_names().len();
+    let cols = 3i64;
+    let rows = st.rows().len() as i64 + 1;
+    let cw = CELL_W + 30;
+    let w = (40 + cols * cw) as usize;
+    let h = (40 + rows * CELL_H) as usize;
+    let mut img = Pixmap::new(w, h);
+    let mut marks: Vec<(String, Region)> = Vec::new();
+    let (ox, oy) = (20i64, 20i64);
+
+    for r in 0..=rows {
+        img.draw_line(ox, oy + r * CELL_H, ox + cols * cw, oy + r * CELL_H, STROKE, BLACK);
+    }
+    for c in 0..=cols {
+        img.draw_line(ox + c * cw, oy, ox + c * cw, oy + rows * CELL_H, STROKE, BLACK);
+    }
+    let state_names: String = st.state_var_names().iter().collect();
+    let input_names: String = st.input_names().iter().collect();
+    img.draw_text(ox + 6, oy + 6, &state_names, TEXT, BLACK);
+    img.draw_text(ox + cw + 6, oy + 6, &input_names, TEXT, BLACK);
+    img.draw_text(ox + 2 * cw + 6, oy + 6, &format!("{state_names}+"), TEXT, BLACK);
+
+    for (row, &next) in st.rows().iter().enumerate() {
+        let present = row >> in_bits;
+        let input = row & ((1 << in_bits) - 1);
+        let y = oy + (row as i64 + 1) * CELL_H + 6;
+        img.draw_text(
+            ox + 6,
+            y,
+            &format!("{:0width$b}", present, width = st.state_bits()),
+            TEXT,
+            BLACK,
+        );
+        img.draw_text(
+            ox + cw + 6,
+            y,
+            &format!("{:0width$b}", input, width = in_bits.max(1)),
+            TEXT,
+            BLACK,
+        );
+        let nx = ox + 2 * cw + 6;
+        img.draw_text(
+            nx,
+            y,
+            &format!("{:0width$b}", next, width = st.state_bits()),
+            TEXT,
+            BLACK,
+        );
+        marks.push((
+            format!("row s={present} in={input} next={next}"),
+            Region::new(nx as usize, (y - 6) as usize, cw as usize, CELL_H as usize),
+        ));
+    }
+    let mut annotated = Annotated::new(img);
+    for (label, region) in marks {
+        annotated.mark(label, region);
+    }
+    annotated
+}
+
+/// Renders stacked square-wave traces (clock/data style waveforms).
+pub fn render_waveform(signals: &[(&str, &[bool])]) -> Annotated {
+    let max_len = signals.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+    const STEP: i64 = 28;
+    const AMP: i64 = 18;
+    const LANE: i64 = 46;
+    let w = (90 + max_len as i64 * STEP + 20) as usize;
+    let h = (20 + signals.len() as i64 * LANE + 20) as usize;
+    let mut img = Pixmap::new(w.max(140), h.max(60));
+    let mut marks: Vec<(String, Region)> = Vec::new();
+
+    for (lane, (name, samples)) in signals.iter().enumerate() {
+        let base = 20 + lane as i64 * LANE + AMP;
+        img.draw_text(6, base - AMP / 2 - 4, name, TEXT, BLACK);
+        let mut pts: Vec<(i64, i64)> = Vec::new();
+        for (i, &v) in samples.iter().enumerate() {
+            let x0 = 80 + i as i64 * STEP;
+            let y = if v { base - AMP } else { base };
+            if let Some(&(_, py)) = pts.last() {
+                if py != y {
+                    pts.push((x0, py));
+                    pts.push((x0, y));
+                }
+            }
+            if pts.is_empty() {
+                pts.push((x0, y));
+            }
+            pts.push((x0 + STEP, y));
+        }
+        img.draw_polyline(&pts, STROKE, BLACK);
+        marks.push((
+            format!("waveform {name}"),
+            Region::new(
+                80,
+                (base - AMP) as usize,
+                (max_len as i64 * STEP) as usize,
+                (AMP + 4) as usize,
+            ),
+        ));
+    }
+    let mut annotated = Annotated::new(img);
+    for (label, region) in marks {
+        annotated.mark(label, region);
+    }
+    annotated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use crate::expr::Expr;
+    use crate::seq::FlipFlop;
+    use chipvqa_raster::legibility_after_downsample;
+
+    #[test]
+    fn truth_table_renders_with_marks() {
+        let tt = Expr::parse("A ^ B").unwrap().truth_table().unwrap();
+        let vis = render_truth_table(&tt, "F");
+        assert!(vis.image.ink_pixels() > 100);
+        // header + 4 rows
+        assert_eq!(vis.marks.len(), 5);
+    }
+
+    #[test]
+    fn kmap_cells_marked_with_minterms() {
+        let tt = Expr::parse("AB + CD").unwrap().truth_table().unwrap();
+        let vis = render_kmap(&tt);
+        assert_eq!(vis.marks.len(), 16);
+        assert!(vis.marks.iter().any(|m| m.label == "m15=1"));
+        assert!(vis.marks.iter().any(|m| m.label == "m0=0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "2..=4")]
+    fn kmap_rejects_one_variable() {
+        let tt = Expr::parse("A").unwrap().truth_table().unwrap();
+        let _ = render_kmap(&tt);
+    }
+
+    #[test]
+    fn schematic_marks_every_gate_and_output() {
+        let nl = builders::full_adder();
+        let vis = render_schematic(&nl);
+        // 3 inputs + 5 gates + 2 outputs
+        assert_eq!(vis.marks.len(), 10);
+        assert!(vis.image.ink_pixels() > 300);
+    }
+
+    #[test]
+    fn schematic_legibility_degrades_at_16x() {
+        let nl = builders::ripple_carry_adder(4);
+        let vis = render_schematic(&nl);
+        let all = chipvqa_raster::Region::full(&vis.image);
+        let at8 = legibility_after_downsample(&vis.image, all, 8);
+        let at16 = legibility_after_downsample(&vis.image, all, 16);
+        assert!(at8 > at16, "{at8} vs {at16}");
+    }
+
+    #[test]
+    fn state_table_renders() {
+        let (st, _) = StateTable::of_flip_flop(FlipFlop::Jk);
+        let vis = render_state_table(&st);
+        assert_eq!(vis.marks.len(), st.rows().len());
+    }
+
+    #[test]
+    fn waveform_tracks_each_signal() {
+        let clk = [true, false, true, false, true, false];
+        let d = [false, false, true, true, false, false];
+        let vis = render_waveform(&[("CLK", &clk), ("D", &d)]);
+        assert_eq!(vis.marks.len(), 2);
+        assert!(vis.image.ink_pixels() > 100);
+    }
+}

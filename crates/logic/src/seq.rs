@@ -1,0 +1,525 @@
+//! Sequential elements: flip-flops, excitation tables and state tables.
+//!
+//! This module powers the paper's flagship Digital Design example —
+//! *"Derive the function for Q given the state table and excitation maps"*
+//! with gold `Q = S'Q + SR'` — by actually deriving next-state equations
+//! from state tables via Quine–McCluskey.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::expr::Expr;
+use crate::minimize::{implicants_to_expr, minimize};
+
+/// The four classic flip-flop types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlipFlop {
+    /// Set/Reset latch-style flip-flop (S=R=1 is illegal).
+    Sr,
+    /// JK flip-flop (J=K=1 toggles).
+    Jk,
+    /// Data flip-flop.
+    D,
+    /// Toggle flip-flop.
+    T,
+}
+
+/// A required input value in an excitation table: `0`, `1`, or don't-care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Excitation {
+    /// Input must be 0.
+    Zero,
+    /// Input must be 1.
+    One,
+    /// Input value is irrelevant.
+    DontCare,
+}
+
+impl fmt::Display for Excitation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Excitation::Zero => "0",
+            Excitation::One => "1",
+            Excitation::DontCare => "X",
+        })
+    }
+}
+
+impl FlipFlop {
+    /// Number of synchronous inputs (1 for D/T, 2 for SR/JK).
+    pub fn input_count(self) -> usize {
+        match self {
+            FlipFlop::D | FlipFlop::T => 1,
+            FlipFlop::Sr | FlipFlop::Jk => 2,
+        }
+    }
+
+    /// Input pin names.
+    pub fn input_names(self) -> &'static [char] {
+        match self {
+            FlipFlop::Sr => &['S', 'R'],
+            FlipFlop::Jk => &['J', 'K'],
+            FlipFlop::D => &['D'],
+            FlipFlop::T => &['T'],
+        }
+    }
+
+    /// Next state given present state `q` and inputs. For SR, `S=R=1`
+    /// returns `None` (illegal input combination).
+    pub fn next_state(self, q: bool, inputs: &[bool]) -> Option<bool> {
+        match self {
+            FlipFlop::Sr => {
+                let (s, r) = (inputs[0], inputs[1]);
+                if s && r {
+                    None
+                } else if s {
+                    Some(true)
+                } else if r {
+                    Some(false)
+                } else {
+                    Some(q)
+                }
+            }
+            FlipFlop::Jk => {
+                let (j, k) = (inputs[0], inputs[1]);
+                Some(match (j, k) {
+                    (false, false) => q,
+                    (false, true) => false,
+                    (true, false) => true,
+                    (true, true) => !q,
+                })
+            }
+            FlipFlop::D => Some(inputs[0]),
+            FlipFlop::T => Some(q ^ inputs[0]),
+        }
+    }
+
+    /// The characteristic equation `Q+ = f(inputs, Q)` with `Q` denoting
+    /// present state.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use chipvqa_logic::expr::Expr;
+    /// use chipvqa_logic::seq::FlipFlop;
+    ///
+    /// let jk = FlipFlop::Jk.characteristic();
+    /// assert!(jk.equivalent(&Expr::parse("JQ' + K'Q")?)?);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn characteristic(self) -> Expr {
+        let src = match self {
+            FlipFlop::Sr => "S + R'Q",
+            FlipFlop::Jk => "JQ' + K'Q",
+            FlipFlop::D => "D",
+            FlipFlop::T => "T ^ Q",
+        };
+        Expr::parse(src).expect("characteristic equations are well-formed")
+    }
+
+    /// Excitation entry: input values required to move from `q` to
+    /// `q_next`.
+    pub fn excitation(self, q: bool, q_next: bool) -> Vec<Excitation> {
+        use Excitation::*;
+        match self {
+            FlipFlop::Sr => match (q, q_next) {
+                (false, false) => vec![Zero, DontCare],
+                (false, true) => vec![One, Zero],
+                (true, false) => vec![Zero, One],
+                (true, true) => vec![DontCare, Zero],
+            },
+            FlipFlop::Jk => match (q, q_next) {
+                (false, false) => vec![Zero, DontCare],
+                (false, true) => vec![One, DontCare],
+                (true, false) => vec![DontCare, One],
+                (true, true) => vec![DontCare, Zero],
+            },
+            FlipFlop::D => vec![if q_next { One } else { Zero }],
+            FlipFlop::T => vec![if q != q_next { One } else { Zero }],
+        }
+    }
+}
+
+impl fmt::Display for FlipFlop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FlipFlop::Sr => "SR",
+            FlipFlop::Jk => "JK",
+            FlipFlop::D => "D",
+            FlipFlop::T => "T",
+        })
+    }
+}
+
+/// Error constructing or querying a [`StateTable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateTableError {
+    /// Row count must be `2^(state_bits + input_bits)`.
+    BadRowCount {
+        /// Rows supplied.
+        got: usize,
+        /// Rows required.
+        expected: usize,
+    },
+    /// A next-state value exceeds the state-bit width.
+    StateOutOfRange {
+        /// The offending next-state.
+        state: usize,
+        /// Bits available.
+        bits: usize,
+    },
+}
+
+impl fmt::Display for StateTableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateTableError::BadRowCount { got, expected } => {
+                write!(f, "state table has {got} rows, needs {expected}")
+            }
+            StateTableError::StateOutOfRange { state, bits } => {
+                write!(f, "next state {state} does not fit in {bits} bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StateTableError {}
+
+/// A binary-encoded synchronous state table.
+///
+/// Row index encodes `(present_state << input_bits) | input`; each row
+/// holds the next state. Variable naming convention for the derived
+/// equations: state bits are `Q` (and `P`, `O`, … for wider machines,
+/// MSB-first) and input bits are `S`, `R` / `A`, `B` depending on the
+/// caller-provided names.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateTable {
+    state_bits: usize,
+    input_names: Vec<char>,
+    next_states: Vec<usize>,
+}
+
+impl StateTable {
+    /// Builds a state table.
+    ///
+    /// # Errors
+    ///
+    /// [`StateTableError::BadRowCount`] when `next_states.len()` is not
+    /// `2^(state_bits + input_names.len())`;
+    /// [`StateTableError::StateOutOfRange`] when a next state exceeds the
+    /// encodable range.
+    pub fn new(
+        state_bits: usize,
+        input_names: Vec<char>,
+        next_states: Vec<usize>,
+    ) -> Result<Self, StateTableError> {
+        let expected = 1usize << (state_bits + input_names.len());
+        if next_states.len() != expected {
+            return Err(StateTableError::BadRowCount {
+                got: next_states.len(),
+                expected,
+            });
+        }
+        for &s in &next_states {
+            if s >= 1usize << state_bits {
+                return Err(StateTableError::StateOutOfRange {
+                    state: s,
+                    bits: state_bits,
+                });
+            }
+        }
+        Ok(StateTable {
+            state_bits,
+            input_names,
+            next_states,
+        })
+    }
+
+    /// Number of state bits.
+    pub fn state_bits(&self) -> usize {
+        self.state_bits
+    }
+
+    /// Input signal names.
+    pub fn input_names(&self) -> &[char] {
+        &self.input_names
+    }
+
+    /// Next state for `(present, input)`.
+    pub fn next(&self, present: usize, input: usize) -> usize {
+        self.next_states[(present << self.input_names.len()) | input]
+    }
+
+    /// Raw next-state column.
+    pub fn rows(&self) -> &[usize] {
+        &self.next_states
+    }
+
+    /// State-bit variable names, MSB first. Single-bit machines use `Q`;
+    /// wider machines count backwards from `Q` (`P` is the next-most
+    /// significant... i.e. `['P','Q']` for two bits).
+    pub fn state_var_names(&self) -> Vec<char> {
+        let first = (b'Q' - (self.state_bits as u8 - 1)) as char;
+        (0..self.state_bits)
+            .map(|i| ((first as u8) + i as u8) as char)
+            .collect()
+    }
+
+    /// Derives the minimised next-state equation for state bit `bit`
+    /// (0 = MSB) over variables `[state_vars…, input_names…]`.
+    ///
+    /// The famous ChipVQA example falls out of this: an SR-controlled
+    /// single-bit machine yields `Q+ = S'Q + SR'` (equivalently
+    /// `S + R'Q` restricted to legal inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= state_bits`.
+    pub fn next_state_expr(&self, bit: usize) -> Expr {
+        assert!(bit < self.state_bits, "state bit out of range");
+        let num_vars = self.state_bits + self.input_names.len();
+        let minterms: Vec<usize> = (0..self.next_states.len())
+            .filter(|&row| {
+                let next = self.next_states[row];
+                next >> (self.state_bits - 1 - bit) & 1 == 1
+            })
+            .collect();
+        let cover = minimize(num_vars, &minterms, &[]);
+        let mut vars = self.state_var_names();
+        vars.extend(self.input_names.iter().copied());
+        implicants_to_expr(&cover, &vars)
+    }
+
+    /// Derives the minimised next-state equation treating `dont_care_rows`
+    /// as free (used when some input combinations are illegal, e.g. S=R=1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= state_bits`.
+    pub fn next_state_expr_with_dc(&self, bit: usize, dont_care_rows: &[usize]) -> Expr {
+        assert!(bit < self.state_bits, "state bit out of range");
+        let num_vars = self.state_bits + self.input_names.len();
+        let minterms: Vec<usize> = (0..self.next_states.len())
+            .filter(|&row| {
+                !dont_care_rows.contains(&row)
+                    && self.next_states[row] >> (self.state_bits - 1 - bit) & 1 == 1
+            })
+            .collect();
+        let cover = minimize(num_vars, &minterms, dont_care_rows);
+        let mut vars = self.state_var_names();
+        vars.extend(self.input_names.iter().copied());
+        implicants_to_expr(&cover, &vars)
+    }
+
+    /// Simulates the machine from `start` over an input sequence.
+    pub fn run(&self, start: usize, inputs: &[usize]) -> Vec<usize> {
+        let mut state = start;
+        let mut trace = vec![state];
+        for &i in inputs {
+            state = self.next(state, i);
+            trace.push(state);
+        }
+        trace
+    }
+
+    /// The state table behind ChipVQA's flagship Digital Design example:
+    /// a single-bit machine with inputs `S`, `R` whose minimised
+    /// next-state function is exactly `Q+ = S'Q + SR'` (answer choice (d)
+    /// in the paper's example; note this is *not* the SR flip-flop
+    /// characteristic — it differs on the `Q=1, S=0, R=1` row).
+    pub fn paper_example() -> StateTable {
+        // Row index is (Q << 2) | (S << 1) | R; next state is
+        // S'Q + SR' evaluated on that row.
+        let rows = vec![0, 0, 1, 0, 1, 1, 1, 0];
+        StateTable::new(1, vec!['S', 'R'], rows).expect("fixed dimensions are valid")
+    }
+
+    /// Builds the state table of a single flip-flop driven directly by its
+    /// inputs (illegal SR combinations map to don't-care rows returned
+    /// alongside).
+    pub fn of_flip_flop(ff: FlipFlop) -> (StateTable, Vec<usize>) {
+        let inputs = ff.input_names().to_vec();
+        let n_in = inputs.len();
+        let mut rows = Vec::new();
+        let mut dc = Vec::new();
+        for q in 0..2usize {
+            for i in 0..(1usize << n_in) {
+                let in_bits: Vec<bool> = (0..n_in).map(|b| i >> (n_in - 1 - b) & 1 == 1).collect();
+                match ff.next_state(q == 1, &in_bits) {
+                    Some(next) => rows.push(usize::from(next)),
+                    None => {
+                        dc.push((q << n_in) | i);
+                        rows.push(0); // placeholder, masked by the dc list
+                    }
+                }
+            }
+        }
+        let table = StateTable::new(1, inputs, rows).expect("dimensions correct by construction");
+        (table, dc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Expr {
+        Expr::parse(s).expect(s)
+    }
+
+    #[test]
+    fn d_ff_follows_input() {
+        assert_eq!(FlipFlop::D.next_state(false, &[true]), Some(true));
+        assert_eq!(FlipFlop::D.next_state(true, &[false]), Some(false));
+    }
+
+    #[test]
+    fn t_ff_toggles() {
+        assert_eq!(FlipFlop::T.next_state(false, &[true]), Some(true));
+        assert_eq!(FlipFlop::T.next_state(true, &[true]), Some(false));
+        assert_eq!(FlipFlop::T.next_state(true, &[false]), Some(true));
+    }
+
+    #[test]
+    fn sr_illegal_combination() {
+        assert_eq!(FlipFlop::Sr.next_state(false, &[true, true]), None);
+        assert_eq!(FlipFlop::Sr.next_state(false, &[true, false]), Some(true));
+        assert_eq!(FlipFlop::Sr.next_state(true, &[false, true]), Some(false));
+        assert_eq!(FlipFlop::Sr.next_state(true, &[false, false]), Some(true));
+    }
+
+    #[test]
+    fn jk_toggle_mode() {
+        assert_eq!(FlipFlop::Jk.next_state(true, &[true, true]), Some(false));
+        assert_eq!(FlipFlop::Jk.next_state(false, &[true, true]), Some(true));
+    }
+
+    #[test]
+    fn characteristic_equations_match_next_state() {
+        for ff in [FlipFlop::Sr, FlipFlop::Jk, FlipFlop::D, FlipFlop::T] {
+            let eq = ff.characteristic();
+            let names = ff.input_names();
+            for q in [false, true] {
+                for bits in 0..(1usize << ff.input_count()) {
+                    let inputs: Vec<bool> = (0..ff.input_count())
+                        .map(|b| bits >> (ff.input_count() - 1 - b) & 1 == 1)
+                        .collect();
+                    let Some(expected) = ff.next_state(q, &inputs) else {
+                        continue; // illegal SR input
+                    };
+                    let mut assignment: Vec<(char, bool)> = names
+                        .iter()
+                        .copied()
+                        .zip(inputs.iter().copied())
+                        .collect();
+                    assignment.push(('Q', q));
+                    assert_eq!(eq.eval(&assignment), expected, "{ff} q={q} in={bits:b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn excitation_tables_are_consistent_with_next_state() {
+        for ff in [FlipFlop::Sr, FlipFlop::Jk, FlipFlop::D, FlipFlop::T] {
+            for q in [false, true] {
+                for q_next in [false, true] {
+                    let exc = ff.excitation(q, q_next);
+                    // every concrete input consistent with the excitation
+                    // entry must produce q_next
+                    let n = ff.input_count();
+                    for bits in 0..(1usize << n) {
+                        let inputs: Vec<bool> =
+                            (0..n).map(|b| bits >> (n - 1 - b) & 1 == 1).collect();
+                        let consistent = exc.iter().zip(&inputs).all(|(e, &i)| match e {
+                            Excitation::Zero => !i,
+                            Excitation::One => i,
+                            Excitation::DontCare => true,
+                        });
+                        if consistent {
+                            if let Some(next) = ff.next_state(q, &inputs) {
+                                assert_eq!(next, q_next, "{ff} {q}->{q_next} inputs {inputs:?}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_derives_sq_plus_sr() {
+        // The ChipVQA flagship example: derive Q+ from the state table and
+        // get exactly the gold answer "Q = S'Q + SR'".
+        let table = StateTable::paper_example();
+        let derived = table.next_state_expr(0);
+        let gold = p("S'Q + SR'");
+        assert!(
+            derived.equivalent(&gold).unwrap(),
+            "derived {derived}, want S'Q + SR'"
+        );
+        // And the derivation is exact, not just equivalent: both prime
+        // implicants are essential, so QM returns this two-term cover.
+        assert_eq!(derived.literal_count(), 4, "cover is the two-term SOP");
+    }
+
+    #[test]
+    fn sr_flip_flop_characteristic_from_table() {
+        // With S=R=1 rows as don't-cares the derived equation agrees with
+        // the classic characteristic S + R'Q on every legal input.
+        let (table, dc) = StateTable::of_flip_flop(FlipFlop::Sr);
+        let derived = table.next_state_expr_with_dc(0, &dc);
+        let classic = p("S + R'Q");
+        for q in [false, true] {
+            for s in [false, true] {
+                for r in [false, true] {
+                    if s && r {
+                        continue;
+                    }
+                    let a = [('Q', q), ('S', s), ('R', r)];
+                    assert_eq!(derived.eval(&a), classic.eval(&a), "q={q} s={s} r={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_bit_counter_equations() {
+        // 2-bit up counter with enable E: next = state + E (mod 4).
+        let mut rows = Vec::new();
+        for s in 0..4usize {
+            for e in 0..2usize {
+                rows.push((s + e) % 4);
+            }
+        }
+        let table = StateTable::new(2, vec!['E'], rows).unwrap();
+        assert_eq!(table.state_var_names(), vec!['P', 'Q']);
+        // Q (LSB, bit index 1) toggles with E: Q+ = Q ^ E.
+        let q_next = table.next_state_expr(1);
+        assert!(q_next.equivalent(&p("Q ^ E")).unwrap());
+        // P (MSB) flips when Q & E: P+ = P ^ (QE).
+        let p_next = table.next_state_expr(0);
+        assert!(p_next.equivalent(&p("P ^ (QE)")).unwrap());
+    }
+
+    #[test]
+    fn run_traces_states() {
+        let (table, _) = StateTable::of_flip_flop(FlipFlop::D);
+        // input index == D value for 1-input machines
+        let trace = table.run(0, &[1, 1, 0, 1]);
+        assert_eq!(trace, vec![0, 1, 1, 0, 1]);
+    }
+
+    #[test]
+    fn bad_dimensions_rejected() {
+        assert!(matches!(
+            StateTable::new(1, vec!['A'], vec![0, 1, 0]),
+            Err(StateTableError::BadRowCount { .. })
+        ));
+        assert!(matches!(
+            StateTable::new(1, vec!['A'], vec![0, 1, 0, 2]),
+            Err(StateTableError::StateOutOfRange { .. })
+        ));
+    }
+}

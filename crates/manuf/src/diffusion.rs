@@ -1,0 +1,147 @@
+//! Dopant diffusion: Gaussian (limited-source) and complementary-error-
+//! function (constant-source) profiles with junction-depth solves.
+
+use serde::{Deserialize, Serialize};
+
+/// Complementary error function via the Abramowitz–Stegun 7.1.26
+/// rational approximation (|error| < 1.5e-7 — ample for process
+/// questions).
+pub fn erfc(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x_abs = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x_abs);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let erf = 1.0 - poly * (-x_abs * x_abs).exp();
+    1.0 - sign * erf
+}
+
+/// A diffusion step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Diffusion {
+    /// Diffusivity in cm²/s at the drive temperature.
+    pub diffusivity_cm2_s: f64,
+    /// Drive time in seconds.
+    pub time_s: f64,
+}
+
+impl Diffusion {
+    /// Creates a step.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both parameters are positive.
+    pub fn new(diffusivity_cm2_s: f64, time_s: f64) -> Self {
+        assert!(diffusivity_cm2_s > 0.0 && time_s > 0.0);
+        Diffusion {
+            diffusivity_cm2_s,
+            time_s,
+        }
+    }
+
+    /// Characteristic diffusion length `2√(Dt)` in cm.
+    pub fn diffusion_length_cm(&self) -> f64 {
+        2.0 * (self.diffusivity_cm2_s * self.time_s).sqrt()
+    }
+
+    /// Limited-source (Gaussian) profile from a dose `q` (atoms/cm²):
+    /// `C(x) = q/√(πDt) · exp(−x²/4Dt)` with `x` in cm.
+    pub fn gaussian_profile(&self, dose_cm2: f64, x_cm: f64) -> f64 {
+        let dt = self.diffusivity_cm2_s * self.time_s;
+        dose_cm2 / (std::f64::consts::PI * dt).sqrt() * (-x_cm * x_cm / (4.0 * dt)).exp()
+    }
+
+    /// Constant-source (erfc) profile from surface concentration `cs`:
+    /// `C(x) = cs · erfc(x / 2√(Dt))`.
+    pub fn erfc_profile(&self, surface_cm3: f64, x_cm: f64) -> f64 {
+        surface_cm3 * erfc(x_cm / self.diffusion_length_cm())
+    }
+
+    /// Junction depth where a Gaussian profile crosses the background
+    /// concentration: `xj = 2√(Dt · ln(Cs/Cb))` with `Cs` the surface
+    /// concentration. `None` when the surface never exceeds background.
+    pub fn gaussian_junction_depth_cm(&self, dose_cm2: f64, background_cm3: f64) -> Option<f64> {
+        let dt = self.diffusivity_cm2_s * self.time_s;
+        let surface = dose_cm2 / (std::f64::consts::PI * dt).sqrt();
+        if surface <= background_cm3 {
+            return None;
+        }
+        Some(2.0 * (dt * (surface / background_cm3).ln()).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erfc_reference_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((erfc(1.0) - 0.157299).abs() < 1e-5);
+        assert!((erfc(2.0) - 0.004678).abs() < 1e-5);
+        assert!((erfc(-1.0) - 1.842701).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gaussian_peak_at_surface() {
+        let d = Diffusion::new(1e-13, 3600.0);
+        let dose = 1e15;
+        let at0 = d.gaussian_profile(dose, 0.0);
+        let deeper = d.gaussian_profile(dose, 1e-4);
+        assert!(at0 > deeper);
+        assert!(deeper > 0.0);
+    }
+
+    #[test]
+    fn erfc_profile_monotone_decreasing() {
+        let d = Diffusion::new(1e-13, 1800.0);
+        let cs = 1e20;
+        let mut last = f64::INFINITY;
+        for i in 0..20 {
+            let c = d.erfc_profile(cs, i as f64 * 1e-5);
+            assert!(c <= last);
+            last = c;
+        }
+    }
+
+    #[test]
+    fn junction_depth_on_profile() {
+        let d = Diffusion::new(1e-13, 3600.0);
+        let dose = 1e15;
+        let bg = 1e16;
+        let xj = d.gaussian_junction_depth_cm(dose, bg).unwrap();
+        // profile at xj equals background
+        let c = d.gaussian_profile(dose, xj);
+        assert!((c / bg - 1.0).abs() < 1e-9, "C(xj) = {c}");
+    }
+
+    #[test]
+    fn no_junction_when_background_too_high() {
+        let d = Diffusion::new(1e-13, 3600.0);
+        assert!(d.gaussian_junction_depth_cm(1e10, 1e20).is_none());
+    }
+
+    #[test]
+    fn longer_drive_deepens_junction() {
+        let short = Diffusion::new(1e-13, 600.0);
+        let long = Diffusion::new(1e-13, 6000.0);
+        let xs = short.gaussian_junction_depth_cm(1e15, 1e16).unwrap();
+        let xl = long.gaussian_junction_depth_cm(1e15, 1e16).unwrap();
+        assert!(xl > xs);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn erfc_bounded_and_monotone(a in -3.0f64..3.0, b in -3.0f64..3.0) {
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                prop_assert!(erfc(lo) >= erfc(hi) - 1e-9);
+                prop_assert!((0.0..=2.0).contains(&erfc(a)));
+            }
+        }
+    }
+}

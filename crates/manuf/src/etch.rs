@@ -1,0 +1,306 @@
+//! Etch-process models: wet (isotropic) and dry (RIE, anisotropic with
+//! selectivity), layered-stack etching and over-etch timing — the physics
+//! behind the paper's Buffered-HF worked example.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Materials in a simple Si/SiO₂/photoresist process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Material {
+    /// Crystalline silicon.
+    Si,
+    /// Silicon dioxide.
+    SiO2,
+    /// Silicon nitride.
+    Si3N4,
+    /// Photoresist.
+    Resist,
+    /// Aluminium metallisation.
+    Al,
+}
+
+impl fmt::Display for Material {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Material::Si => "Si",
+            Material::SiO2 => "SiO2",
+            Material::Si3N4 => "Si3N4",
+            Material::Resist => "resist",
+            Material::Al => "Al",
+        })
+    }
+}
+
+/// Directionality of an etch chemistry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EtchKind {
+    /// Wet/isotropic: etches laterally as fast as vertically (undercut).
+    Isotropic,
+    /// Dry/RIE: vertical with an anisotropy factor in `[0, 1]`
+    /// (1 = perfectly vertical).
+    Anisotropic {
+        /// Fraction of lateral etch suppressed.
+        anisotropy: f64,
+    },
+}
+
+/// An etch chemistry: target material, vertical rate and selectivity to
+/// other materials.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EtchProcess {
+    /// Chemistry name ("5:1 BOE", "CHF3 RIE"…).
+    pub name: String,
+    /// Directionality.
+    pub kind: EtchKind,
+    /// Material it is tuned to etch.
+    pub target: Material,
+    /// Vertical etch rate of the target, nm/min.
+    pub rate_nm_min: f64,
+    /// `(material, selectivity)` pairs: target rate / material rate.
+    pub selectivity: Vec<(Material, f64)>,
+}
+
+impl EtchProcess {
+    /// A wet (isotropic) chemistry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the rate is positive.
+    pub fn wet(name: impl Into<String>, target: Material, rate_nm_min: f64) -> Self {
+        assert!(rate_nm_min > 0.0, "etch rate must be positive");
+        EtchProcess {
+            name: name.into(),
+            kind: EtchKind::Isotropic,
+            target,
+            rate_nm_min,
+            selectivity: Vec::new(),
+        }
+    }
+
+    /// A dry (RIE) chemistry with the given anisotropy.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the rate is positive and anisotropy in `[0, 1]`.
+    pub fn rie(
+        name: impl Into<String>,
+        target: Material,
+        rate_nm_min: f64,
+        anisotropy: f64,
+    ) -> Self {
+        assert!(rate_nm_min > 0.0, "etch rate must be positive");
+        assert!((0.0..=1.0).contains(&anisotropy), "anisotropy in [0,1]");
+        EtchProcess {
+            name: name.into(),
+            kind: EtchKind::Anisotropic { anisotropy },
+            target,
+            rate_nm_min,
+            selectivity: Vec::new(),
+        }
+    }
+
+    /// Declares a selectivity (target-rate : material-rate ratio).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the ratio is positive.
+    pub fn with_selectivity(mut self, material: Material, ratio: f64) -> Self {
+        assert!(ratio > 0.0, "selectivity must be positive");
+        self.selectivity.push((material, ratio));
+        self
+    }
+
+    /// Etch rate of `material` under this chemistry (0 if unlisted and
+    /// not the target: perfectly selective by default).
+    pub fn rate_of(&self, material: Material) -> f64 {
+        if material == self.target {
+            return self.rate_nm_min;
+        }
+        self.selectivity
+            .iter()
+            .find(|&&(m, _)| m == material)
+            .map_or(0.0, |&(_, ratio)| self.rate_nm_min / ratio)
+    }
+
+    /// Time (minutes) to just clear `thickness_nm` of the target.
+    pub fn time_to_clear(&self, thickness_nm: f64) -> f64 {
+        thickness_nm / self.rate_nm_min
+    }
+
+    /// Time (minutes) to clear `thickness_nm` with a fractional
+    /// over-etch: the paper's 10% over-etch example is
+    /// `time_for_overetch(d, 0.10) = 1.1 · d / rate`.
+    pub fn time_for_overetch(&self, thickness_nm: f64, overetch: f64) -> f64 {
+        self.time_to_clear(thickness_nm) * (1.0 + overetch)
+    }
+
+    /// Lateral undercut (nm) accrued while etching for `minutes`.
+    pub fn undercut_nm(&self, minutes: f64) -> f64 {
+        let lateral_fraction = match self.kind {
+            EtchKind::Isotropic => 1.0,
+            EtchKind::Anisotropic { anisotropy } => 1.0 - anisotropy,
+        };
+        self.rate_nm_min * minutes * lateral_fraction
+    }
+
+    /// Depth removed from `material` after etching for `minutes`.
+    pub fn depth_removed(&self, material: Material, minutes: f64) -> f64 {
+        self.rate_of(material) * minutes
+    }
+}
+
+/// A film in a layered stack.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Layer {
+    /// Film material.
+    pub material: Material,
+    /// Film thickness in nm.
+    pub thickness_nm: f64,
+}
+
+/// Etches a stack top-down for `minutes`, returning the remaining stack.
+/// Each film is consumed at the chemistry's rate for that material; time
+/// left over flows into the next film.
+pub fn etch_stack(stack: &[Layer], process: &EtchProcess, minutes: f64) -> Vec<Layer> {
+    let mut remaining = Vec::new();
+    let mut time_left = minutes;
+    let mut idx = 0;
+    while idx < stack.len() {
+        let layer = stack[idx];
+        let rate = process.rate_of(layer.material);
+        if rate <= 0.0 || time_left <= 0.0 {
+            remaining.extend_from_slice(&stack[idx..]);
+            break;
+        }
+        let time_needed = layer.thickness_nm / rate;
+        if time_needed > time_left {
+            remaining.push(Layer {
+                material: layer.material,
+                thickness_nm: layer.thickness_nm - rate * time_left,
+            });
+            remaining.extend_from_slice(&stack[idx + 1..]);
+            break;
+        }
+        time_left -= time_needed;
+        idx += 1;
+    }
+    remaining
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boe() -> EtchProcess {
+        EtchProcess::wet("5:1 BOE", Material::SiO2, 100.0)
+    }
+
+    fn rie() -> EtchProcess {
+        EtchProcess::rie("CHF3 RIE", Material::SiO2, 200.0, 0.95)
+            .with_selectivity(Material::Si, 15.0)
+    }
+
+    #[test]
+    fn paper_boe_overetch_example() {
+        // 500 nm SiO2, 100 nm/min, 10% over-etch -> 5.5 minutes.
+        assert!((boe().time_for_overetch(500.0, 0.10) - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selectivity_divides_rate() {
+        let p = rie();
+        assert!((p.rate_of(Material::SiO2) - 200.0).abs() < 1e-12);
+        assert!((p.rate_of(Material::Si) - 200.0 / 15.0).abs() < 1e-12);
+        assert_eq!(p.rate_of(Material::Al), 0.0, "unlisted = not etched");
+    }
+
+    #[test]
+    fn isotropic_undercut_equals_depth() {
+        let p = boe();
+        assert!((p.undercut_nm(2.0) - 200.0).abs() < 1e-12);
+        // RIE at 0.95 anisotropy barely undercuts
+        assert!((rie().undercut_nm(2.0) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stack_etch_consumes_films_in_order() {
+        let stack = [
+            Layer {
+                material: Material::SiO2,
+                thickness_nm: 200.0,
+            },
+            Layer {
+                material: Material::Si,
+                thickness_nm: 1000.0,
+            },
+        ];
+        // RIE for 1.5 min: 200 nm SiO2 gone in 1 min, then 0.5 min into Si
+        // at 200/15 nm/min ≈ 6.67 nm.
+        let rem = etch_stack(&stack, &rie(), 1.5);
+        assert_eq!(rem.len(), 1);
+        assert_eq!(rem[0].material, Material::Si);
+        assert!((rem[0].thickness_nm - (1000.0 - 0.5 * 200.0 / 15.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stack_etch_stops_at_nonetched_film() {
+        let stack = [
+            Layer {
+                material: Material::SiO2,
+                thickness_nm: 100.0,
+            },
+            Layer {
+                material: Material::Al,
+                thickness_nm: 50.0,
+            },
+        ];
+        let rem = etch_stack(&stack, &boe(), 100.0);
+        assert_eq!(rem.len(), 1);
+        assert_eq!(rem[0].material, Material::Al);
+        assert!((rem[0].thickness_nm - 50.0).abs() < 1e-12, "BOE stops on Al");
+    }
+
+    #[test]
+    fn partial_film_left_behind() {
+        let stack = [Layer {
+            material: Material::SiO2,
+            thickness_nm: 300.0,
+        }];
+        let rem = etch_stack(&stack, &boe(), 2.0);
+        assert!((rem[0].thickness_nm - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = EtchProcess::wet("bad", Material::Si, 0.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn etched_thickness_never_negative(
+                thickness in 1.0f64..2000.0,
+                minutes in 0.0f64..60.0,
+            ) {
+                let stack = [Layer { material: Material::SiO2, thickness_nm: thickness }];
+                let rem = etch_stack(&stack, &boe(), minutes);
+                for l in rem {
+                    prop_assert!(l.thickness_nm >= 0.0);
+                    prop_assert!(l.thickness_nm <= thickness);
+                }
+            }
+
+            #[test]
+            fn overetch_time_monotone(over in 0.0f64..1.0) {
+                let base = boe().time_to_clear(500.0);
+                prop_assert!(boe().time_for_overetch(500.0, over) >= base);
+            }
+        }
+    }
+}

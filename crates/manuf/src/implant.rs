@@ -1,0 +1,109 @@
+//! Ion implantation: Gaussian range/straggle profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// An implant step: projected range and straggle (both in nm) with a
+/// dose.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Implant {
+    /// Projected range Rp in nm.
+    pub range_nm: f64,
+    /// Straggle ΔRp in nm.
+    pub straggle_nm: f64,
+    /// Dose in atoms/cm².
+    pub dose_cm2: f64,
+}
+
+impl Implant {
+    /// Creates an implant description.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all parameters are positive.
+    pub fn new(range_nm: f64, straggle_nm: f64, dose_cm2: f64) -> Self {
+        assert!(range_nm > 0.0 && straggle_nm > 0.0 && dose_cm2 > 0.0);
+        Implant {
+            range_nm,
+            straggle_nm,
+            dose_cm2,
+        }
+    }
+
+    /// Peak concentration in atoms/cm³:
+    /// `Np = dose / (√(2π) ΔRp)` with ΔRp converted to cm.
+    pub fn peak_concentration_cm3(&self) -> f64 {
+        let straggle_cm = self.straggle_nm * 1e-7;
+        self.dose_cm2 / ((2.0 * std::f64::consts::PI).sqrt() * straggle_cm)
+    }
+
+    /// Concentration at depth `x_nm`:
+    /// `N(x) = Np · exp(−(x−Rp)²/(2ΔRp²))`.
+    pub fn concentration_cm3(&self, x_nm: f64) -> f64 {
+        let z = (x_nm - self.range_nm) / self.straggle_nm;
+        self.peak_concentration_cm3() * (-0.5 * z * z).exp()
+    }
+
+    /// Depths where the profile crosses `level` atoms/cm³ (the two
+    /// junctions of a buried profile); `None` if the peak is below the
+    /// level.
+    pub fn junctions_nm(&self, level_cm3: f64) -> Option<(f64, f64)> {
+        let peak = self.peak_concentration_cm3();
+        if level_cm3 >= peak {
+            return None;
+        }
+        let half_width = self.straggle_nm * (2.0 * (peak / level_cm3).ln()).sqrt();
+        Some((self.range_nm - half_width, self.range_nm + half_width))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn imp() -> Implant {
+        Implant::new(100.0, 20.0, 1e15)
+    }
+
+    #[test]
+    fn peak_is_at_projected_range() {
+        let i = imp();
+        let peak = i.concentration_cm3(100.0);
+        assert!((peak / i.peak_concentration_cm3() - 1.0).abs() < 1e-12);
+        assert!(i.concentration_cm3(60.0) < peak);
+        assert!(i.concentration_cm3(140.0) < peak);
+    }
+
+    #[test]
+    fn profile_symmetric_about_range() {
+        let i = imp();
+        for d in [5.0, 15.0, 33.0] {
+            let lo = i.concentration_cm3(100.0 - d);
+            let hi = i.concentration_cm3(100.0 + d);
+            assert!((lo / hi - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn junction_pair_brackets_range() {
+        let i = imp();
+        let level = i.peak_concentration_cm3() / 100.0;
+        let (xa, xb) = i.junctions_nm(level).unwrap();
+        assert!(xa < 100.0 && 100.0 < xb);
+        // profile at the junctions equals the level
+        assert!((i.concentration_cm3(xb) / level - 1.0).abs() < 1e-9);
+        assert!((i.concentration_cm3(xa) / level - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn level_above_peak_has_no_junction() {
+        let i = imp();
+        assert!(i.junctions_nm(i.peak_concentration_cm3() * 2.0).is_none());
+    }
+
+    #[test]
+    fn higher_dose_raises_peak_linearly() {
+        let a = Implant::new(100.0, 20.0, 1e15).peak_concentration_cm3();
+        let b = Implant::new(100.0, 20.0, 2e15).peak_concentration_cm3();
+        assert!((b / a - 2.0).abs() < 1e-12);
+    }
+}

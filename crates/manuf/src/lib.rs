@@ -1,0 +1,46 @@
+//! Semiconductor-manufacturing substrate for the ChipVQA reproduction.
+//!
+//! ChipVQA's Manufacturing section spans lithography, etching, doping,
+//! oxidation, wafer defects and device structures. The paper's worked
+//! example — *"how long should this wafer sit in 5:1 BOE to record a 10%
+//! over-etch?"* — is a process-physics computation; this crate implements
+//! the models those questions (and their golden answers) come from:
+//!
+//! - [`etch`]: wet/dry etch of layered stacks with rates, selectivity,
+//!   isotropic undercut and over-etch timing;
+//! - [`litho`]: Rayleigh resolution/depth-of-focus and the RET taxonomy
+//!   (OPC, PSM, OAI, SRAF) the paper's sample question shows;
+//! - [`diffusion`]: Gaussian and erfc dopant profiles with junction-depth
+//!   solves;
+//! - [`implant`]: range/straggle implant profiles;
+//! - [`oxidation`]: Deal–Grove linear-parabolic oxide growth;
+//! - [`yield_model`]: Poisson/Murphy/negative-binomial die yield and
+//!   gross-dies-per-wafer;
+//! - [`render`]: cross-section stack drawings, mask/pattern figures and
+//!   profile curves.
+//!
+//! # Example
+//!
+//! ```
+//! use chipvqa_manuf::etch::{EtchProcess, Material};
+//!
+//! // 5:1 BOE etches 500 nm of SiO2 at 100 nm/min; a 10% over-etch takes
+//! // 5.0 * 1.1 = 5.5 minutes.
+//! let boe = EtchProcess::wet("5:1 BOE", Material::SiO2, 100.0);
+//! let t = boe.time_for_overetch(500.0, 0.10);
+//! assert!((t - 5.5).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diffusion;
+pub mod etch;
+pub mod implant;
+pub mod litho;
+pub mod oxidation;
+pub mod render;
+pub mod yield_model;
+
+pub use etch::EtchProcess;
+pub use litho::Lithography;

@@ -1,0 +1,186 @@
+//! Optical lithography: Rayleigh resolution and depth of focus, plus the
+//! resolution-enhancement-technique (RET) taxonomy behind the paper's
+//! sample Manufacturing question ("what is the lithography resolution
+//! enhancement technique depicted in the figure?").
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An exposure tool configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Lithography {
+    /// Exposure wavelength in nm (193 for ArF, 13.5 for EUV…).
+    pub wavelength_nm: f64,
+    /// Numerical aperture of the projection optics.
+    pub na: f64,
+    /// Process factor k₁ (≈0.25 theoretical limit for single exposure).
+    pub k1: f64,
+    /// Process factor k₂ for depth of focus.
+    pub k2: f64,
+}
+
+impl Lithography {
+    /// Creates a tool configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all parameters are positive and `na < 2`.
+    pub fn new(wavelength_nm: f64, na: f64, k1: f64, k2: f64) -> Self {
+        assert!(wavelength_nm > 0.0 && na > 0.0 && k1 > 0.0 && k2 > 0.0);
+        assert!(na < 2.0, "NA beyond immersion limits");
+        Lithography {
+            wavelength_nm,
+            na,
+            k1,
+            k2,
+        }
+    }
+
+    /// The ArF immersion workhorse: 193 nm, NA 1.35.
+    pub fn arf_immersion() -> Self {
+        Lithography::new(193.0, 1.35, 0.30, 0.50)
+    }
+
+    /// An EUV configuration: 13.5 nm, NA 0.33.
+    pub fn euv() -> Self {
+        Lithography::new(13.5, 0.33, 0.40, 0.50)
+    }
+
+    /// Rayleigh minimum half-pitch: `R = k1 λ / NA` (nm).
+    pub fn resolution_nm(&self) -> f64 {
+        self.k1 * self.wavelength_nm / self.na
+    }
+
+    /// Rayleigh depth of focus: `DOF = k2 λ / NA²` (nm).
+    pub fn depth_of_focus_nm(&self) -> f64 {
+        self.k2 * self.wavelength_nm / (self.na * self.na)
+    }
+
+    /// Whether a feature half-pitch is printable in a single exposure.
+    pub fn printable(&self, half_pitch_nm: f64) -> bool {
+        half_pitch_nm >= self.resolution_nm()
+    }
+}
+
+/// Resolution enhancement techniques.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Ret {
+    /// Optical proximity correction: mask-shape pre-distortion (serifs,
+    /// hammerheads, line biasing).
+    Opc,
+    /// Phase-shift mask: alternating 180° phase regions sharpen edges.
+    Psm,
+    /// Off-axis illumination: oblique source poles favour dense pitches.
+    Oai,
+    /// Sub-resolution assist features: scatter bars around isolated
+    /// lines.
+    Sraf,
+    /// Multiple patterning: decomposing one layer into several exposures.
+    MultiPatterning,
+}
+
+impl Ret {
+    /// One-line description of the visual signature (used as a question
+    /// gold).
+    pub fn signature(&self) -> &'static str {
+        match self {
+            Ret::Opc => "mask polygons decorated with serifs and hammerheads",
+            Ret::Psm => "alternating-phase mask regions with 180-degree shifters",
+            Ret::Oai => "annular or quadrupole source pupil instead of a disk",
+            Ret::Sraf => "thin scatter bars beside isolated main features",
+            Ret::MultiPatterning => "one layer decomposed into multiple colored exposures",
+        }
+    }
+
+    /// Canonical short name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Ret::Opc => "OPC",
+            Ret::Psm => "PSM",
+            Ret::Oai => "OAI",
+            Ret::Sraf => "SRAF",
+            Ret::MultiPatterning => "multi-patterning",
+        }
+    }
+
+    /// Effective k₁ improvement factor (rough literature midpoints — the
+    /// generated questions only use the ordering, not the exact values).
+    pub fn k1_factor(&self) -> f64 {
+        match self {
+            Ret::Opc => 0.9,
+            Ret::Sraf => 0.85,
+            Ret::Oai => 0.8,
+            Ret::Psm => 0.7,
+            Ret::MultiPatterning => 0.5,
+        }
+    }
+}
+
+impl fmt::Display for Ret {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Mask-error enhancement factor: the wafer CD change per mask CD change
+/// at a given pitch, modelled as diverging near the resolution limit.
+pub fn meef(tool: &Lithography, half_pitch_nm: f64) -> f64 {
+    let r = tool.resolution_nm();
+    if half_pitch_nm <= r {
+        return f64::INFINITY;
+    }
+    1.0 + (r / (half_pitch_nm - r)).min(20.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arf_resolution_ballpark() {
+        let t = Lithography::arf_immersion();
+        // 0.30 * 193 / 1.35 ≈ 42.9 nm half-pitch
+        assert!((t.resolution_nm() - 42.9).abs() < 0.1);
+        assert!(t.printable(45.0));
+        assert!(!t.printable(30.0));
+    }
+
+    #[test]
+    fn euv_resolves_finer_pitch() {
+        assert!(Lithography::euv().resolution_nm() < Lithography::arf_immersion().resolution_nm());
+    }
+
+    #[test]
+    fn dof_shrinks_with_na_squared() {
+        let lo = Lithography::new(193.0, 0.6, 0.4, 0.5);
+        let hi = Lithography::new(193.0, 1.2, 0.4, 0.5);
+        assert!((lo.depth_of_focus_nm() / hi.depth_of_focus_nm() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ret_k1_ordering() {
+        // multi-patterning is the strongest k1 lever, OPC the mildest
+        assert!(Ret::MultiPatterning.k1_factor() < Ret::Psm.k1_factor());
+        assert!(Ret::Psm.k1_factor() < Ret::Opc.k1_factor());
+        for ret in [Ret::Opc, Ret::Psm, Ret::Oai, Ret::Sraf, Ret::MultiPatterning] {
+            assert!(!ret.signature().is_empty());
+            assert!(!ret.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn meef_diverges_near_limit() {
+        let t = Lithography::arf_immersion();
+        let far = meef(&t, 100.0);
+        let near = meef(&t, 45.0);
+        assert!(near > far);
+        assert!(meef(&t, 40.0).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "NA")]
+    fn absurd_na_rejected() {
+        let _ = Lithography::new(193.0, 2.5, 0.3, 0.5);
+    }
+}

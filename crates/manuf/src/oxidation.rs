@@ -1,0 +1,104 @@
+//! Thermal oxidation: the Deal–Grove linear-parabolic growth model.
+
+use serde::{Deserialize, Serialize};
+
+/// Deal–Grove coefficients for one ambient/temperature.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DealGrove {
+    /// Linear rate constant B/A in µm/hr.
+    pub linear_um_hr: f64,
+    /// Parabolic rate constant B in µm²/hr.
+    pub parabolic_um2_hr: f64,
+}
+
+impl DealGrove {
+    /// Creates a coefficient set.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both constants are positive.
+    pub fn new(linear_um_hr: f64, parabolic_um2_hr: f64) -> Self {
+        assert!(linear_um_hr > 0.0 && parabolic_um2_hr > 0.0);
+        DealGrove {
+            linear_um_hr,
+            parabolic_um2_hr,
+        }
+    }
+
+    /// Representative wet-oxidation constants at 1100 °C.
+    pub fn wet_1100c() -> Self {
+        DealGrove::new(4.64, 0.51)
+    }
+
+    /// Representative dry-oxidation constants at 1100 °C.
+    pub fn dry_1100c() -> Self {
+        DealGrove::new(0.30, 0.027)
+    }
+
+    /// Oxide thickness (µm) after `hours`, starting from `x0_um` of
+    /// existing oxide: solves `x² + A x = B (t + τ)`.
+    pub fn thickness_um(&self, hours: f64, x0_um: f64) -> f64 {
+        let a = self.parabolic_um2_hr / self.linear_um_hr; // the "A" term
+        let b = self.parabolic_um2_hr;
+        let tau = (x0_um * x0_um + a * x0_um) / b;
+        let t = hours + tau;
+        (-a + (a * a + 4.0 * b * t).sqrt()) / 2.0
+    }
+
+    /// Time (hours) to grow to `x_um` from bare silicon.
+    pub fn time_to_thickness_hr(&self, x_um: f64) -> f64 {
+        let a = self.parabolic_um2_hr / self.linear_um_hr;
+        (x_um * x_um + a * x_um) / self.parabolic_um2_hr
+    }
+
+    /// Silicon consumed growing `x_um` of oxide (≈ 0.44 × thickness).
+    pub fn silicon_consumed_um(x_um: f64) -> f64 {
+        0.44 * x_um
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_is_monotone_and_sublinear_at_long_times() {
+        let dg = DealGrove::wet_1100c();
+        let x1 = dg.thickness_um(1.0, 0.0);
+        let x4 = dg.thickness_um(4.0, 0.0);
+        let x16 = dg.thickness_um(16.0, 0.0);
+        assert!(x1 < x4 && x4 < x16);
+        // parabolic regime: quadrupling time doubles thickness
+        assert!(x16 / x4 < 2.3, "{}", x16 / x4);
+    }
+
+    #[test]
+    fn time_thickness_roundtrip() {
+        let dg = DealGrove::dry_1100c();
+        for x in [0.05, 0.1, 0.3] {
+            let t = dg.time_to_thickness_hr(x);
+            let back = dg.thickness_um(t, 0.0);
+            assert!((back - x).abs() < 1e-9, "{back} vs {x}");
+        }
+    }
+
+    #[test]
+    fn existing_oxide_slows_growth() {
+        let dg = DealGrove::wet_1100c();
+        let fresh = dg.thickness_um(1.0, 0.0);
+        let grown_on = dg.thickness_um(1.0, 0.5) - 0.5;
+        assert!(grown_on < fresh);
+    }
+
+    #[test]
+    fn wet_grows_faster_than_dry() {
+        let wet = DealGrove::wet_1100c().thickness_um(2.0, 0.0);
+        let dry = DealGrove::dry_1100c().thickness_um(2.0, 0.0);
+        assert!(wet > 3.0 * dry);
+    }
+
+    #[test]
+    fn silicon_consumption_ratio() {
+        assert!((DealGrove::silicon_consumed_um(1.0) - 0.44).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,243 @@
+//! Procedural drawings of manufacturing visuals: layered cross-sections
+//! (the etch question's figure), RET mask patterns and dopant-profile
+//! curves.
+
+use chipvqa_raster::{Annotated, Pixmap, Region, BLACK, GRAY};
+
+use crate::etch::Layer;
+use crate::litho::Ret;
+
+const STROKE: i64 = 2;
+const TEXT: i64 = 2;
+
+/// Renders a patterned film stack in cross-section: substrate at the
+/// bottom, films stacked above, a patterned resist opening on top (the
+/// figure style of the paper's BOE over-etch example). Film thicknesses
+/// are annotated in nm.
+pub fn render_stack_cross_section(stack: &[Layer], opening_label: &str) -> Annotated {
+    let mut img = Pixmap::new(460, 320);
+    let mut marks: Vec<(String, Region)> = Vec::new();
+    let (x0, x1) = (50i64, 410i64);
+    let bottom = 280i64;
+    let total: f64 = stack.iter().map(|l| l.thickness_nm).sum::<f64>().max(1.0);
+    let scale = 170.0 / total;
+
+    // substrate block
+    img.fill_rect(x0, bottom, x1 - x0, 24, GRAY);
+    img.draw_text(x0 + 8, bottom + 6, "Si substrate", TEXT, BLACK);
+    marks.push((
+        "silicon substrate".to_string(),
+        Region::new(x0 as usize, bottom as usize, (x1 - x0) as usize, 24),
+    ));
+
+    // films bottom-up (stack[last] touches substrate)
+    let mut y = bottom;
+    for (i, layer) in stack.iter().enumerate().rev() {
+        let h = ((layer.thickness_nm * scale) as i64).max(10);
+        y -= h;
+        img.draw_rect(x0, y, x1 - x0, h, STROKE, BLACK);
+        let label = format!("{} {}nm", layer.material, layer.thickness_nm);
+        img.draw_text(x0 + 8, y + h / 2 - 6, &label, TEXT, BLACK);
+        marks.push((
+            format!("film {i}: {label}"),
+            Region::new(x0 as usize, y as usize, (x1 - x0) as usize, h as usize),
+        ));
+    }
+    // patterned resist with an opening in the middle
+    let ry = y - 26;
+    let gap0 = (x0 + x1) / 2 - 50;
+    let gap1 = (x0 + x1) / 2 + 50;
+    img.fill_rect(x0, ry, gap0 - x0, 22, BLACK);
+    img.fill_rect(gap1, ry, x1 - gap1, 22, BLACK);
+    img.draw_text(x0 + 4, ry - 18, "resist", TEXT, BLACK);
+    img.draw_arrow((gap0 + gap1) / 2, ry - 24, (gap0 + gap1) / 2, ry + 30, STROKE, BLACK);
+    img.draw_text(gap1 + 8, ry - 2, opening_label, TEXT, BLACK);
+    marks.push((
+        format!("patterned resist opening: {opening_label}"),
+        Region::new(gap0 as usize, (ry - 26).max(0) as usize, (gap1 - gap0) as usize, 60),
+    ));
+    let mut out = Annotated::new(img);
+    for (label, region) in marks {
+        out.mark(label, region);
+    }
+    out
+}
+
+/// Renders the visual signature of a resolution-enhancement technique
+/// (the figure of the paper's sample question "what is the lithography
+/// resolution enhancement technique depicted?").
+pub fn render_ret_figure(ret: Ret) -> Annotated {
+    let mut img = Pixmap::new(420, 320);
+    let mut marks: Vec<(String, Region)> = Vec::new();
+    match ret {
+        Ret::Opc => {
+            // an L-shaped polygon with serifs and a hammerhead
+            img.draw_polyline(
+                &[(120, 80), (260, 80), (260, 120), (160, 120), (160, 240), (120, 240), (120, 80)],
+                STROKE,
+                BLACK,
+            );
+            // serifs at corners
+            for (x, y) in [(114, 74), (254, 74), (114, 234), (154, 234)] {
+                img.draw_rect(x, y, 14, 14, STROKE, BLACK);
+            }
+            img.draw_rect(250, 108, 24, 24, STROKE, BLACK); // hammerhead
+            marks.push((
+                "mask polygon decorated with corner serifs and hammerhead".to_string(),
+                Region::new(100, 60, 200, 200),
+            ));
+        }
+        Ret::Sraf => {
+            img.fill_rect(190, 60, 24, 200, BLACK); // main feature
+            img.fill_rect(150, 60, 6, 200, BLACK); // scatter bars
+            img.fill_rect(250, 60, 6, 200, BLACK);
+            marks.push((
+                "isolated line flanked by thin sub-resolution scatter bars".to_string(),
+                Region::new(140, 50, 130, 220),
+            ));
+        }
+        Ret::Psm => {
+            img.draw_rect(90, 80, 110, 160, STROKE, BLACK);
+            img.draw_text(110, 140, "0 deg", TEXT, BLACK);
+            img.fill_rect(210, 80, 110, 160, GRAY);
+            img.draw_text(230, 140, "180 deg", TEXT, BLACK);
+            marks.push((
+                "alternating 0/180-degree phase regions".to_string(),
+                Region::new(80, 70, 260, 180),
+            ));
+        }
+        Ret::Oai => {
+            // annular pupil: two concentric circles, poles shaded
+            img.draw_circle(210, 160, 100, STROKE, BLACK);
+            img.draw_circle(210, 160, 55, STROKE, BLACK);
+            for (dx, dy) in [(-78, 0), (78, 0), (0, -78), (0, 78)] {
+                img.fill_circle(210 + dx, 160 + dy, 16, BLACK);
+            }
+            marks.push((
+                "quadrupole off-axis illumination pupil".to_string(),
+                Region::new(100, 50, 220, 220),
+            ));
+        }
+        Ret::MultiPatterning => {
+            for i in 0..6i64 {
+                let x = 80 + i * 45;
+                if i % 2 == 0 {
+                    img.fill_rect(x, 70, 16, 180, BLACK);
+                } else {
+                    img.draw_rect(x, 70, 16, 180, STROKE, BLACK);
+                    img.draw_dashed_line(x + 8, 70, x + 8, 250, 1, GRAY, 4, 4);
+                }
+            }
+            marks.push((
+                "dense lines decomposed into two alternating exposures".to_string(),
+                Region::new(70, 60, 300, 200),
+            ));
+        }
+    }
+    img.draw_text(20, 290, "mask pattern", TEXT, GRAY);
+    let mut out = Annotated::new(img);
+    for (label, region) in marks {
+        out.mark(label, region);
+    }
+    out
+}
+
+/// Renders a dopant concentration-vs-depth curve (log-y sketch) with the
+/// junction depth marked.
+pub fn render_profile_curve(samples: &[(f64, f64)], junction_nm: Option<f64>) -> Annotated {
+    let mut img = Pixmap::new(440, 300);
+    let mut marks: Vec<(String, Region)> = Vec::new();
+    let (ox, oy) = (60i64, 20i64);
+    let (pw, ph) = (340i64, 220i64);
+    img.draw_line(ox, oy, ox, oy + ph, STROKE, BLACK);
+    img.draw_line(ox, oy + ph, ox + pw, oy + ph, STROKE, BLACK);
+    img.draw_text(4, oy, "log C", TEXT, BLACK);
+    img.draw_text(ox + pw - 60, oy + ph + 10, "depth nm", TEXT, BLACK);
+    if samples.len() >= 2 {
+        let xmax = samples.iter().map(|&(x, _)| x).fold(0.0, f64::max).max(1e-9);
+        let (cmin, cmax) = samples.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &(_, c)| {
+            (lo.min(c.max(1.0)), hi.max(c))
+        });
+        let ly = |c: f64| -> i64 {
+            let t = (cmax.ln() - c.max(1.0).ln()) / (cmax.ln() - cmin.ln()).max(1e-9);
+            oy + (t.clamp(0.0, 1.0) * ph as f64) as i64
+        };
+        let pts: Vec<(i64, i64)> = samples
+            .iter()
+            .map(|&(x, c)| (ox + (x / xmax * pw as f64) as i64, ly(c)))
+            .collect();
+        img.draw_polyline(&pts, STROKE, BLACK);
+        if let Some(xj) = junction_nm {
+            let x = ox + (xj / xmax * pw as f64) as i64;
+            img.draw_dashed_line(x, oy, x, oy + ph, 1, GRAY, 4, 4);
+            img.draw_text(x + 4, oy + ph - 20, "xj", TEXT, BLACK);
+            marks.push((
+                format!("junction depth marker near {xj:.0} nm"),
+                Region::new((x - 6).max(0) as usize, oy as usize, 40, ph as usize),
+            ));
+        }
+        marks.push((
+            "dopant profile curve".to_string(),
+            Region::new(ox as usize, oy as usize, pw as usize, ph as usize),
+        ));
+    }
+    let mut out = Annotated::new(img);
+    for (label, region) in marks {
+        out.mark(label, region);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::etch::Material;
+
+    #[test]
+    fn cross_section_marks_every_film() {
+        let stack = [
+            Layer {
+                material: Material::SiO2,
+                thickness_nm: 500.0,
+            },
+            Layer {
+                material: Material::Si3N4,
+                thickness_nm: 100.0,
+            },
+        ];
+        let vis = render_stack_cross_section(&stack, "etch window");
+        assert!(vis.marks.iter().any(|m| m.label.contains("SiO2 500nm")));
+        assert!(vis.marks.iter().any(|m| m.label.contains("Si3N4 100nm")));
+        assert!(vis.marks.iter().any(|m| m.label.contains("etch window")));
+        assert!(vis.image.ink_pixels() > 400);
+    }
+
+    #[test]
+    fn each_ret_has_distinct_signature_mark() {
+        for ret in [Ret::Opc, Ret::Psm, Ret::Oai, Ret::Sraf, Ret::MultiPatterning] {
+            let vis = render_ret_figure(ret);
+            assert_eq!(vis.marks.len(), 1, "{ret}");
+            assert!(vis.image.ink_pixels() > 150, "{ret}");
+        }
+    }
+
+    #[test]
+    fn profile_curve_marks_junction() {
+        let d = crate::diffusion::Diffusion::new(1e-13, 3600.0);
+        let samples: Vec<(f64, f64)> = (0..60)
+            .map(|i| {
+                let x_nm = i as f64 * 20.0;
+                (x_nm, d.gaussian_profile(1e15, x_nm * 1e-7))
+            })
+            .collect();
+        let vis = render_profile_curve(&samples, Some(400.0));
+        assert!(vis.marks.iter().any(|m| m.label.contains("junction")));
+    }
+
+    #[test]
+    fn empty_profile_is_blank_axes() {
+        let vis = render_profile_curve(&[], None);
+        assert!(vis.marks.is_empty());
+        assert!(vis.image.ink_pixels() > 50, "axes still drawn");
+    }
+}

@@ -1,0 +1,292 @@
+//! Die yield models (Poisson, Murphy, negative binomial) and
+//! gross-dies-per-wafer geometry.
+
+use serde::{Deserialize, Serialize};
+
+/// Defect-limited yield models for die area `a` (cm²) and defect density
+/// `d0` (defects/cm²).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum YieldModel {
+    /// `Y = exp(−A·D0)`.
+    Poisson,
+    /// `Y = ((1 − e^{−A·D0}) / (A·D0))²`.
+    Murphy,
+    /// `Y = (1 + A·D0/α)^{−α}` with clustering factor α.
+    NegativeBinomial {
+        /// Clustering parameter (smaller = more clustered defects =
+        /// higher yield at the same D0).
+        alpha: f64,
+    },
+}
+
+impl YieldModel {
+    /// Predicted die yield in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative area or defect density.
+    pub fn die_yield(&self, area_cm2: f64, d0_per_cm2: f64) -> f64 {
+        assert!(area_cm2 >= 0.0 && d0_per_cm2 >= 0.0, "negative inputs");
+        let ad = area_cm2 * d0_per_cm2;
+        match *self {
+            YieldModel::Poisson => (-ad).exp(),
+            YieldModel::Murphy => {
+                if ad == 0.0 {
+                    1.0
+                } else {
+                    let f = (1.0 - (-ad).exp()) / ad;
+                    f * f
+                }
+            }
+            YieldModel::NegativeBinomial { alpha } => (1.0 + ad / alpha).powf(-alpha),
+        }
+    }
+}
+
+/// Gross dies per wafer for square-ish dies: the classic
+/// `π·r²/A − π·d/√(2A)` edge-corrected estimate.
+///
+/// # Panics
+///
+/// Panics on non-positive dimensions.
+pub fn gross_dies_per_wafer(wafer_diameter_mm: f64, die_area_mm2: f64) -> u64 {
+    assert!(wafer_diameter_mm > 0.0 && die_area_mm2 > 0.0);
+    let d = wafer_diameter_mm;
+    let a = die_area_mm2;
+    let estimate =
+        std::f64::consts::PI * d * d / (4.0 * a) - std::f64::consts::PI * d / (2.0 * a).sqrt();
+    estimate.max(0.0).floor() as u64
+}
+
+/// Good dies per wafer under a yield model.
+pub fn good_dies_per_wafer(
+    wafer_diameter_mm: f64,
+    die_area_mm2: f64,
+    model: YieldModel,
+    d0_per_cm2: f64,
+) -> f64 {
+    let gross = gross_dies_per_wafer(wafer_diameter_mm, die_area_mm2) as f64;
+    gross * model.die_yield(die_area_mm2 / 100.0, d0_per_cm2)
+}
+
+/// A simulated wafer: per-die pass/fail under a spatial defect process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WaferMap {
+    /// Die pass/fail flags (true = good), row-major over the grid that
+    /// fits the wafer.
+    pub dies: Vec<bool>,
+}
+
+impl WaferMap {
+    /// Number of dies on the wafer.
+    pub fn gross(&self) -> usize {
+        self.dies.len()
+    }
+
+    /// Number of passing dies.
+    pub fn good(&self) -> usize {
+        self.dies.iter().filter(|&&d| d).count()
+    }
+
+    /// Measured yield.
+    pub fn measured_yield(&self) -> f64 {
+        if self.dies.is_empty() {
+            return 0.0;
+        }
+        self.good() as f64 / self.gross() as f64
+    }
+}
+
+/// Monte-Carlo wafer simulation: scatters Poisson-distributed point
+/// defects over the wafer disc and kills every die containing one. The
+/// measured yield converges to the Poisson model's prediction — a
+/// cross-check the tests exploit.
+///
+/// # Panics
+///
+/// Panics on non-positive dimensions or negative defect density.
+pub fn simulate_wafer<R: rand::Rng>(
+    wafer_diameter_mm: f64,
+    die_area_mm2: f64,
+    d0_per_cm2: f64,
+    rng: &mut R,
+) -> WaferMap {
+    assert!(wafer_diameter_mm > 0.0 && die_area_mm2 > 0.0, "bad dims");
+    assert!(d0_per_cm2 >= 0.0, "negative defect density");
+    let r = wafer_diameter_mm / 2.0;
+    let die = die_area_mm2.sqrt();
+    // enumerate die sites fully inside the disc
+    let mut sites: Vec<(f64, f64)> = Vec::new();
+    let mut y = -r;
+    while y + die <= r {
+        let mut x = -r;
+        while x + die <= r {
+            let corners = [(x, y), (x + die, y), (x, y + die), (x + die, y + die)];
+            if corners.iter().all(|&(cx, cy)| (cx * cx + cy * cy).sqrt() <= r) {
+                sites.push((x, y));
+            }
+            x += die;
+        }
+        y += die;
+    }
+    let mut dies = vec![true; sites.len()];
+    // Poisson defect count over the whole wafer area (sampled as a
+    // binomial-ish loop with the exact expected count for simplicity:
+    // draw N ~ Poisson(lambda) via Knuth for moderate lambda).
+    let wafer_area_cm2 = std::f64::consts::PI * r * r / 100.0;
+    let lambda = d0_per_cm2 * wafer_area_cm2;
+    let defects = {
+        // Knuth's algorithm; lambda here is at most a few hundred
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                break k;
+            }
+            k += 1;
+            if k > 1_000_000 {
+                break k; // guard for absurd densities
+            }
+        }
+    };
+    for _ in 0..defects {
+        // rejection-sample a point on the disc
+        let (px, py) = loop {
+            let px = rng.gen_range(-r..r);
+            let py = rng.gen_range(-r..r);
+            if (px * px + py * py).sqrt() <= r {
+                break (px, py);
+            }
+        };
+        for (i, &(sx, sy)) in sites.iter().enumerate() {
+            if px >= sx && px < sx + die && py >= sy && py < sy + die {
+                dies[i] = false;
+                break;
+            }
+        }
+    }
+    WaferMap { dies }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_reference_point() {
+        // A·D0 = 1 -> e^-1
+        let y = YieldModel::Poisson.die_yield(1.0, 1.0);
+        assert!((y - (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn murphy_above_poisson() {
+        for ad in [0.5, 1.0, 2.0, 4.0] {
+            let p = YieldModel::Poisson.die_yield(ad, 1.0);
+            let m = YieldModel::Murphy.die_yield(ad, 1.0);
+            assert!(m > p, "ad={ad}: murphy {m} vs poisson {p}");
+        }
+    }
+
+    #[test]
+    fn clustering_raises_yield() {
+        let tight = YieldModel::NegativeBinomial { alpha: 10.0 }.die_yield(2.0, 1.0);
+        let clustered = YieldModel::NegativeBinomial { alpha: 0.5 }.die_yield(2.0, 1.0);
+        assert!(clustered > tight);
+    }
+
+    #[test]
+    fn zero_defects_is_perfect_yield() {
+        for m in [
+            YieldModel::Poisson,
+            YieldModel::Murphy,
+            YieldModel::NegativeBinomial { alpha: 2.0 },
+        ] {
+            assert!((m.die_yield(1.0, 0.0) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dies_per_wafer_sane() {
+        // 300mm wafer, 100 mm² die: about 600 gross dies
+        let g = gross_dies_per_wafer(300.0, 100.0);
+        assert!((550..=680).contains(&g), "{g}");
+        // bigger dies, fewer of them
+        assert!(gross_dies_per_wafer(300.0, 400.0) < g / 3);
+    }
+
+    #[test]
+    fn good_dies_scale_with_yield() {
+        let good = good_dies_per_wafer(300.0, 100.0, YieldModel::Poisson, 0.1);
+        let gross = gross_dies_per_wafer(300.0, 100.0) as f64;
+        assert!(good < gross);
+        assert!(good > gross * 0.8, "1 cm² at 0.1/cm² ~ 90% yield");
+    }
+
+    #[test]
+    fn monte_carlo_matches_poisson_model() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let (d, a, d0) = (300.0, 100.0, 0.2);
+        // average several wafers to tame the noise
+        let mut measured = 0.0;
+        let runs = 30;
+        for _ in 0..runs {
+            measured += simulate_wafer(d, a, d0, &mut rng).measured_yield();
+        }
+        measured /= f64::from(runs);
+        let predicted = YieldModel::Poisson.die_yield(a / 100.0, d0);
+        assert!(
+            (measured - predicted).abs() < 0.05,
+            "MC {measured:.3} vs Poisson {predicted:.3}"
+        );
+    }
+
+    #[test]
+    fn zero_density_wafer_is_perfect() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let map = simulate_wafer(200.0, 64.0, 0.0, &mut rng);
+        assert!(map.gross() > 100);
+        assert_eq!(map.good(), map.gross());
+        assert_eq!(map.measured_yield(), 1.0);
+    }
+
+    #[test]
+    fn simulated_gross_near_formula() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let map = simulate_wafer(300.0, 100.0, 0.1, &mut rng);
+        let formula = gross_dies_per_wafer(300.0, 100.0);
+        let ratio = map.gross() as f64 / formula as f64;
+        assert!((0.7..=1.2).contains(&ratio), "MC {} vs formula {formula}", map.gross());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn yields_bounded_and_monotone_in_d0(
+                area in 0.1f64..5.0,
+                d0a in 0.0f64..3.0,
+                d0b in 0.0f64..3.0,
+            ) {
+                let (lo, hi) = if d0a < d0b { (d0a, d0b) } else { (d0b, d0a) };
+                for m in [
+                    YieldModel::Poisson,
+                    YieldModel::Murphy,
+                    YieldModel::NegativeBinomial { alpha: 2.0 },
+                ] {
+                    let ylo = m.die_yield(area, lo);
+                    let yhi = m.die_yield(area, hi);
+                    prop_assert!((0.0..=1.0).contains(&ylo));
+                    prop_assert!(yhi <= ylo + 1e-12);
+                }
+            }
+        }
+    }
+}

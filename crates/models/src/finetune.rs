@@ -1,0 +1,167 @@
+//! Domain-adaptation fine-tuning — the paper's stated future work
+//! ("ChipVQA-oriented dataset collection, VLM training and development,
+//! targeting a low-cost yet effective open-source foundation model").
+//!
+//! The simulator's training analogue: exposure to chip-design QA data
+//! raises the per-category knowledge axes with diminishing returns
+//! (saturating-exponential learning curves, the standard shape of
+//! data-scaling studies), plus a small instruction-tuning bump. Training
+//! and evaluation must use *different dataset seeds* — the benchmark
+//! regenerates with fresh parameters per seed, so a model can be adapted
+//! on one instance and measured on a held-out one, exactly like a real
+//! fine-tune.
+
+use chipvqa_core::question::Question;
+use serde::{Deserialize, Serialize};
+
+use crate::profile::ModelProfile;
+
+/// Fine-tuning hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FinetuneConfig {
+    /// Passes over the training set.
+    pub epochs: u32,
+    /// Per-example learning strength (how fast knowledge saturates).
+    pub learning_rate: f64,
+    /// Ceiling the knowledge axes saturate towards.
+    pub knowledge_ceiling: f64,
+    /// Instruction-tuning bump applied once (QA-format exposure).
+    pub instruction_bump: f64,
+}
+
+impl Default for FinetuneConfig {
+    fn default() -> Self {
+        FinetuneConfig {
+            epochs: 3,
+            learning_rate: 0.02,
+            knowledge_ceiling: 0.9,
+            instruction_bump: 0.05,
+        }
+    }
+}
+
+/// Summary of a fine-tuning run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FinetuneReport {
+    /// Training examples seen per category (`Category::ALL` order).
+    pub examples: [usize; 5],
+    /// Knowledge before, per category.
+    pub knowledge_before: [f64; 5],
+    /// Knowledge after, per category.
+    pub knowledge_after: [f64; 5],
+}
+
+/// Fine-tunes a model profile on a set of training questions, returning
+/// the adapted profile and a report.
+///
+/// Knowledge in category `c` moves from `k` towards the ceiling as
+/// `k' = ceil − (ceil − k)·exp(−lr · epochs · n_c)` — saturating, so the
+/// hundredth example teaches less than the first (the data-efficiency
+/// story a "low-cost" open model depends on).
+pub fn finetune(
+    profile: &ModelProfile,
+    train: &[&Question],
+    cfg: FinetuneConfig,
+) -> (ModelProfile, FinetuneReport) {
+    use chipvqa_core::question::Category;
+    let mut counts = [0usize; 5];
+    for q in train {
+        let idx = Category::ALL
+            .iter()
+            .position(|&c| c == q.category)
+            .expect("category in ALL");
+        counts[idx] += 1;
+    }
+    let before = profile.knowledge;
+    let mut adapted = profile.clone();
+    for (i, &n) in counts.iter().enumerate() {
+        if n == 0 {
+            continue; // no exposure, no change (and no float round-trip)
+        }
+        let k = adapted.knowledge[i];
+        let ceiling = cfg.knowledge_ceiling.max(k);
+        let exposure = cfg.learning_rate * f64::from(cfg.epochs) * n as f64;
+        adapted.knowledge[i] = ceiling - (ceiling - k) * (-exposure).exp();
+    }
+    if !train.is_empty() {
+        adapted.instruction_following =
+            (adapted.instruction_following + cfg.instruction_bump).min(0.99);
+        // Renaming reseeds the per-question RNG streams; an empty
+        // training set must be a strict no-op, so only adapted models
+        // get the suffix.
+        adapted.name = format!("{} (chipvqa-ft)", profile.name);
+    }
+    adapted.validate();
+    let report = FinetuneReport {
+        examples: counts,
+        knowledge_before: before,
+        knowledge_after: adapted.knowledge,
+    };
+    (adapted, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::ModelZoo;
+    use chipvqa_core::question::Category;
+    use chipvqa_core::ChipVqa;
+
+    fn train_set(bench: &ChipVqa) -> Vec<&chipvqa_core::Question> {
+        bench.iter().collect()
+    }
+
+    #[test]
+    fn knowledge_rises_everywhere_trained() {
+        let bench = ChipVqa::with_seed(777);
+        let base = ModelZoo::llava_7b();
+        let (ft, report) = finetune(&base, &train_set(&bench), FinetuneConfig::default());
+        for i in 0..5 {
+            assert!(
+                report.knowledge_after[i] > report.knowledge_before[i],
+                "category {i}"
+            );
+            assert!(ft.knowledge[i] <= 0.9 + 1e-12);
+        }
+        assert!(ft.instruction_following > base.instruction_following);
+        assert!(ft.name.contains("chipvqa-ft"));
+    }
+
+    #[test]
+    fn untouched_category_unchanged() {
+        let bench = ChipVqa::with_seed(3);
+        let digital_only: Vec<&chipvqa_core::Question> =
+            bench.category(Category::Digital).collect();
+        let base = ModelZoo::llava_7b();
+        let (_, report) = finetune(&base, &digital_only, FinetuneConfig::default());
+        assert!(report.knowledge_after[0] > report.knowledge_before[0]);
+        for i in 1..5 {
+            assert_eq!(report.knowledge_after[i], report.knowledge_before[i]);
+        }
+    }
+
+    #[test]
+    fn diminishing_returns() {
+        let bench = ChipVqa::with_seed(9);
+        let all: Vec<&chipvqa_core::Question> = bench.iter().collect();
+        let base = ModelZoo::llava_7b();
+        let (_, small) = finetune(&base, &all[..20], FinetuneConfig::default());
+        let (_, big) = finetune(&base, &all, FinetuneConfig::default());
+        let gain_small: f64 = small
+            .knowledge_after
+            .iter()
+            .zip(&small.knowledge_before)
+            .map(|(a, b)| a - b)
+            .sum();
+        let gain_big: f64 = big
+            .knowledge_after
+            .iter()
+            .zip(&big.knowledge_before)
+            .map(|(a, b)| a - b)
+            .sum();
+        assert!(gain_big > gain_small);
+        // but not 7x bigger for 7x the data (saturation)
+        assert!(gain_big < gain_small * 7.0);
+    }
+
+}

@@ -1,0 +1,51 @@
+//! Mechanistic visual-language-model simulator for the ChipVQA
+//! reproduction.
+//!
+//! The paper evaluates twelve real VLMs (LLaVA family, NeVA, Fuyu,
+//! PaliGemma, Kosmos-2, Phi-3-Vision, VILA, LLaMA-3.2-90B, GPT-4o) served
+//! from GPU clusters. None of that infrastructure exists here, so this
+//! crate implements the substitution documented in DESIGN.md: a simulator
+//! with the *architecture of Fig. 2* — a visual [`encoder`] that extracts
+//! facts from the rendered pixels (perception quality measured from real
+//! ink legibility at the encoder's input resolution), a projector, and a
+//! language [`backbone`] whose solving behaviour is governed by a
+//! per-model capability [`profile`] (per-category knowledge, reasoning
+//! depth, instruction following, choice-elimination skill).
+//!
+//! Pass rates are *emergent*: the simulator never looks up a target
+//! accuracy. The MC-vs-SA gap appears because unsolved MC questions still
+//! guess among the remaining options; the resolution cliff appears because
+//! 16x-downsampled strokes fall below the ink threshold; the agent gains
+//! appear because a stronger text backbone reasons over tool-described
+//! facts. The twelve [`zoo`] profiles are calibrated so Table II's
+//! *shape* reproduces (ordering, gaps, category contrasts).
+//!
+//! # Example
+//!
+//! ```
+//! use chipvqa_core::ChipVqa;
+//! use chipvqa_models::zoo::ModelZoo;
+//! use chipvqa_models::pipeline::VlmPipeline;
+//!
+//! let bench = ChipVqa::standard();
+//! let gpt4o = ModelZoo::gpt4o();
+//! let pipe = VlmPipeline::new(gpt4o);
+//! let q = bench.questions().first().expect("nonempty");
+//! let resp = pipe.infer(q, 1, 0);
+//! assert!(!resp.text.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backbone;
+pub mod encoder;
+pub mod finetune;
+pub mod pipeline;
+pub mod profile;
+pub mod prompt;
+pub mod zoo;
+
+pub use pipeline::{ModelResponse, VlmPipeline};
+pub use profile::ModelProfile;
+pub use zoo::ModelZoo;

@@ -1,0 +1,134 @@
+//! Per-model capability profiles.
+
+use serde::{Deserialize, Serialize};
+
+use chipvqa_core::question::Category;
+
+/// The capability profile of a (simulated) visual-language model.
+///
+/// All capability axes live in `[0, 1]`. They parameterise *mechanisms*
+/// (perception, recall, multi-step derivation, format adherence), not
+/// outcomes; accuracies emerge from running the pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Display name as used in the paper's tables.
+    pub name: String,
+    /// Parameter count in billions (reporting only).
+    pub params_b: f64,
+    /// Square input resolution of the vision encoder, in pixels.
+    pub encoder_resolution: usize,
+    /// Quality of visual feature extraction at full legibility.
+    pub visual_acuity: f64,
+    /// Domain knowledge per category, `Category::ALL` order.
+    pub knowledge: [f64; 5],
+    /// Per-derivation-step success probability of the LLM backbone.
+    pub reasoning: f64,
+    /// Probability of producing a well-formed, instruction-compliant
+    /// answer.
+    pub instruction_following: f64,
+    /// Skill at eliminating implausible options in multiple choice.
+    pub mc_elimination: f64,
+    /// Whether the deployment supports a separate system prompt
+    /// (PaliGemma-style models concatenate it into the user turn, which
+    /// costs instruction-following fidelity; §IV).
+    pub supports_system_prompt: bool,
+}
+
+impl ModelProfile {
+    /// Knowledge level for a category.
+    pub fn knowledge_for(&self, cat: Category) -> f64 {
+        let i = Category::ALL
+            .iter()
+            .position(|&c| c == cat)
+            .expect("category in ALL");
+        self.knowledge[i]
+    }
+
+    /// Effective instruction-following after accounting for system-prompt
+    /// support (concatenated system prompts lose a little adherence).
+    pub fn effective_instruction_following(&self) -> f64 {
+        if self.supports_system_prompt {
+            self.instruction_following
+        } else {
+            self.instruction_following * 0.85
+        }
+    }
+
+    /// Mean knowledge across categories (reporting only).
+    pub fn mean_knowledge(&self) -> f64 {
+        self.knowledge.iter().sum::<f64>() / self.knowledge.len() as f64
+    }
+
+    /// Validates that every axis is inside its domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any capability leaves `[0, 1]` or the resolution is
+    /// zero — profiles are static data, so a bad profile is a programmer
+    /// error.
+    pub fn validate(&self) {
+        assert!(self.encoder_resolution > 0, "{}: zero resolution", self.name);
+        for (axis, v) in [
+            ("visual_acuity", self.visual_acuity),
+            ("reasoning", self.reasoning),
+            ("instruction_following", self.instruction_following),
+            ("mc_elimination", self.mc_elimination),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{}: {axis} = {v}", self.name);
+        }
+        for (i, &k) in self.knowledge.iter().enumerate() {
+            assert!(
+                (0.0..=1.0).contains(&k),
+                "{}: knowledge[{i}] = {k}",
+                self.name
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> ModelProfile {
+        ModelProfile {
+            name: "test".into(),
+            params_b: 7.0,
+            encoder_resolution: 336,
+            visual_acuity: 0.7,
+            knowledge: [0.5, 0.4, 0.3, 0.2, 0.35],
+            reasoning: 0.6,
+            instruction_following: 0.9,
+            mc_elimination: 0.5,
+            supports_system_prompt: true,
+        }
+    }
+
+    #[test]
+    fn knowledge_lookup_by_category() {
+        let p = profile();
+        assert_eq!(p.knowledge_for(Category::Digital), 0.5);
+        assert_eq!(p.knowledge_for(Category::Physical), 0.35);
+    }
+
+    #[test]
+    fn system_prompt_concat_penalty() {
+        let mut p = profile();
+        assert_eq!(p.effective_instruction_following(), 0.9);
+        p.supports_system_prompt = false;
+        assert!((p.effective_instruction_following() - 0.765).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "visual_acuity")]
+    fn bad_profile_rejected() {
+        let mut p = profile();
+        p.visual_acuity = 1.5;
+        p.validate();
+    }
+
+    #[test]
+    fn mean_knowledge() {
+        assert!((profile().mean_knowledge() - 0.35).abs() < 1e-12);
+    }
+}

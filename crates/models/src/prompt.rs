@@ -1,0 +1,152 @@
+//! Prompt construction: the system prompt and formatting instructions
+//! the paper engineers per deployment (§IV: "we provide a separate
+//! system prompt for question-answering. For VLMs that do not support
+//! system prompts, e.g. Paligemma, the original system prompt will be
+//! concatenated with the user question prompt").
+
+use chipvqa_core::question::{Question, QuestionKind};
+use serde::{Deserialize, Serialize};
+
+use crate::profile::ModelProfile;
+
+/// A prompting style: system prompt plus answer-format instructions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PromptStyle {
+    /// The system prompt establishing the QA role.
+    pub system: String,
+    /// Instruction appended to multiple-choice prompts.
+    pub mc_instruction: String,
+    /// Instruction appended to short-answer prompts.
+    pub sa_instruction: String,
+}
+
+impl PromptStyle {
+    /// The zero-shot style the paper's evaluation uses.
+    pub fn zero_shot() -> Self {
+        PromptStyle {
+            system: "You are an expert chip designer. Answer the question about the \
+                     provided figure."
+                .into(),
+            mc_instruction: "Answer with the letter of the correct option, e.g. (b).".into(),
+            sa_instruction: "Answer with only the requested value or term.".into(),
+        }
+    }
+
+    /// A bare style with no formatting guidance (ablation baseline).
+    pub fn bare() -> Self {
+        PromptStyle {
+            system: String::new(),
+            mc_instruction: String::new(),
+            sa_instruction: String::new(),
+        }
+    }
+
+    /// Renders the full text a deployment sends for `question` on a model
+    /// with the given profile. Models without system-prompt support get
+    /// the system text concatenated into the user turn (the PaliGemma
+    /// path).
+    pub fn render(&self, profile: &ModelProfile, question: &Question) -> RenderedPrompt {
+        let instruction = match question.kind {
+            QuestionKind::MultipleChoice { .. } => &self.mc_instruction,
+            QuestionKind::ShortAnswer => &self.sa_instruction,
+        };
+        let mut user = question.full_prompt();
+        if !instruction.is_empty() {
+            user.push('\n');
+            user.push_str(instruction);
+        }
+        if profile.supports_system_prompt {
+            RenderedPrompt {
+                system: (!self.system.is_empty()).then(|| self.system.clone()),
+                user,
+            }
+        } else {
+            let user = if self.system.is_empty() {
+                user
+            } else {
+                format!("{}\n{user}", self.system)
+            };
+            RenderedPrompt { system: None, user }
+        }
+    }
+
+    /// Instruction-following multiplier this style earns: explicit format
+    /// instructions recover some off-spec answers. The pipeline folds
+    /// this into the profile's own adherence.
+    pub fn adherence_bonus(&self) -> f64 {
+        let mut bonus = 1.0;
+        if !self.mc_instruction.is_empty() {
+            bonus += 0.03;
+        }
+        if !self.system.is_empty() {
+            bonus += 0.02;
+        }
+        bonus
+    }
+}
+
+impl Default for PromptStyle {
+    fn default() -> Self {
+        PromptStyle::zero_shot()
+    }
+}
+
+/// The assembled request for one question.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RenderedPrompt {
+    /// Separate system turn, if the deployment supports one.
+    pub system: Option<String>,
+    /// The user turn (question, options, instructions — and, for models
+    /// without system-prompt support, the inlined system text).
+    pub user: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::ModelZoo;
+    use chipvqa_core::ChipVqa;
+
+    #[test]
+    fn system_prompt_separated_when_supported() {
+        let bench = ChipVqa::standard();
+        let q = &bench.questions()[0];
+        let style = PromptStyle::zero_shot();
+        let with = style.render(&ModelZoo::gpt4o(), q);
+        assert!(with.system.is_some());
+        assert!(!with.user.contains("expert chip designer"));
+        assert!(with.user.contains("Answer with the letter"));
+    }
+
+    #[test]
+    fn paligemma_concatenates_system_into_user() {
+        let bench = ChipVqa::standard();
+        let q = &bench.questions()[0];
+        let style = PromptStyle::zero_shot();
+        let rendered = style.render(&ModelZoo::paligemma(), q);
+        assert!(rendered.system.is_none());
+        assert!(rendered.user.starts_with("You are an expert chip designer"));
+    }
+
+    #[test]
+    fn sa_questions_get_sa_instruction() {
+        let bench = ChipVqa::standard();
+        let q = bench
+            .iter()
+            .find(|q| !q.is_multiple_choice())
+            .expect("SA question exists");
+        let rendered = PromptStyle::zero_shot().render(&ModelZoo::gpt4o(), q);
+        assert!(rendered.user.contains("only the requested value"));
+        assert!(!rendered.user.contains("letter of the correct option"));
+    }
+
+    #[test]
+    fn bare_style_adds_nothing() {
+        let bench = ChipVqa::standard();
+        let q = &bench.questions()[0];
+        let rendered = PromptStyle::bare().render(&ModelZoo::gpt4o(), q);
+        assert_eq!(rendered.user, q.full_prompt());
+        assert!(rendered.system.is_none());
+        assert!(PromptStyle::bare().adherence_bonus() < PromptStyle::zero_shot().adherence_bonus());
+    }
+}

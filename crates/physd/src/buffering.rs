@@ -1,0 +1,243 @@
+//! Buffer insertion on a wire path under the Elmore delay model — a
+//! van-Ginneken-style optimisation restricted to a single source-to-sink
+//! route (choose which legal stations get buffers to minimise delay).
+
+use serde::{Deserialize, Serialize};
+
+/// Electrical parameters of the wire and buffer library.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BufferLibrary {
+    /// Wire resistance per unit length (ohm/unit).
+    pub r_wire: f64,
+    /// Wire capacitance per unit length (farad/unit).
+    pub c_wire: f64,
+    /// Buffer output resistance (ohm).
+    pub r_buf: f64,
+    /// Buffer input capacitance (farad).
+    pub c_buf: f64,
+    /// Buffer intrinsic delay (seconds).
+    pub t_buf: f64,
+    /// Driver output resistance (ohm).
+    pub r_drv: f64,
+    /// Sink input capacitance (farad).
+    pub c_sink: f64,
+}
+
+impl BufferLibrary {
+    /// A representative 45nm-ish library in SI units (kilo-ohms,
+    /// femto-farads, picoseconds territory).
+    pub fn nominal() -> Self {
+        BufferLibrary {
+            r_wire: 1.0,     // ohm / um
+            c_wire: 0.2e-15, // F / um
+            r_buf: 1_000.0,
+            c_buf: 1.0e-15,
+            t_buf: 20.0e-12,
+            r_drv: 1_000.0,
+            c_sink: 2.0e-15,
+        }
+    }
+}
+
+/// Elmore delay of one unbuffered segment of length `len` driven by
+/// `r_source` into `c_load`:
+/// `r_source (c_w·len + c_load) + r_w·len (c_w·len/2 + c_load)`.
+pub fn segment_delay(lib: &BufferLibrary, r_source: f64, len: f64, c_load: f64) -> f64 {
+    let cw = lib.c_wire * len;
+    let rw = lib.r_wire * len;
+    r_source * (cw + c_load) + rw * (cw / 2.0 + c_load)
+}
+
+/// Delay of a route of length `total` with buffers at the given
+/// positions (sorted, in `(0, total)`): a chain of segments, each stage
+/// loaded by the next buffer's input (or the sink).
+pub fn buffered_delay(lib: &BufferLibrary, total: f64, buffer_positions: &[f64]) -> f64 {
+    let mut stations: Vec<f64> = vec![0.0];
+    stations.extend(buffer_positions.iter().copied());
+    stations.push(total);
+    let mut delay = 0.0;
+    for (stage, pair) in stations.windows(2).enumerate() {
+        let len = pair[1] - pair[0];
+        let first = stage == 0;
+        let last = stage + 2 == stations.len();
+        let r_source = if first { lib.r_drv } else { lib.r_buf };
+        let c_load = if last { lib.c_sink } else { lib.c_buf };
+        delay += segment_delay(lib, r_source, len, c_load);
+        if !first {
+            delay += lib.t_buf;
+        }
+    }
+    delay
+}
+
+/// Result of the buffering optimisation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BufferingPlan {
+    /// Chosen buffer positions along the route.
+    pub positions: Vec<f64>,
+    /// Resulting Elmore delay (seconds).
+    pub delay: f64,
+    /// The unbuffered delay for comparison.
+    pub unbuffered_delay: f64,
+}
+
+impl BufferingPlan {
+    /// Speedup over the unbuffered wire.
+    pub fn speedup(&self) -> f64 {
+        self.unbuffered_delay / self.delay.max(1e-30)
+    }
+}
+
+/// Chooses the optimal subset of `stations` (legal buffer locations
+/// along a route of length `total`) to minimise Elmore delay, by dynamic
+/// programming over stations (the single-path van Ginneken recurrence).
+///
+/// # Panics
+///
+/// Panics if `total <= 0` or any station lies outside `(0, total)`.
+pub fn insert_buffers(lib: &BufferLibrary, total: f64, stations: &[f64]) -> BufferingPlan {
+    assert!(total > 0.0, "route length must be positive");
+    let mut sts: Vec<f64> = stations.to_vec();
+    sts.sort_by(|a, b| a.partial_cmp(b).expect("finite positions"));
+    for &s in &sts {
+        assert!(s > 0.0 && s < total, "station {s} outside the route");
+    }
+    let unbuffered = buffered_delay(lib, total, &[]);
+
+    // DP over subsets is exponential; over stations it's O(n^2): best[i]
+    // = min delay from station i (with a buffer AT i) to the sink.
+    // Implemented back-to-front; then try each choice of first buffer.
+    let n = sts.len();
+    let mut best_from: Vec<(f64, Vec<f64>)> = vec![(0.0, Vec::new()); n];
+    for i in (0..n).rev() {
+        // option A: last buffer — drive the sink directly
+        let direct = lib.t_buf + segment_delay(lib, lib.r_buf, total - sts[i], lib.c_sink);
+        let mut best = (direct, vec![sts[i]]);
+        // option B: next buffer at j
+        for j in i + 1..n {
+            let seg = lib.t_buf + segment_delay(lib, lib.r_buf, sts[j] - sts[i], lib.c_buf);
+            let cand = seg + best_from[j].0;
+            if cand < best.0 {
+                let mut positions = vec![sts[i]];
+                positions.extend(best_from[j].1.iter().copied());
+                best = (cand, positions);
+            }
+        }
+        best_from[i] = best;
+    }
+
+    // choose the first buffer (or none)
+    let mut best_plan = BufferingPlan {
+        positions: Vec::new(),
+        delay: unbuffered,
+        unbuffered_delay: unbuffered,
+    };
+    for i in 0..n {
+        let head = segment_delay(lib, lib.r_drv, sts[i], lib.c_buf);
+        let delay = head + best_from[i].0;
+        if delay < best_plan.delay {
+            best_plan = BufferingPlan {
+                positions: best_from[i].1.clone(),
+                delay,
+                unbuffered_delay: unbuffered,
+            };
+        }
+    }
+    best_plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> BufferLibrary {
+        BufferLibrary::nominal()
+    }
+
+    #[test]
+    fn unbuffered_delay_quadratic_in_length() {
+        let l = lib();
+        let d1 = buffered_delay(&l, 1_000.0, &[]);
+        let d2 = buffered_delay(&l, 2_000.0, &[]);
+        let d4 = buffered_delay(&l, 4_000.0, &[]);
+        // wire-dominated growth is superlinear
+        assert!(d2 / d1 > 1.8, "{}", d2 / d1);
+        assert!(d4 / d2 > d2 / d1 * 0.9);
+    }
+
+    #[test]
+    fn long_wire_wants_buffers() {
+        let l = lib();
+        let stations: Vec<f64> = (1..10).map(|i| f64::from(i) * 1_000.0).collect();
+        let plan = insert_buffers(&l, 10_000.0, &stations);
+        assert!(!plan.positions.is_empty(), "long wires need repeaters");
+        assert!(plan.speedup() > 1.5, "speedup {}", plan.speedup());
+    }
+
+    #[test]
+    fn short_wire_stays_unbuffered() {
+        let l = lib();
+        let plan = insert_buffers(&l, 50.0, &[25.0]);
+        assert!(plan.positions.is_empty(), "{plan:?}");
+        assert_eq!(plan.delay, plan.unbuffered_delay);
+    }
+
+    #[test]
+    fn chosen_plan_matches_direct_evaluation() {
+        let l = lib();
+        let stations = [2_000.0, 4_000.0, 6_000.0, 8_000.0];
+        let plan = insert_buffers(&l, 10_000.0, &stations);
+        let check = buffered_delay(&l, 10_000.0, &plan.positions);
+        assert!((check - plan.delay).abs() < 1e-18, "{check} vs {}", plan.delay);
+    }
+
+    #[test]
+    fn plan_is_optimal_over_subsets() {
+        // brute-force all subsets of 4 stations and compare
+        let l = lib();
+        let total = 8_000.0;
+        let stations = [1_500.0, 3_200.0, 5_000.0, 6_800.0];
+        let plan = insert_buffers(&l, total, &stations);
+        let mut best = buffered_delay(&l, total, &[]);
+        for mask in 0u32..16 {
+            let chosen: Vec<f64> = stations
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &s)| s)
+                .collect();
+            best = best.min(buffered_delay(&l, total, &chosen));
+        }
+        assert!((plan.delay - best).abs() < 1e-18, "{} vs {best}", plan.delay);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the route")]
+    fn station_out_of_range_panics() {
+        let _ = insert_buffers(&lib(), 100.0, &[150.0]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn buffering_never_hurts(
+                total_km in 1.0f64..20.0,
+                fracs in proptest::collection::vec(0.05f64..0.95, 0..6),
+            ) {
+                let l = lib();
+                let total = total_km * 1_000.0;
+                let mut stations: Vec<f64> = fracs.iter().map(|f| f * total).collect();
+                stations.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                stations.dedup();
+                let plan = insert_buffers(&l, total, &stations);
+                prop_assert!(plan.delay <= plan.unbuffered_delay + 1e-18);
+                // and the reported delay is reproducible
+                let check = buffered_delay(&l, total, &plan.positions);
+                prop_assert!((check - plan.delay).abs() < 1e-15);
+            }
+        }
+    }
+}

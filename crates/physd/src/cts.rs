@@ -1,0 +1,174 @@
+//! Clock-tree synthesis: H-tree generation over a square region, total
+//! wirelength and skew under a linear (length-proportional) delay model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::geom::Point;
+
+/// A clock tree: source, internal branch segments and sink taps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClockTree {
+    /// Clock source (root driver).
+    pub source: Point,
+    /// Wire segments `(from, to)`.
+    pub segments: Vec<(Point, Point)>,
+    /// Sink locations with their source-to-sink path length.
+    pub sinks: Vec<(Point, i64)>,
+}
+
+impl ClockTree {
+    /// Total wirelength of the distribution network.
+    pub fn wirelength(&self) -> i64 {
+        self.segments
+            .iter()
+            .map(|&(a, b)| a.manhattan(b))
+            .sum()
+    }
+
+    /// Clock skew under a delay model of `delay_per_unit` per unit of wire
+    /// (max sink delay − min sink delay).
+    pub fn skew(&self, delay_per_unit: f64) -> f64 {
+        let delays: Vec<f64> = self
+            .sinks
+            .iter()
+            .map(|&(_, len)| len as f64 * delay_per_unit)
+            .collect();
+        match (
+            delays.iter().cloned().fold(f64::NAN, f64::min),
+            delays.iter().cloned().fold(f64::NAN, f64::max),
+        ) {
+            (min, max) if min.is_finite() => max - min,
+            _ => 0.0,
+        }
+    }
+
+    /// Insertion delay to the slowest sink.
+    pub fn max_insertion_delay(&self, delay_per_unit: f64) -> f64 {
+        self.sinks
+            .iter()
+            .map(|&(_, len)| len as f64 * delay_per_unit)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Builds a symmetric H-tree of `levels` levels over a square of
+/// half-width `half` centred at `center`. `4^levels` sinks result, all at
+/// identical path length — zero structural skew.
+///
+/// # Panics
+///
+/// Panics if `levels == 0` or `levels > 6`.
+pub fn h_tree(center: Point, half: i64, levels: u32) -> ClockTree {
+    assert!((1..=6).contains(&levels), "levels must be 1..=6");
+    let mut segments = Vec::new();
+    let mut sinks = Vec::new();
+    build_h(center, half, levels, 0, &mut segments, &mut sinks);
+    ClockTree {
+        source: center,
+        segments,
+        sinks,
+    }
+}
+
+fn build_h(
+    c: Point,
+    half: i64,
+    levels: u32,
+    path: i64,
+    segments: &mut Vec<(Point, Point)>,
+    sinks: &mut Vec<(Point, i64)>,
+) {
+    // One H: horizontal bar through c, two vertical bars at the ends.
+    let left = Point::new(c.x - half, c.y);
+    let right = Point::new(c.x + half, c.y);
+    segments.push((left, right));
+    let corners = [
+        Point::new(c.x - half, c.y - half),
+        Point::new(c.x - half, c.y + half),
+        Point::new(c.x + half, c.y - half),
+        Point::new(c.x + half, c.y + half),
+    ];
+    segments.push((Point::new(c.x - half, c.y - half), Point::new(c.x - half, c.y + half)));
+    segments.push((Point::new(c.x + half, c.y - half), Point::new(c.x + half, c.y + half)));
+    let leg = half + half; // centre → bar end → corner
+    for corner in corners {
+        if levels == 1 {
+            sinks.push((corner, path + leg));
+        } else {
+            build_h(corner, half / 2, levels - 1, path + leg, segments, sinks);
+        }
+    }
+}
+
+/// A deliberately skewed comb (spine + fingers) serving the same sinks —
+/// the "bad" alternative for clock-distribution questions.
+pub fn comb_tree(center: Point, half: i64, levels: u32) -> ClockTree {
+    let reference = h_tree(center, half, levels);
+    let source = Point::new(center.x - half, center.y - half);
+    let mut segments = Vec::new();
+    let mut sinks = Vec::new();
+    // spine along the bottom, fingers up to each sink
+    for &(sink, _) in &reference.sinks {
+        let foot = Point::new(sink.x, source.y);
+        segments.push((source, foot));
+        segments.push((foot, sink));
+        let len = source.manhattan(foot) + foot.manhattan(sink);
+        sinks.push((sink, len));
+    }
+    ClockTree {
+        source,
+        segments,
+        sinks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h_tree_sink_count_is_power_of_four() {
+        for levels in 1..=4u32 {
+            let t = h_tree(Point::new(0, 0), 128, levels);
+            assert_eq!(t.sinks.len(), 4usize.pow(levels));
+        }
+    }
+
+    #[test]
+    fn h_tree_has_zero_structural_skew() {
+        let t = h_tree(Point::new(0, 0), 64, 3);
+        assert_eq!(t.skew(0.1), 0.0);
+        let first = t.sinks[0].1;
+        assert!(t.sinks.iter().all(|&(_, l)| l == first));
+    }
+
+    #[test]
+    fn comb_tree_has_nonzero_skew() {
+        let comb = comb_tree(Point::new(0, 0), 64, 2);
+        assert!(comb.skew(0.1) > 0.0);
+        let h = h_tree(Point::new(0, 0), 64, 2);
+        assert!(comb.skew(0.1) > h.skew(0.1));
+    }
+
+    #[test]
+    fn insertion_delay_scales_with_unit_delay() {
+        let t = h_tree(Point::new(0, 0), 64, 2);
+        let d1 = t.max_insertion_delay(1.0);
+        let d2 = t.max_insertion_delay(2.0);
+        assert!((d2 - 2.0 * d1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wirelength_positive_and_grows_with_levels() {
+        let w1 = h_tree(Point::new(0, 0), 64, 1).wirelength();
+        let w2 = h_tree(Point::new(0, 0), 64, 2).wirelength();
+        assert!(w1 > 0);
+        assert!(w2 > w1);
+    }
+
+    #[test]
+    #[should_panic(expected = "levels")]
+    fn zero_levels_panics() {
+        let _ = h_tree(Point::new(0, 0), 64, 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Design-rule checking: minimum width and spacing over rectangle sets.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::geom::Rect;
+
+/// A layer's design rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DesignRules {
+    /// Minimum feature width (both axes).
+    pub min_width: i64,
+    /// Minimum spacing between distinct shapes.
+    pub min_spacing: i64,
+}
+
+/// A single DRC violation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Violation {
+    /// Shape narrower than the minimum width.
+    Width {
+        /// Index of the offending shape.
+        shape: usize,
+        /// Measured width.
+        measured: i64,
+        /// Required width.
+        required: i64,
+    },
+    /// Two shapes closer than the minimum spacing.
+    Spacing {
+        /// First shape index.
+        a: usize,
+        /// Second shape index.
+        b: usize,
+        /// Measured spacing.
+        measured: i64,
+        /// Required spacing.
+        required: i64,
+    },
+    /// Two shapes overlap (short).
+    Overlap {
+        /// First shape index.
+        a: usize,
+        /// Second shape index.
+        b: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Width {
+                shape,
+                measured,
+                required,
+            } => write!(f, "shape {shape}: width {measured} < {required}"),
+            Violation::Spacing {
+                a,
+                b,
+                measured,
+                required,
+            } => write!(f, "shapes {a},{b}: spacing {measured} < {required}"),
+            Violation::Overlap { a, b } => write!(f, "shapes {a},{b}: overlap"),
+        }
+    }
+}
+
+/// Checks all shapes on one layer against the rules. Overlapping shapes
+/// report [`Violation::Overlap`]; distinct shapes closer than
+/// `min_spacing` report [`Violation::Spacing`].
+pub fn check_layer(shapes: &[Rect], rules: DesignRules) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (i, r) in shapes.iter().enumerate() {
+        let measured = r.width().min(r.height());
+        if measured < rules.min_width {
+            violations.push(Violation::Width {
+                shape: i,
+                measured,
+                required: rules.min_width,
+            });
+        }
+    }
+    for i in 0..shapes.len() {
+        for j in i + 1..shapes.len() {
+            if shapes[i].overlaps(&shapes[j]) {
+                violations.push(Violation::Overlap { a: i, b: j });
+            } else {
+                let s = shapes[i].spacing(&shapes[j]);
+                if s < rules.min_spacing {
+                    violations.push(Violation::Spacing {
+                        a: i,
+                        b: j,
+                        measured: s,
+                        required: rules.min_spacing,
+                    });
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULES: DesignRules = DesignRules {
+        min_width: 4,
+        min_spacing: 3,
+    };
+
+    #[test]
+    fn clean_layout_passes() {
+        let shapes = [Rect::new(0, 0, 10, 10), Rect::new(20, 0, 30, 10)];
+        assert!(check_layer(&shapes, RULES).is_empty());
+    }
+
+    #[test]
+    fn narrow_shape_flagged() {
+        let shapes = [Rect::new(0, 0, 2, 20)];
+        let v = check_layer(&shapes, RULES);
+        assert!(matches!(
+            v[0],
+            Violation::Width {
+                measured: 2,
+                required: 4,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn close_shapes_flagged() {
+        let shapes = [Rect::new(0, 0, 10, 10), Rect::new(12, 0, 22, 10)];
+        let v = check_layer(&shapes, RULES);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], Violation::Spacing { measured: 2, .. }));
+    }
+
+    #[test]
+    fn overlap_is_distinct_from_spacing() {
+        let shapes = [Rect::new(0, 0, 10, 10), Rect::new(5, 5, 15, 15)];
+        let v = check_layer(&shapes, RULES);
+        assert!(v.iter().any(|x| matches!(x, Violation::Overlap { .. })));
+    }
+
+    #[test]
+    fn exact_rule_distances_pass() {
+        let shapes = [Rect::new(0, 0, 4, 10), Rect::new(7, 0, 11, 10)];
+        assert!(check_layer(&shapes, RULES).is_empty());
+    }
+
+    #[test]
+    fn violations_reference_correct_shapes() {
+        let shapes = [
+            Rect::new(0, 0, 10, 10),
+            Rect::new(40, 40, 50, 50),
+            Rect::new(11, 0, 21, 10), // 1 apart from shape 0
+        ];
+        let v = check_layer(&shapes, RULES);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], Violation::Spacing { a: 0, b: 2, .. }));
+    }
+}

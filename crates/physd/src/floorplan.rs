@@ -1,0 +1,294 @@
+//! Slicing-tree floorplanning with Stockmeyer shape curves: each module
+//! carries a set of feasible (w, h) implementations; horizontal/vertical
+//! cuts combine curves and the root curve's minimum-area corner is the
+//! optimal floorplan for that slicing topology.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One feasible implementation shape of a module or subtree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Shape {
+    /// Width in database units.
+    pub w: i64,
+    /// Height in database units.
+    pub h: i64,
+}
+
+impl Shape {
+    /// Creates a shape.
+    pub fn new(w: i64, h: i64) -> Self {
+        Shape { w, h }
+    }
+
+    /// Shape area.
+    pub fn area(&self) -> i64 {
+        self.w * self.h
+    }
+}
+
+/// A slicing-tree node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SlicingTree {
+    /// A leaf module with its feasible shapes (e.g. both rotations).
+    Module {
+        /// Module name.
+        name: String,
+        /// Feasible implementations.
+        shapes: Vec<Shape>,
+    },
+    /// Horizontal cut: children stacked vertically (widths max, heights
+    /// add).
+    HCut(Box<SlicingTree>, Box<SlicingTree>),
+    /// Vertical cut: children side by side (widths add, heights max).
+    VCut(Box<SlicingTree>, Box<SlicingTree>),
+}
+
+/// Error from floorplan evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmptyShapesError(String);
+
+impl fmt::Display for EmptyShapesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "module {} has no feasible shapes", self.0)
+    }
+}
+
+impl std::error::Error for EmptyShapesError {}
+
+/// Removes dominated points: keeps only shapes where no other shape is
+/// at most as wide *and* at most as tall.
+fn prune(mut shapes: Vec<Shape>) -> Vec<Shape> {
+    shapes.sort();
+    shapes.dedup();
+    // sorted by (w, h); sweep keeping strictly decreasing h
+    let mut out: Vec<Shape> = Vec::new();
+    for s in shapes {
+        while let Some(last) = out.last() {
+            if last.h >= s.h && last.w >= s.w {
+                out.pop();
+            } else {
+                break;
+            }
+        }
+        if out.last().is_none_or(|last| s.h < last.h) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+impl SlicingTree {
+    /// A leaf with both rotations of a `w x h` macro.
+    pub fn module(name: impl Into<String>, w: i64, h: i64) -> SlicingTree {
+        let mut shapes = vec![Shape::new(w, h)];
+        if w != h {
+            shapes.push(Shape::new(h, w));
+        }
+        SlicingTree::Module {
+            name: name.into(),
+            shapes,
+        }
+    }
+
+    /// Horizontal composition (stacked).
+    pub fn hcut(a: SlicingTree, b: SlicingTree) -> SlicingTree {
+        SlicingTree::HCut(Box::new(a), Box::new(b))
+    }
+
+    /// Vertical composition (side by side).
+    pub fn vcut(a: SlicingTree, b: SlicingTree) -> SlicingTree {
+        SlicingTree::VCut(Box::new(a), Box::new(b))
+    }
+
+    /// The Stockmeyer shape curve of the subtree (Pareto-pruned).
+    ///
+    /// # Errors
+    ///
+    /// [`EmptyShapesError`] if any leaf has no feasible implementation.
+    pub fn shape_curve(&self) -> Result<Vec<Shape>, EmptyShapesError> {
+        match self {
+            SlicingTree::Module { name, shapes } => {
+                if shapes.is_empty() {
+                    return Err(EmptyShapesError(name.clone()));
+                }
+                Ok(prune(shapes.clone()))
+            }
+            SlicingTree::HCut(a, b) | SlicingTree::VCut(a, b) => {
+                let ca = a.shape_curve()?;
+                let cb = b.shape_curve()?;
+                let horizontal = matches!(self, SlicingTree::HCut(..));
+                let mut combined = Vec::with_capacity(ca.len() * cb.len());
+                for sa in &ca {
+                    for sb in &cb {
+                        combined.push(if horizontal {
+                            Shape::new(sa.w.max(sb.w), sa.h + sb.h)
+                        } else {
+                            Shape::new(sa.w + sb.w, sa.h.max(sb.h))
+                        });
+                    }
+                }
+                Ok(prune(combined))
+            }
+        }
+    }
+
+    /// The minimum-area shape of the subtree.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EmptyShapesError`].
+    pub fn best_shape(&self) -> Result<Shape, EmptyShapesError> {
+        let curve = self.shape_curve()?;
+        Ok(curve
+            .into_iter()
+            .min_by_key(Shape::area)
+            .expect("curve nonempty after prune"))
+    }
+
+    /// Total module area (lower bound on any floorplan of this tree).
+    pub fn module_area(&self) -> i64 {
+        match self {
+            SlicingTree::Module { shapes, .. } => {
+                shapes.iter().map(Shape::area).min().unwrap_or(0)
+            }
+            SlicingTree::HCut(a, b) | SlicingTree::VCut(a, b) => {
+                a.module_area() + b.module_area()
+            }
+        }
+    }
+
+    /// Dead space fraction of the best floorplan: `1 − Σmodule / WH`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EmptyShapesError`].
+    pub fn dead_space(&self) -> Result<f64, EmptyShapesError> {
+        let best = self.best_shape()?;
+        Ok(1.0 - self.module_area() as f64 / best.area() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_squares_pack_perfectly() {
+        let t = SlicingTree::vcut(
+            SlicingTree::module("a", 10, 10),
+            SlicingTree::module("b", 10, 10),
+        );
+        let best = t.best_shape().unwrap();
+        assert_eq!(best.area(), 200);
+        assert_eq!(t.dead_space().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rotation_avoids_dead_space() {
+        // 10x20 and 20x10: side by side aligned heights via rotation.
+        let t = SlicingTree::vcut(
+            SlicingTree::module("a", 10, 20),
+            SlicingTree::module("b", 20, 10),
+        );
+        let best = t.best_shape().unwrap();
+        assert_eq!(best.area(), 400, "{best:?}");
+    }
+
+    #[test]
+    fn curve_is_pareto() {
+        let t = SlicingTree::hcut(
+            SlicingTree::module("a", 3, 7),
+            SlicingTree::vcut(
+                SlicingTree::module("b", 5, 5),
+                SlicingTree::module("c", 2, 9),
+            ),
+        );
+        let curve = t.shape_curve().unwrap();
+        for (i, s1) in curve.iter().enumerate() {
+            for (j, s2) in curve.iter().enumerate() {
+                if i != j {
+                    assert!(
+                        !(s2.w <= s1.w && s2.h <= s1.h),
+                        "{s2:?} dominates {s1:?}"
+                    );
+                }
+            }
+        }
+        // widths strictly increase, heights strictly decrease
+        for w in curve.windows(2) {
+            assert!(w[0].w < w[1].w && w[0].h > w[1].h, "{curve:?}");
+        }
+    }
+
+    #[test]
+    fn best_area_never_below_module_sum() {
+        let t = SlicingTree::hcut(
+            SlicingTree::module("a", 4, 9),
+            SlicingTree::module("b", 6, 5),
+        );
+        assert!(t.best_shape().unwrap().area() >= t.module_area());
+    }
+
+    #[test]
+    fn hcut_and_vcut_differ() {
+        let a = SlicingTree::module("a", 2, 10);
+        let b = SlicingTree::module("b", 2, 10);
+        let h = SlicingTree::hcut(a.clone(), b.clone()).best_shape().unwrap();
+        let v = SlicingTree::vcut(a, b).best_shape().unwrap();
+        // both reach 40 with rotations but through different aspect ratios
+        assert_eq!(h.area(), 40);
+        assert_eq!(v.area(), 40);
+    }
+
+    #[test]
+    fn empty_shapes_error() {
+        let t = SlicingTree::Module {
+            name: "hole".into(),
+            shapes: vec![],
+        };
+        assert!(t.shape_curve().is_err());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_tree(depth: u32) -> impl Strategy<Value = SlicingTree> {
+            let leaf = (1i64..12, 1i64..12)
+                .prop_map(|(w, h)| SlicingTree::module("m", w, h));
+            leaf.prop_recursive(depth, 16, 2, |inner| {
+                (inner.clone(), inner, any::<bool>()).prop_map(|(a, b, horiz)| {
+                    if horiz {
+                        SlicingTree::hcut(a, b)
+                    } else {
+                        SlicingTree::vcut(a, b)
+                    }
+                })
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn floorplan_area_bounds(tree in arb_tree(4)) {
+                let best = tree.best_shape().unwrap();
+                let module_sum = tree.module_area();
+                prop_assert!(best.area() >= module_sum);
+                let dead = tree.dead_space().unwrap();
+                prop_assert!((0.0..1.0).contains(&dead));
+            }
+
+            #[test]
+            fn curve_points_all_feasible(tree in arb_tree(3)) {
+                // every curve point's area is at least the module sum
+                let module_sum = tree.module_area();
+                for s in tree.shape_curve().unwrap() {
+                    prop_assert!(s.area() >= module_sum);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Integer geometry: points and rectangles with Manhattan metrics.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An integer lattice point (database units).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Point {
+    /// X coordinate.
+    pub x: i64,
+    /// Y coordinate.
+    pub y: i64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: i64, y: i64) -> Self {
+        Point { x, y }
+    }
+
+    /// Manhattan (L1) distance to another point.
+    pub fn manhattan(self, other: Point) -> i64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// An axis-aligned rectangle `[x1, x2) x [y1, y2)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rect {
+    /// Left edge.
+    pub x1: i64,
+    /// Bottom edge.
+    pub y1: i64,
+    /// Right edge (exclusive).
+    pub x2: i64,
+    /// Top edge (exclusive).
+    pub y2: i64,
+}
+
+impl Rect {
+    /// Creates a rectangle, normalising corner order.
+    pub fn new(x1: i64, y1: i64, x2: i64, y2: i64) -> Self {
+        Rect {
+            x1: x1.min(x2),
+            y1: y1.min(y2),
+            x2: x1.max(x2),
+            y2: y1.max(y2),
+        }
+    }
+
+    /// Width.
+    pub fn width(&self) -> i64 {
+        self.x2 - self.x1
+    }
+
+    /// Height.
+    pub fn height(&self) -> i64 {
+        self.y2 - self.y1
+    }
+
+    /// Area.
+    pub fn area(&self) -> i64 {
+        self.width() * self.height()
+    }
+
+    /// Whether two rectangles overlap (open intervals: touching edges do
+    /// not overlap).
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.x1 < other.x2 && other.x1 < self.x2 && self.y1 < other.y2 && other.y1 < self.y2
+    }
+
+    /// Minimum Manhattan separation between two non-overlapping
+    /// rectangles (0 if they touch or overlap).
+    pub fn spacing(&self, other: &Rect) -> i64 {
+        let dx = (other.x1 - self.x2).max(self.x1 - other.x2).max(0);
+        let dy = (other.y1 - self.y2).max(self.y1 - other.y2).max(0);
+        // Euclidean-free conservative metric: corner-to-corner spacing is
+        // checked with both components; DRC uses max-of-axis convention.
+        dx.max(dy)
+    }
+
+    /// Whether `p` lies inside (half-open).
+    pub fn contains(&self, p: Point) -> bool {
+        (self.x1..self.x2).contains(&p.x) && (self.y1..self.y2).contains(&p.y)
+    }
+
+    /// Bounding box of a point set; `None` when empty.
+    pub fn bounding(points: &[Point]) -> Option<Rect> {
+        let first = points.first()?;
+        let mut r = Rect::new(first.x, first.y, first.x, first.y);
+        for p in points {
+            r.x1 = r.x1.min(p.x);
+            r.y1 = r.y1.min(p.y);
+            r.x2 = r.x2.max(p.x);
+            r.y2 = r.y2.max(p.y);
+        }
+        Some(r)
+    }
+
+    /// Half-perimeter of the rectangle.
+    pub fn half_perimeter(&self) -> i64 {
+        self.width() + self.height()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_distance() {
+        assert_eq!(Point::new(0, 0).manhattan(Point::new(3, 4)), 7);
+        assert_eq!(Point::new(-2, 5).manhattan(Point::new(-2, 5)), 0);
+    }
+
+    #[test]
+    fn rect_normalises() {
+        let r = Rect::new(10, 20, 0, 5);
+        assert_eq!((r.x1, r.y1, r.x2, r.y2), (0, 5, 10, 20));
+        assert_eq!(r.area(), 150);
+        assert_eq!(r.half_perimeter(), 25);
+    }
+
+    #[test]
+    fn overlap_and_touching() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(10, 0, 20, 10); // touching edge
+        let c = Rect::new(5, 5, 15, 15);
+        assert!(!a.overlaps(&b));
+        assert!(a.overlaps(&c));
+        assert_eq!(a.spacing(&b), 0);
+    }
+
+    #[test]
+    fn spacing_between_separated_rects() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(15, 0, 25, 10);
+        assert_eq!(a.spacing(&b), 5);
+        let d = Rect::new(13, 14, 20, 20); // diagonal: dx=3, dy=4
+        assert_eq!(a.spacing(&d), 4);
+    }
+
+    #[test]
+    fn bounding_box() {
+        let pts = [Point::new(2, 3), Point::new(-1, 7), Point::new(5, 0)];
+        let bb = Rect::bounding(&pts).unwrap();
+        assert_eq!((bb.x1, bb.y1, bb.x2, bb.y2), (-1, 0, 5, 7));
+        assert!(Rect::bounding(&[]).is_none());
+    }
+
+    #[test]
+    fn contains_half_open() {
+        let r = Rect::new(0, 0, 10, 10);
+        assert!(r.contains(Point::new(0, 0)));
+        assert!(!r.contains(Point::new(10, 5)));
+    }
+}

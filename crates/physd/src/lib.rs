@@ -1,0 +1,54 @@
+//! Physical-design substrate for the ChipVQA reproduction.
+//!
+//! ChipVQA's Physical Design section spans clock trees, routing, standard
+//! cells, DRC, placement/legalization, floorplanning and timing. The
+//! paper's own example — *"the routing points' coordinates are shown; can
+//! you calculate the routing costs for the 2 diagrams and determine which
+//! routing topology has lower cost?"* — needs a real router and Steiner
+//! tree engine to generate and judge. This crate supplies the stack:
+//!
+//! - [`geom`]: integer points/rectangles with Manhattan metrics;
+//! - [`net`]: nets and half-perimeter wirelength;
+//! - [`steiner`]: rectilinear spanning trees (Prim) and a Hanan-grid
+//!   1-Steiner heuristic for RSMT;
+//! - [`maze`]: Lee BFS maze routing with obstacles;
+//! - [`cts`]: H-tree clock distribution, wirelength and skew under a
+//!   linear delay model;
+//! - [`sta`]: DAG static timing analysis with arrival/required/slack and
+//!   useful-skew experiments;
+//! - [`place`]: abacus-style row legalization with displacement metrics;
+//! - [`drc`]: width/spacing design-rule checks over rectangle sets;
+//! - [`floorplan`]: slicing-tree floorplanning with Stockmeyer shape
+//!   curves;
+//! - [`buffering`]: van-Ginneken-style buffer insertion under Elmore
+//!   delay;
+//! - [`render`]: layouts, annotated Steiner topologies, clock trees.
+//!
+//! # Example
+//!
+//! ```
+//! use chipvqa_physd::geom::Point;
+//! use chipvqa_physd::steiner::{rsmt_cost, rmst_cost};
+//!
+//! let pins = [Point::new(0, 0), Point::new(10, 0), Point::new(5, 8)];
+//! // Steiner trees never cost more than spanning trees.
+//! assert!(rsmt_cost(&pins) <= rmst_cost(&pins));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffering;
+pub mod cts;
+pub mod drc;
+pub mod floorplan;
+pub mod geom;
+pub mod maze;
+pub mod net;
+pub mod place;
+pub mod render;
+pub mod sta;
+pub mod steiner;
+
+pub use geom::{Point, Rect};
+pub use sta::TimingGraph;

@@ -1,0 +1,249 @@
+//! Lee-algorithm maze routing: BFS wave propagation over a grid with
+//! obstacles, returning shortest rectilinear paths.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::geom::Point;
+
+/// A routing grid with blocked cells.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Grid {
+    width: usize,
+    height: usize,
+    blocked: Vec<bool>,
+}
+
+/// Error routing on a grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// Source or target outside the grid or on an obstacle.
+    BadTerminal,
+    /// No path exists.
+    Unreachable,
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::BadTerminal => write!(f, "terminal outside grid or blocked"),
+            RouteError::Unreachable => write!(f, "no route exists"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+impl Grid {
+    /// Creates an empty (all-routable) grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "grid dimensions must be nonzero");
+        Grid {
+            width,
+            height,
+            blocked: vec![false; width * height],
+        }
+    }
+
+    /// Grid width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Grid height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Marks a cell as an obstacle. Out-of-range coordinates are ignored.
+    pub fn block(&mut self, x: usize, y: usize) {
+        if x < self.width && y < self.height {
+            self.blocked[y * self.width + x] = true;
+        }
+    }
+
+    /// Blocks a rectangular region (clipped to the grid).
+    pub fn block_rect(&mut self, x: usize, y: usize, w: usize, h: usize) {
+        for yy in y..(y + h).min(self.height) {
+            for xx in x..(x + w).min(self.width) {
+                self.blocked[yy * self.width + xx] = true;
+            }
+        }
+    }
+
+    /// Whether a cell is blocked (out-of-range counts as blocked).
+    pub fn is_blocked(&self, x: usize, y: usize) -> bool {
+        x >= self.width || y >= self.height || self.blocked[y * self.width + x]
+    }
+
+    /// Routes from `src` to `dst` with Lee BFS; returns the path
+    /// (inclusive of both terminals).
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::BadTerminal`] for blocked/out-of-range terminals,
+    /// [`RouteError::Unreachable`] when the wave never reaches `dst`.
+    pub fn route(&self, src: Point, dst: Point) -> Result<Vec<Point>, RouteError> {
+        let to_idx = |p: Point| -> Option<usize> {
+            if p.x < 0 || p.y < 0 {
+                return None;
+            }
+            let (x, y) = (p.x as usize, p.y as usize);
+            if self.is_blocked(x, y) {
+                None
+            } else {
+                Some(y * self.width + x)
+            }
+        };
+        let s = to_idx(src).ok_or(RouteError::BadTerminal)?;
+        let t = to_idx(dst).ok_or(RouteError::BadTerminal)?;
+        let mut prev: Vec<Option<usize>> = vec![None; self.width * self.height];
+        let mut seen = vec![false; self.width * self.height];
+        let mut queue = VecDeque::new();
+        seen[s] = true;
+        queue.push_back(s);
+        while let Some(cur) = queue.pop_front() {
+            if cur == t {
+                break;
+            }
+            let (cx, cy) = (cur % self.width, cur / self.width);
+            let neighbours = [
+                (cx.wrapping_sub(1), cy),
+                (cx + 1, cy),
+                (cx, cy.wrapping_sub(1)),
+                (cx, cy + 1),
+            ];
+            for (nx, ny) in neighbours {
+                if self.is_blocked(nx, ny) {
+                    continue;
+                }
+                let ni = ny * self.width + nx;
+                if !seen[ni] {
+                    seen[ni] = true;
+                    prev[ni] = Some(cur);
+                    queue.push_back(ni);
+                }
+            }
+        }
+        if !seen[t] {
+            return Err(RouteError::Unreachable);
+        }
+        // backtrace
+        let mut path = vec![t];
+        while let Some(p) = prev[*path.last().expect("nonempty")] {
+            path.push(p);
+        }
+        path.reverse();
+        Ok(path
+            .into_iter()
+            .map(|i| Point::new((i % self.width) as i64, (i / self.width) as i64))
+            .collect())
+    }
+
+    /// Shortest route length in grid steps, if routable.
+    pub fn route_length(&self, src: Point, dst: Point) -> Result<usize, RouteError> {
+        Ok(self.route(src, dst)?.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_route_matches_manhattan() {
+        let g = Grid::new(20, 20);
+        let len = g
+            .route_length(Point::new(2, 3), Point::new(9, 7))
+            .unwrap();
+        assert_eq!(len, 11);
+    }
+
+    #[test]
+    fn detours_around_obstacle() {
+        let mut g = Grid::new(20, 20);
+        // vertical wall with no gap between x=10 columns, y in 0..15
+        g.block_rect(10, 0, 1, 15);
+        let len = g
+            .route_length(Point::new(5, 5), Point::new(15, 5))
+            .unwrap();
+        assert!(len > 10, "must detour: {len}");
+        // detour via y=15: 2*(15-5) + 10 = 30
+        assert_eq!(len, 30);
+    }
+
+    #[test]
+    fn walled_off_is_unreachable() {
+        let mut g = Grid::new(10, 10);
+        g.block_rect(5, 0, 1, 10);
+        assert_eq!(
+            g.route(Point::new(0, 0), Point::new(9, 9)),
+            Err(RouteError::Unreachable)
+        );
+    }
+
+    #[test]
+    fn blocked_terminal_rejected() {
+        let mut g = Grid::new(10, 10);
+        g.block(3, 3);
+        assert_eq!(
+            g.route(Point::new(3, 3), Point::new(0, 0)),
+            Err(RouteError::BadTerminal)
+        );
+        assert_eq!(
+            g.route(Point::new(0, 0), Point::new(50, 0)),
+            Err(RouteError::BadTerminal)
+        );
+    }
+
+    #[test]
+    fn route_endpoints_and_continuity() {
+        let mut g = Grid::new(16, 16);
+        g.block_rect(4, 4, 8, 1);
+        let path = g.route(Point::new(0, 0), Point::new(15, 15)).unwrap();
+        assert_eq!(path.first(), Some(&Point::new(0, 0)));
+        assert_eq!(path.last(), Some(&Point::new(15, 15)));
+        for w in path.windows(2) {
+            assert_eq!(w[0].manhattan(w[1]), 1, "path must be 4-connected");
+        }
+    }
+
+    #[test]
+    fn self_route_is_empty_length() {
+        let g = Grid::new(4, 4);
+        assert_eq!(g.route_length(Point::new(1, 1), Point::new(1, 1)).unwrap(), 0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            #[test]
+            fn route_never_shorter_than_manhattan(
+                sx in 0i64..12, sy in 0i64..12,
+                tx in 0i64..12, ty in 0i64..12,
+                obstacles in proptest::collection::vec((0usize..12, 0usize..12), 0..20),
+            ) {
+                let mut g = Grid::new(12, 12);
+                for (x, y) in obstacles {
+                    if (x as i64, y as i64) != (sx, sy) && (x as i64, y as i64) != (tx, ty) {
+                        g.block(x, y);
+                    }
+                }
+                let (src, dst) = (Point::new(sx, sy), Point::new(tx, ty));
+                if let Ok(len) = g.route_length(src, dst) {
+                    prop_assert!(len as i64 >= src.manhattan(dst));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Nets and wirelength estimates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::geom::{Point, Rect};
+
+/// A net: a named set of pin locations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Net {
+    /// Net name.
+    pub name: String,
+    /// Pin locations.
+    pub pins: Vec<Point>,
+}
+
+impl Net {
+    /// Creates a net.
+    pub fn new(name: impl Into<String>, pins: Vec<Point>) -> Self {
+        Net {
+            name: name.into(),
+            pins,
+        }
+    }
+
+    /// Half-perimeter wirelength (HPWL) — the standard placement
+    /// objective. Zero for nets with fewer than two pins.
+    pub fn hpwl(&self) -> i64 {
+        match Rect::bounding(&self.pins) {
+            Some(bb) if self.pins.len() >= 2 => bb.half_perimeter(),
+            _ => 0,
+        }
+    }
+}
+
+/// Total HPWL over a netlist.
+pub fn total_hpwl(nets: &[Net]) -> i64 {
+    nets.iter().map(Net::hpwl).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hpwl_of_two_pin_net_is_manhattan() {
+        let n = Net::new("a", vec![Point::new(0, 0), Point::new(7, 3)]);
+        assert_eq!(n.hpwl(), 10);
+    }
+
+    #[test]
+    fn hpwl_of_multi_pin_is_bbox() {
+        let n = Net::new(
+            "b",
+            vec![Point::new(0, 0), Point::new(4, 9), Point::new(2, 2)],
+        );
+        assert_eq!(n.hpwl(), 13);
+    }
+
+    #[test]
+    fn degenerate_nets() {
+        assert_eq!(Net::new("c", vec![]).hpwl(), 0);
+        assert_eq!(Net::new("d", vec![Point::new(3, 3)]).hpwl(), 0);
+    }
+
+    #[test]
+    fn total_sums() {
+        let nets = vec![
+            Net::new("a", vec![Point::new(0, 0), Point::new(1, 1)]),
+            Net::new("b", vec![Point::new(0, 0), Point::new(2, 0)]),
+        ];
+        assert_eq!(total_hpwl(&nets), 4);
+    }
+}

@@ -1,0 +1,264 @@
+//! Procedural drawings of physical-design visuals: annotated routing
+//! topologies (the paper's example question), cell layouts and clock
+//! trees.
+
+use chipvqa_raster::{Annotated, Pixmap, Region, BLACK, GRAY};
+
+use crate::cts::ClockTree;
+use crate::geom::{Point, Rect};
+use crate::steiner::RouteTree;
+
+const STROKE: i64 = 2;
+const TEXT: i64 = 2;
+
+fn scale_points(points: &[Point], w: usize, h: usize, margin: i64) -> impl Fn(Point) -> (i64, i64) {
+    let bb = Rect::bounding(points).unwrap_or(Rect::new(0, 0, 1, 1));
+    let sx = (w as i64 - 2 * margin) as f64 / bb.width().max(1) as f64;
+    let sy = (h as i64 - 2 * margin) as f64 / bb.height().max(1) as f64;
+    let s = sx.min(sy);
+    move |p: Point| {
+        (
+            margin + ((p.x - bb.x1) as f64 * s) as i64,
+            margin + ((p.y - bb.y1) as f64 * s) as i64,
+        )
+    }
+}
+
+/// Renders a routing tree with every pin's coordinates annotated — the
+/// exact visual style of the paper's "which routing topology has lower
+/// cost?" question. Steiner points draw as hollow squares.
+pub fn render_route_tree(tree: &RouteTree, pins: &[Point], title: &str) -> Annotated {
+    let (w, h) = (420usize, 360usize);
+    let mut img = Pixmap::new(w, h);
+    let mut marks: Vec<(String, Region)> = Vec::new();
+    let mut all: Vec<Point> = pins.to_vec();
+    all.extend(tree.steiner_points.iter().copied());
+    for e in &tree.edges {
+        all.push(e.a);
+        all.push(e.b);
+    }
+    if all.is_empty() {
+        return Annotated::new(img);
+    }
+    let map = scale_points(&all, w, h - 40, 50);
+    img.draw_text(10, 10, title, TEXT, BLACK);
+    marks.push((format!("title {title}"), Region::new(8, 6, 200, 22)));
+
+    for e in &tree.edges {
+        let (x0, y0) = map(e.a);
+        let (x1, y1) = map(e.b);
+        // rectilinear elbow: horizontal then vertical
+        img.draw_polyline(&[(x0, y0), (x1, y0), (x1, y1)], STROKE, BLACK);
+    }
+    for &p in pins {
+        let (x, y) = map(p);
+        img.fill_circle(x, y, 5, BLACK);
+        let label = format!("({},{})", p.x, p.y);
+        img.draw_text(x + 8, y - 16, &label, TEXT, BLACK);
+        marks.push((
+            format!("pin at {label}"),
+            Region::new((x - 6).max(0) as usize, (y - 18).max(0) as usize, 90, 32),
+        ));
+    }
+    for &sp in &tree.steiner_points {
+        let (x, y) = map(sp);
+        img.draw_rect(x - 5, y - 5, 10, 10, STROKE, BLACK);
+        marks.push((
+            format!("steiner point at ({},{})", sp.x, sp.y),
+            Region::new((x - 7).max(0) as usize, (y - 7).max(0) as usize, 14, 14),
+        ));
+    }
+    img.draw_text(
+        10,
+        (h - 26) as i64,
+        &format!("total wirelength = {}", tree.cost()),
+        TEXT,
+        GRAY,
+    );
+    let mut out = Annotated::new(img);
+    for (label, region) in marks {
+        out.mark(label, region);
+    }
+    out
+}
+
+/// Renders two routing alternatives side by side (the paper's two-diagram
+/// comparison). The wirelength captions are deliberately *omitted* so the
+/// reader must compute costs from the annotated coordinates.
+pub fn render_route_comparison(
+    left: &RouteTree,
+    right: &RouteTree,
+    pins: &[Point],
+) -> Annotated {
+    let single_l = render_route_tree_bare(left, pins, "topology A");
+    let single_r = render_route_tree_bare(right, pins, "topology B");
+    let w = single_l.image.width() + single_r.image.width();
+    let h = single_l.image.height().max(single_r.image.height());
+    let mut img = Pixmap::new(w, h);
+    let mut out_marks = Vec::new();
+    for (dx, vis) in [(0usize, &single_l), (single_l.image.width(), &single_r)] {
+        for y in 0..vis.image.height() {
+            for x in 0..vis.image.width() {
+                img.set(
+                    (x + dx) as i64,
+                    y as i64,
+                    vis.image.pixels()[y * vis.image.width() + x],
+                );
+            }
+        }
+        for m in &vis.marks {
+            out_marks.push((
+                m.label.clone(),
+                Region::new(m.region.x + dx, m.region.y, m.region.w, m.region.h),
+            ));
+        }
+    }
+    let mut out = Annotated::new(img);
+    for (label, region) in out_marks {
+        out.mark(label, region);
+    }
+    out
+}
+
+fn render_route_tree_bare(tree: &RouteTree, pins: &[Point], title: &str) -> Annotated {
+    let mut vis = render_route_tree(tree, pins, title);
+    // strip the cost caption (bottom strip) so the answer isn't printed
+    let h = vis.image.height();
+    let w = vis.image.width();
+    for y in (h - 32)..h {
+        for x in 0..w {
+            vis.image.set(x as i64, y as i64, chipvqa_raster::WHITE);
+        }
+    }
+    vis
+}
+
+/// Renders a standard-cell layout (rows of labelled rectangles).
+pub fn render_cell_layout(cells: &[(String, Rect)]) -> Annotated {
+    let all: Vec<Point> = cells
+        .iter()
+        .flat_map(|(_, r)| [Point::new(r.x1, r.y1), Point::new(r.x2, r.y2)])
+        .collect();
+    let (w, h) = (460usize, 300usize);
+    let mut img = Pixmap::new(w, h);
+    let mut marks = Vec::new();
+    if all.is_empty() {
+        return Annotated::new(img);
+    }
+    let map = scale_points(&all, w, h, 30);
+    for (name, r) in cells {
+        let (x0, y0) = map(Point::new(r.x1, r.y1));
+        let (x1, y1) = map(Point::new(r.x2, r.y2));
+        img.draw_rect(x0, y0, (x1 - x0).max(8), (y1 - y0).max(8), STROKE, BLACK);
+        img.draw_text(x0 + 4, y0 + 4, name, TEXT, BLACK);
+        marks.push((
+            format!("cell {name}"),
+            Region::new(x0 as usize, y0 as usize, (x1 - x0).max(8) as usize, (y1 - y0).max(8) as usize),
+        ));
+    }
+    let mut out = Annotated::new(img);
+    for (label, region) in marks {
+        out.mark(label, region);
+    }
+    out
+}
+
+/// Renders a clock tree (segments plus sink dots; source as a filled
+/// square).
+pub fn render_clock_tree(tree: &ClockTree) -> Annotated {
+    let mut all: Vec<Point> = vec![tree.source];
+    for &(a, b) in &tree.segments {
+        all.push(a);
+        all.push(b);
+    }
+    for &(s, _) in &tree.sinks {
+        all.push(s);
+    }
+    let (w, h) = (420usize, 380usize);
+    let mut img = Pixmap::new(w, h);
+    let mut marks = Vec::new();
+    let map = scale_points(&all, w, h, 40);
+    for &(a, b) in &tree.segments {
+        let (x0, y0) = map(a);
+        let (x1, y1) = map(b);
+        img.draw_line(x0, y0, x1, y1, STROKE, BLACK);
+    }
+    let (sx, sy) = map(tree.source);
+    img.fill_rect(sx - 6, sy - 6, 12, 12, BLACK);
+    marks.push((
+        "clock source driver".to_string(),
+        Region::new((sx - 8).max(0) as usize, (sy - 8).max(0) as usize, 16, 16),
+    ));
+    for (i, &(s, len)) in tree.sinks.iter().enumerate() {
+        let (x, y) = map(s);
+        img.fill_circle(x, y, 4, BLACK);
+        if i < 6 {
+            marks.push((
+                format!("sink {i} path length {len}"),
+                Region::new((x - 6).max(0) as usize, (y - 6).max(0) as usize, 12, 12),
+            ));
+        }
+    }
+    let mut out = Annotated::new(img);
+    for (label, region) in marks {
+        out.mark(label, region);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cts::h_tree;
+    use crate::steiner::{rsmt, star_tree};
+
+    fn pins() -> Vec<Point> {
+        vec![Point::new(0, 0), Point::new(10, 0), Point::new(5, 8)]
+    }
+
+    #[test]
+    fn route_tree_marks_every_pin() {
+        let tree = rsmt(&pins());
+        let vis = render_route_tree(&tree, &pins(), "RSMT");
+        assert!(vis.marks.iter().any(|m| m.label.contains("(5,8)")));
+        assert!(vis.marks.iter().any(|m| m.label.contains("steiner point")));
+        assert!(vis.image.ink_pixels() > 100);
+    }
+
+    #[test]
+    fn comparison_carries_both_titles() {
+        let a = rsmt(&pins());
+        let b = star_tree(&pins());
+        let vis = render_route_comparison(&a, &b, &pins());
+        assert!(vis.marks.iter().any(|m| m.label.contains("topology A")));
+        assert!(vis.marks.iter().any(|m| m.label.contains("topology B")));
+    }
+
+    #[test]
+    fn layout_renders_cells() {
+        let cells = vec![
+            ("INV1".to_string(), Rect::new(0, 0, 10, 8)),
+            ("NAND2".to_string(), Rect::new(12, 0, 26, 8)),
+        ];
+        let vis = render_cell_layout(&cells);
+        assert_eq!(vis.marks.len(), 2);
+    }
+
+    #[test]
+    fn clock_tree_renders_with_source_mark() {
+        let tree = h_tree(Point::new(0, 0), 64, 2);
+        let vis = render_clock_tree(&tree);
+        assert!(vis.marks.iter().any(|m| m.label.contains("source")));
+        assert!(vis.image.ink_pixels() > 200);
+    }
+
+    #[test]
+    fn empty_tree_renders_blank() {
+        let empty = RouteTree {
+            edges: vec![],
+            steiner_points: vec![],
+        };
+        let vis = render_route_tree(&empty, &[], "empty");
+        assert_eq!(vis.marks.len(), 0);
+    }
+}

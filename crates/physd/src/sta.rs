@@ -1,0 +1,378 @@
+//! Static timing analysis over a combinational DAG: arrival/required
+//! times, slack, critical path extraction and useful-skew experiments.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Node id inside a [`TimingGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimingNode(pub usize);
+
+/// A timing graph: nodes with delays, edges with (optional) wire delays.
+/// Nodes must be added before edges reference them; edges must go from a
+/// lower to a higher node id, which makes the graph acyclic by
+/// construction (like real netlist levelisation).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimingGraph {
+    delays: Vec<f64>,
+    names: Vec<String>,
+    edges: Vec<(usize, usize, f64)>, // (from, to, wire delay)
+    endpoints: Vec<usize>,
+    startpoints: Vec<usize>,
+}
+
+/// Error building a timing graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimingError {
+    /// Edge endpoints out of range or not topologically ordered.
+    BadEdge {
+        /// Source node id.
+        from: usize,
+        /// Sink node id.
+        to: usize,
+    },
+    /// Negative delay supplied.
+    NegativeDelay(f64),
+}
+
+impl fmt::Display for TimingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimingError::BadEdge { from, to } => {
+                write!(f, "edge {from}->{to} is out of range or not forward")
+            }
+            TimingError::NegativeDelay(d) => write!(f, "negative delay {d}"),
+        }
+    }
+}
+
+impl std::error::Error for TimingError {}
+
+/// The result of a full timing run at a clock period.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingReport {
+    /// Per-node arrival times.
+    pub arrival: Vec<f64>,
+    /// Per-node required times.
+    pub required: Vec<f64>,
+    /// Per-node slack (`required − arrival`).
+    pub slack: Vec<f64>,
+    /// Worst (most negative) slack.
+    pub worst_slack: f64,
+    /// Node ids along the critical path, source to endpoint.
+    pub critical_path: Vec<TimingNode>,
+}
+
+impl TimingGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        TimingGraph::default()
+    }
+
+    /// Adds a node with a propagation delay; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// [`TimingError::NegativeDelay`] for negative delays.
+    pub fn add_node(&mut self, name: impl Into<String>, delay: f64) -> Result<TimingNode, TimingError> {
+        if delay < 0.0 {
+            return Err(TimingError::NegativeDelay(delay));
+        }
+        self.delays.push(delay);
+        self.names.push(name.into());
+        Ok(TimingNode(self.delays.len() - 1))
+    }
+
+    /// Adds an edge with a wire delay.
+    ///
+    /// # Errors
+    ///
+    /// [`TimingError::BadEdge`] unless `from < to < node_count` (forward
+    /// edges keep the graph a DAG); [`TimingError::NegativeDelay`] for
+    /// negative wire delay.
+    pub fn add_edge(&mut self, from: TimingNode, to: TimingNode, wire: f64) -> Result<(), TimingError> {
+        if wire < 0.0 {
+            return Err(TimingError::NegativeDelay(wire));
+        }
+        if from.0 >= to.0 || to.0 >= self.delays.len() {
+            return Err(TimingError::BadEdge {
+                from: from.0,
+                to: to.0,
+            });
+        }
+        self.edges.push((from.0, to.0, wire));
+        Ok(())
+    }
+
+    /// Marks a timing startpoint (arrival 0 reference, e.g. a register
+    /// clock pin).
+    pub fn mark_startpoint(&mut self, n: TimingNode) {
+        self.startpoints.push(n.0);
+    }
+
+    /// Marks a timing endpoint (checked against the clock period).
+    pub fn mark_endpoint(&mut self, n: TimingNode) {
+        self.endpoints.push(n.0);
+    }
+
+    /// Node name.
+    pub fn name(&self, n: TimingNode) -> &str {
+        &self.names[n.0]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.delays.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.delays.is_empty()
+    }
+
+    /// Runs arrival/required/slack analysis against `period`. Startpoint
+    /// arrivals may be skewed individually via `launch_skew` (useful-skew
+    /// analysis); pass `&[]` for zero skew everywhere.
+    pub fn analyze(&self, period: f64, launch_skew: &[(TimingNode, f64)]) -> TimingReport {
+        let n = self.delays.len();
+        let skew_of = |i: usize| -> f64 {
+            launch_skew
+                .iter()
+                .find(|(node, _)| node.0 == i)
+                .map_or(0.0, |&(_, s)| s)
+        };
+        // Arrival: forward pass in id order (ids are topological because
+        // edges are forced forward). Nodes with no fan-in behave as
+        // primary inputs: they arrive at their own delay plus skew.
+        let mut has_in = vec![false; n];
+        for &(_, to, _) in &self.edges {
+            has_in[to] = true;
+        }
+        let mut arrival = vec![f64::NEG_INFINITY; n];
+        for &s in &self.startpoints {
+            arrival[s] = skew_of(s) + self.delays[s];
+        }
+        for i in 0..n {
+            if !has_in[i] && arrival[i] == f64::NEG_INFINITY {
+                arrival[i] = skew_of(i) + self.delays[i];
+            }
+        }
+        let mut incoming: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for &(from, to, wire) in &self.edges {
+            incoming[to].push((from, wire));
+        }
+        for to in 0..n {
+            for &(from, wire) in &incoming[to] {
+                let cand = arrival[from] + wire + self.delays[to];
+                if cand > arrival[to] {
+                    arrival[to] = cand;
+                }
+            }
+        }
+        for a in &mut arrival {
+            if *a == f64::NEG_INFINITY {
+                *a = 0.0;
+            }
+        }
+
+        // Required: backward pass.
+        let mut required = vec![f64::INFINITY; n];
+        for &e in &self.endpoints {
+            required[e] = period;
+        }
+        let mut outgoing: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for &(from, to, wire) in &self.edges {
+            outgoing[from].push((to, wire));
+        }
+        for from in (0..n).rev() {
+            for &(to, wire) in &outgoing[from] {
+                let cand = required[to] - self.delays[to] - wire;
+                if cand < required[from] {
+                    required[from] = cand;
+                }
+            }
+        }
+        for r in &mut required {
+            if *r == f64::INFINITY {
+                *r = period;
+            }
+        }
+
+        let slack: Vec<f64> = arrival
+            .iter()
+            .zip(&required)
+            .map(|(a, r)| r - a)
+            .collect();
+        let worst_slack = slack.iter().cloned().fold(f64::INFINITY, f64::min);
+
+        // Critical path: walk back from the worst endpoint.
+        let mut critical_path = Vec::new();
+        if let Some(&end) = self
+            .endpoints
+            .iter()
+            .min_by(|&&a, &&b| slack[a].partial_cmp(&slack[b]).expect("finite slacks"))
+        {
+            let mut cur = end;
+            critical_path.push(TimingNode(cur));
+            loop {
+                let mut best: Option<usize> = None;
+                for &(from, to, wire) in &self.edges {
+                    if to == cur
+                        && (arrival[from] + wire + self.delays[to] - arrival[to]).abs() < 1e-9
+                    {
+                        best = Some(from);
+                        break;
+                    }
+                }
+                match best {
+                    Some(from) => {
+                        critical_path.push(TimingNode(from));
+                        cur = from;
+                    }
+                    None => break,
+                }
+            }
+            critical_path.reverse();
+        }
+
+        TimingReport {
+            arrival,
+            required,
+            slack,
+            worst_slack,
+            critical_path,
+        }
+    }
+
+    /// Minimum clock period that meets timing (worst slack exactly zero):
+    /// the latest endpoint arrival.
+    pub fn min_period(&self) -> f64 {
+        let report = self.analyze(0.0, &[]);
+        self.endpoints
+            .iter()
+            .map(|&e| report.arrival[e])
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// in1 ->(1) g1[2] ->(0.5) g3[1] -> out
+    /// in2 ->(1) g2[3] ---------^
+    fn diamond() -> (TimingGraph, [TimingNode; 5]) {
+        let mut g = TimingGraph::new();
+        let in1 = g.add_node("in1", 0.0).unwrap();
+        let in2 = g.add_node("in2", 0.0).unwrap();
+        let g1 = g.add_node("g1", 2.0).unwrap();
+        let g2 = g.add_node("g2", 3.0).unwrap();
+        let g3 = g.add_node("g3", 1.0).unwrap();
+        g.add_edge(in1, g1, 1.0).unwrap();
+        g.add_edge(in2, g2, 1.0).unwrap();
+        g.add_edge(g1, g3, 0.5).unwrap();
+        g.add_edge(g2, g3, 0.5).unwrap();
+        g.mark_startpoint(in1);
+        g.mark_startpoint(in2);
+        g.mark_endpoint(g3);
+        (g, [in1, in2, g1, g2, g3])
+    }
+
+    #[test]
+    fn arrival_takes_max_path() {
+        let (g, n) = diamond();
+        let r = g.analyze(10.0, &[]);
+        // through g2: 0 + 1 + 3 + 0.5 + 1 = 5.5
+        assert!((r.arrival[n[4].0] - 5.5).abs() < 1e-9);
+        assert!((g.min_period() - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slack_and_critical_path() {
+        let (g, n) = diamond();
+        let r = g.analyze(6.0, &[]);
+        assert!((r.worst_slack - 0.5).abs() < 1e-9);
+        let names: Vec<&str> = r.critical_path.iter().map(|&x| g.name(x)).collect();
+        assert_eq!(names, vec!["in2", "g2", "g3"]);
+        // the short path has more slack
+        assert!(r.slack[n[2].0] > r.slack[n[3].0]);
+    }
+
+    #[test]
+    fn negative_slack_when_period_too_short() {
+        let (g, _) = diamond();
+        let r = g.analyze(5.0, &[]);
+        assert!(r.worst_slack < 0.0);
+    }
+
+    #[test]
+    fn useful_skew_buys_slack() {
+        let (g, n) = diamond();
+        // Launch the critical input early (negative skew): slack improves.
+        let base = g.analyze(5.5, &[]).worst_slack;
+        let skewed = g.analyze(5.5, &[(n[1], -0.5)]).worst_slack;
+        assert!(skewed > base, "{skewed} vs {base}");
+        assert!((skewed - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_edges_rejected() {
+        let mut g = TimingGraph::new();
+        let a = g.add_node("a", 1.0).unwrap();
+        let b = g.add_node("b", 1.0).unwrap();
+        assert!(matches!(
+            g.add_edge(b, a, 0.0),
+            Err(TimingError::BadEdge { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(a, TimingNode(9), 0.0),
+            Err(TimingError::BadEdge { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(a, b, -1.0),
+            Err(TimingError::NegativeDelay(_))
+        ));
+        assert!(g.add_node("c", -0.5).is_err());
+    }
+
+    #[test]
+    fn empty_graph_analyzes() {
+        let g = TimingGraph::new();
+        let r = g.analyze(1.0, &[]);
+        assert!(r.arrival.is_empty());
+        assert_eq!(g.min_period(), 0.0);
+        assert!(g.is_empty());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn slack_decreases_with_tighter_period(
+                delays in proptest::collection::vec(0.1f64..5.0, 3..10),
+            ) {
+                // chain graph
+                let mut g = TimingGraph::new();
+                let nodes: Vec<TimingNode> = delays
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &d)| g.add_node(format!("n{i}"), d).unwrap())
+                    .collect();
+                for w in nodes.windows(2) {
+                    g.add_edge(w[0], w[1], 0.1).unwrap();
+                }
+                g.mark_startpoint(nodes[0]);
+                g.mark_endpoint(*nodes.last().unwrap());
+                let loose = g.analyze(100.0, &[]).worst_slack;
+                let tight = g.analyze(1.0, &[]).worst_slack;
+                prop_assert!(loose > tight);
+                // min_period leaves exactly zero slack
+                let zero = g.analyze(g.min_period(), &[]).worst_slack;
+                prop_assert!(zero.abs() < 1e-9);
+            }
+        }
+    }
+}

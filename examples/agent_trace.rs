@@ -1,0 +1,38 @@
+//! Agent trace: watch the §IV-C chip-designer/vision-tool conversation on
+//! a few questions, including one the planner answers better than the
+//! grounded model and one where the lossy description channel hurts.
+//!
+//! ```text
+//! cargo run --release --example agent_trace
+//! ```
+
+use chipvqa::agent::AgentSystem;
+use chipvqa::core::ChipVqa;
+use chipvqa::eval::{Judge, RuleJudge};
+use chipvqa::models::{ModelZoo, VlmPipeline};
+
+fn main() {
+    let bench = ChipVqa::standard();
+    let agent = AgentSystem::paper_setup();
+    let base = VlmPipeline::new(ModelZoo::gpt4o());
+    let judge = RuleJudge::new();
+
+    for id in ["physical-000", "manuf-000", "arch-005"] {
+        let q = bench.get(id).expect("canonical ids exist");
+        println!("================================================================");
+        println!("[{}] {}", q.id, q.prompt.chars().take(180).collect::<String>());
+        let out = agent.answer(q, 0);
+        print!("{}", out.transcript.render());
+        println!("[designer, final]    {}", out.text);
+        let agent_ok = judge.is_correct(q, &out.text);
+        let base_resp = base.infer(q, 1, 0);
+        let base_ok = judge.is_correct(q, &base_resp.text);
+        println!(
+            "verdicts: agent {} | plain GPT-4o {} (answered: {})",
+            if agent_ok { "CORRECT" } else { "wrong" },
+            if base_ok { "CORRECT" } else { "wrong" },
+            base_resp.text
+        );
+        println!();
+    }
+}

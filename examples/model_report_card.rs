@@ -1,0 +1,87 @@
+//! Model report card: evaluate one zoo model (default GPT-4o, or pass a
+//! name) on the standard and challenge collections with per-category and
+//! per-visual-kind breakdowns.
+//!
+//! ```text
+//! cargo run --release --example model_report_card -- LLaVA-7b
+//! ```
+
+use std::collections::BTreeMap;
+
+use chipvqa::core::question::{Category, VisualKind};
+use chipvqa::core::ChipVqa;
+use chipvqa::eval::harness::{evaluate, EvalOptions};
+use chipvqa::models::{ModelZoo, VlmPipeline};
+
+fn main() {
+    let wanted = std::env::args().nth(1).unwrap_or_else(|| "GPT4o".into());
+    let profile = ModelZoo::all()
+        .into_iter()
+        .find(|p| p.name.eq_ignore_ascii_case(&wanted))
+        .unwrap_or_else(|| {
+            eprintln!("unknown model '{wanted}', available:");
+            for p in ModelZoo::all() {
+                eprintln!("  {}", p.name);
+            }
+            std::process::exit(2);
+        });
+
+    println!("report card: {} ({}B params, {}px encoder)\n",
+        profile.name, profile.params_b, profile.encoder_resolution);
+
+    let bench = ChipVqa::standard();
+    let challenge = bench.challenge();
+    let pipe = VlmPipeline::new(profile);
+    let std_report = evaluate(&pipe, &bench, EvalOptions::default());
+    let chal_report = evaluate(&pipe, &challenge, EvalOptions::default());
+
+    println!("{:<16} {:>10} {:>10}", "category", "standard", "challenge");
+    for cat in Category::ALL {
+        println!(
+            "{:<16} {:>10.2} {:>10.2}",
+            cat.label(),
+            std_report.category_rate(cat),
+            chal_report.category_rate(cat)
+        );
+    }
+    println!(
+        "{:<16} {:>10.2} {:>10.2}\n",
+        "all",
+        std_report.overall(),
+        chal_report.overall()
+    );
+
+    // per visual kind on the standard collection
+    let mut by_kind: BTreeMap<VisualKind, (usize, usize)> = BTreeMap::new();
+    for (q, o) in bench.iter().zip(&std_report.outcomes) {
+        let e = by_kind.entry(q.visual_kind).or_default();
+        e.1 += 1;
+        if o.passed {
+            e.0 += 1;
+        }
+    }
+    println!("{:<16} {:>8} {:>8}", "visual kind", "passed", "total");
+    for (kind, (pass, total)) in by_kind {
+        println!("{:<16} {:>8} {:>8}", kind.label(), pass, total);
+    }
+
+    // how the standard-collection answers came about
+    let (solved, guessed, failed) = std_report.path_histogram();
+    println!(
+        "\nanswer paths (standard): {solved} solved, {guessed} guessed, {failed} failed"
+    );
+
+    // pass@k scaling
+    println!("\npass@k on the standard collection:");
+    for k in [1u64, 3, 5] {
+        let r = evaluate(
+            &pipe,
+            &bench,
+            EvalOptions {
+                attempts: k,
+                downsample: 1,
+            },
+        );
+        println!("  pass@{k} = {:.2}", r.overall());
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: build the benchmark, run one model on a few questions and
+//! watch the Fig. 2 pipeline stages (encoder → projector → backbone) in
+//! action.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use chipvqa::core::stats::DatasetStats;
+use chipvqa::core::ChipVqa;
+use chipvqa::eval::{Judge, RuleJudge};
+use chipvqa::models::{ModelZoo, VlmPipeline};
+
+fn main() {
+    let bench = ChipVqa::standard();
+    let stats = DatasetStats::compute(&bench);
+    println!(
+        "ChipVQA standard collection: {} questions ({} MC / {} SA)\n",
+        stats.total, stats.multiple_choice, stats.short_answer
+    );
+
+    let pipe = VlmPipeline::new(ModelZoo::gpt4o());
+    let judge = RuleJudge::new();
+    println!("Running {} on three sample questions:\n", pipe.profile().name);
+
+    for id in ["digital-000", "analog-000", "manuf-000"] {
+        let q = bench.get(id).expect("canonical ids exist");
+        println!("[{}] ({} / {})", q.id, q.category, q.visual_kind);
+        let prompt = q.full_prompt();
+        let head: String = prompt.chars().take(300).collect();
+        println!("  Q: {head}{}", if prompt.len() > 300 { "…" } else { "" });
+
+        // Fig. 2 staged trace: what the encoder extracted, then the answer.
+        let resp = pipe.infer(q, 1, 0);
+        println!(
+            "  [encoder]  perceived {}/{} key facts",
+            resp.percept.perceived.len(),
+            resp.percept.required
+        );
+        println!("  [projector] visual tokens joined with {} prompt chars", prompt.len());
+        println!("  [backbone]  answered: {}", resp.text);
+        let verdict = judge.is_correct(q, &resp.text);
+        println!(
+            "  gold: {} -> judged {}\n",
+            q.golden_text(),
+            if verdict { "CORRECT" } else { "wrong" }
+        );
+    }
+
+    println!("visual of digital-000 (state table), ASCII preview:");
+    let q = bench.get("digital-000").expect("exists");
+    println!("{}", q.visual.image.to_ascii(8));
+}

@@ -1,0 +1,53 @@
+//! # ChipVQA — a full reproduction of the DATE 2025 benchmark paper
+//!
+//! *ChipVQA: Benchmarking Visual Language Models for Chip Design*
+//! (Yang et al., NVIDIA, DATE 2025) introduces a 142-question VQA suite
+//! over five chip-design disciplines and evaluates twelve VLMs on it.
+//! This workspace reproduces the entire system in Rust: the benchmark
+//! (procedurally generated with solver-backed golden answers), the domain
+//! substrates the questions are built from, a mechanistic VLM simulator
+//! standing in for the GPU-served models, the evaluation harness, and the
+//! agent study. See `DESIGN.md` for the substitution rationale and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! This umbrella crate re-exports every member so downstream users can
+//! depend on one crate:
+//!
+//! ```
+//! use chipvqa::core::ChipVqa;
+//! use chipvqa::eval::harness::{evaluate, EvalOptions};
+//! use chipvqa::models::{ModelZoo, VlmPipeline};
+//!
+//! let bench = ChipVqa::standard();
+//! assert_eq!(bench.len(), 142);
+//! let report = evaluate(
+//!     &VlmPipeline::new(ModelZoo::gpt4o()),
+//!     &bench,
+//!     EvalOptions::default(),
+//! );
+//! assert!(report.overall() > 0.3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The agent-based VQA system (Table III).
+pub use chipvqa_agent as agent;
+/// The analog-design substrate (MNA, transfer functions, ADCs).
+pub use chipvqa_analog as analog;
+/// The computer-architecture substrate (pipelines, caches, MESI, NoC).
+pub use chipvqa_arch as arch;
+/// The benchmark itself (questions, dataset, statistics).
+pub use chipvqa_core as core;
+/// The evaluation harness (judge, pass@k, reports).
+pub use chipvqa_eval as eval;
+/// The digital-logic substrate (expressions, QM, netlists, FSMs).
+pub use chipvqa_logic as logic;
+/// The manufacturing substrate (etch, litho, diffusion, yield).
+pub use chipvqa_manuf as manuf;
+/// The VLM simulator (encoder, backbone, model zoo).
+pub use chipvqa_models as models;
+/// The physical-design substrate (routing, CTS, STA, legalization).
+pub use chipvqa_physd as physd;
+/// The raster substrate (pixmaps, rendering, legibility metrics).
+pub use chipvqa_raster as raster;

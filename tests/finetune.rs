@@ -1,0 +1,75 @@
+//! End-to-end fine-tuning study (the paper's future-work direction):
+//! adapt a weak open model on one generated ChipVQA instance and measure
+//! it on the held-out canonical instance.
+
+use chipvqa::core::ChipVqa;
+use chipvqa::eval::harness::{evaluate, EvalOptions};
+use chipvqa::models::finetune::{finetune, FinetuneConfig};
+use chipvqa::models::{ModelZoo, VlmPipeline};
+
+#[test]
+fn finetuned_model_improves_held_out_challenge_rate() {
+    let train_bench = ChipVqa::with_seed(20_250_701);
+    let eval_bench = ChipVqa::standard().challenge();
+    let base = ModelZoo::llava_7b();
+    let (ft, report) = finetune(
+        &base,
+        &train_bench.iter().collect::<Vec<_>>(),
+        FinetuneConfig::default(),
+    );
+    assert_eq!(report.examples.iter().sum::<usize>(), 142);
+
+    let before = evaluate(&VlmPipeline::new(base), &eval_bench, EvalOptions::default()).overall();
+    let after = evaluate(&VlmPipeline::new(ft), &eval_bench, EvalOptions::default()).overall();
+    assert!(
+        after > before + 0.05,
+        "fine-tune must lift the held-out challenge rate: {before} -> {after}"
+    );
+}
+
+#[test]
+fn finetuned_open_model_narrows_the_gpt4o_gap() {
+    let train = ChipVqa::with_seed(99);
+    let eval_bench = ChipVqa::standard();
+    let base = ModelZoo::llava_34b();
+    let (ft, _) = finetune(
+        &base,
+        &train.iter().collect::<Vec<_>>(),
+        FinetuneConfig::default(),
+    );
+    let gpt = evaluate(
+        &VlmPipeline::new(ModelZoo::gpt4o()),
+        &eval_bench,
+        EvalOptions::default(),
+    )
+    .overall();
+    let base_rate = evaluate(&VlmPipeline::new(base), &eval_bench, EvalOptions::default()).overall();
+    let ft_rate = evaluate(&VlmPipeline::new(ft), &eval_bench, EvalOptions::default()).overall();
+    assert!(ft_rate > base_rate, "{ft_rate} vs {base_rate}");
+    assert!(
+        gpt - ft_rate < gpt - base_rate,
+        "the gap must narrow: gpt {gpt}, base {base_rate}, ft {ft_rate}"
+    );
+}
+
+#[test]
+fn data_scaling_curve_is_monotone() {
+    let train = ChipVqa::with_seed(5);
+    let eval_bench = ChipVqa::standard().challenge();
+    let all: Vec<&chipvqa::core::Question> = train.iter().collect();
+    let mut last = 0.0;
+    for n in [0usize, 30, 80, 142] {
+        let (model, _) = finetune(
+            &ModelZoo::llava_7b(),
+            &all[..n],
+            FinetuneConfig::default(),
+        );
+        let rate = evaluate(&VlmPipeline::new(model), &eval_bench, EvalOptions::default())
+            .overall();
+        assert!(
+            rate >= last - 0.03,
+            "more data should not hurt much: {n} examples -> {rate} (prev {last})"
+        );
+        last = last.max(rate);
+    }
+}

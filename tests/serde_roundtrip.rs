@@ -1,0 +1,55 @@
+//! Serialization round-trips across the public data types.
+
+use chipvqa::core::stats::DatasetStats;
+use chipvqa::core::ChipVqa;
+use chipvqa::models::ModelZoo;
+
+#[test]
+fn collection_json_roundtrip() {
+    let bench = ChipVqa::standard();
+    let json = bench.to_json().expect("serializes");
+    assert!(json.contains("digital-000"));
+    assert!(json.contains("S'Q + SR'"));
+    let back = ChipVqa::from_json(&json).expect("deserializes");
+    assert_eq!(back.len(), bench.len());
+    for (a, b) in bench.iter().zip(back.iter()) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.prompt, b.prompt);
+        assert_eq!(a.kind, b.kind);
+        assert_eq!(a.answer, b.answer);
+    }
+    // images regenerate from the recorded seed
+    assert!(back.iter().all(|q| q.visual.image.ink_pixels() > 0));
+}
+
+#[test]
+fn stats_serialize() {
+    let stats = DatasetStats::compute(&ChipVqa::standard());
+    let json = serde_json::to_string(&stats).expect("serializes");
+    let back: DatasetStats = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(stats, back);
+}
+
+#[test]
+fn profiles_serialize() {
+    for profile in ModelZoo::all() {
+        let json = serde_json::to_string(&profile).expect("serializes");
+        let back: chipvqa::models::ModelProfile =
+            serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(profile, back);
+    }
+}
+
+#[test]
+fn question_metadata_roundtrip_skips_pixels() {
+    let bench = ChipVqa::standard();
+    let q = bench.questions().first().expect("nonempty");
+    let json = serde_json::to_string(q).expect("serializes");
+    assert!(
+        !json.contains("\"pixels\"") && !json.contains("\"data\":[255"),
+        "images must not be serialized"
+    );
+    let back: chipvqa::core::Question = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back.id, q.id);
+    assert_eq!(back.answer, q.answer);
+}
