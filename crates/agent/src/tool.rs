@@ -35,12 +35,7 @@ impl VisionTool {
     /// Looks at the question's image and describes what it perceived.
     /// Each `round` re-examines the image (fresh perception roll), which
     /// is how repeated tool calls recover facts missed earlier.
-    pub fn describe(
-        &self,
-        question: &Question,
-        round: u32,
-        rng: &mut StdRng,
-    ) -> ToolObservation {
+    pub fn describe(&self, question: &Question, round: u32, rng: &mut StdRng) -> ToolObservation {
         let _ = round; // rounds differ through the shared rng stream
         let percept = encoder::perceive(&self.profile, question, 1, rng);
         let labels: Vec<String> = percept
@@ -55,11 +50,7 @@ impl VisionTool {
                 question.visual_kind, question.category
             )
         } else {
-            format!(
-                "The {} shows: {}.",
-                question.visual_kind,
-                labels.join("; ")
-            )
+            format!("The {} shows: {}.", question.visual_kind, labels.join("; "))
         };
         ToolObservation {
             perceived: percept.perceived,

@@ -95,7 +95,9 @@ impl Adc {
             return None;
         };
         let stage_lsb = self.full_scale / f64::from(1u32 << bits_per_stage);
-        let code = (vin / stage_lsb).floor().clamp(0.0, f64::from((1u32 << bits_per_stage) - 1));
+        let code = (vin / stage_lsb)
+            .floor()
+            .clamp(0.0, f64::from((1u32 << bits_per_stage) - 1));
         Some(f64::from(1u32 << bits_per_stage) * (vin - code * stage_lsb))
     }
 }
@@ -147,7 +149,9 @@ mod tests {
             let r = adc.pipeline_residue(vin).unwrap();
             assert!((0.0..=1.0 + 1e-9).contains(&r), "vin {vin} residue {r}");
         }
-        assert!(Adc::new(AdcKind::Sar, 8, 1.0).pipeline_residue(0.5).is_none());
+        assert!(Adc::new(AdcKind::Sar, 8, 1.0)
+            .pipeline_residue(0.5)
+            .is_none());
     }
 
     mod properties {

@@ -118,7 +118,7 @@ pub fn looking_into_drain(m: Mosfet, rs: f64) -> f64 {
 pub fn degenerated_cs_circuit(m: Mosfet, rd: f64, rs: f64) -> Circuit {
     let mut ckt = Circuit::new();
     ckt.add_voltage_source(1, 0, 1.0); // unit test input => V(2) = gain
-    // VCCS: id = gm (vg - vs), flowing drain -> source
+                                       // VCCS: id = gm (vg - vs), flowing drain -> source
     ckt.add_vccs(2, 3, 1, 3, m.gm);
     if m.ro.is_finite() {
         ckt.add_resistor(2, 3, m.ro);
@@ -139,10 +139,7 @@ mod tests {
     use super::*;
 
     fn m() -> Mosfet {
-        Mosfet {
-            gm: 2e-3,
-            ro: 50e3,
-        }
+        Mosfet { gm: 2e-3, ro: 50e3 }
     }
 
     #[test]

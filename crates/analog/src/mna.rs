@@ -124,7 +124,8 @@ impl Circuit {
     pub fn add_current_source(&mut self, from: usize, to: usize, amps: f64) {
         self.touch(from);
         self.touch(to);
-        self.elements.push(Element::CurrentSource { from, to, amps });
+        self.elements
+            .push(Element::CurrentSource { from, to, amps });
     }
 
     /// Adds an independent voltage source (`V(plus) − V(minus) = volts`)
@@ -132,7 +133,8 @@ impl Circuit {
     pub fn add_voltage_source(&mut self, plus: usize, minus: usize, volts: f64) -> SourceId {
         self.touch(plus);
         self.touch(minus);
-        self.elements.push(Element::VoltageSource { plus, minus, volts });
+        self.elements
+            .push(Element::VoltageSource { plus, minus, volts });
         let id = SourceId(self.num_sources);
         self.num_sources += 1;
         id
@@ -144,7 +146,13 @@ impl Circuit {
         for n in [from, to, cp, cn] {
             self.touch(n);
         }
-        self.elements.push(Element::Vccs { from, to, cp, cn, gm });
+        self.elements.push(Element::Vccs {
+            from,
+            to,
+            cp,
+            cn,
+            gm,
+        });
     }
 
     /// Number of nodes mentioned so far (including ground).
@@ -219,7 +227,13 @@ impl Circuit {
                     }
                     z[k] = volts;
                 }
-                Element::Vccs { from, to, cp, cn, gm } => {
+                Element::Vccs {
+                    from,
+                    to,
+                    cp,
+                    cn,
+                    gm,
+                } => {
                     // I(from->to) = gm (Vcp - Vcn): stamp into KCL rows.
                     for (node, sign) in [(from, 1.0), (to, -1.0)] {
                         if let Some(r) = idx(node) {
@@ -384,7 +398,11 @@ mod tests {
         ckt.add_vccs(2, 0, 1, 0, gm); // current gm*vgs leaves node 2
         ckt.add_resistor(2, 0, rd);
         let sol = ckt.solve().unwrap();
-        assert!((sol.voltage(2) + gm * rd).abs() < 1e-9, "{}", sol.voltage(2));
+        assert!(
+            (sol.voltage(2) + gm * rd).abs() < 1e-9,
+            "{}",
+            sol.voltage(2)
+        );
     }
 
     #[test]
@@ -398,10 +416,7 @@ mod tests {
     fn negative_resistance_rejected() {
         let mut ckt = Circuit::new();
         ckt.add_resistor(1, 0, -5.0);
-        assert!(matches!(
-            ckt.solve(),
-            Err(SolveError::BadResistance { .. })
-        ));
+        assert!(matches!(ckt.solve(), Err(SolveError::BadResistance { .. })));
     }
 
     #[test]

@@ -112,7 +112,10 @@ mod tests {
     #[test]
     fn bigger_gm_is_quieter_at_the_input() {
         let small = Mosfet { gm: 1e-3, ro: 50e3 };
-        let big = Mosfet { gm: 10e-3, ro: 50e3 };
+        let big = Mosfet {
+            gm: 10e-3,
+            ro: 50e3,
+        };
         let ns = mosfet_input_noise_density(small, 2.0 / 3.0, ROOM);
         let nb = mosfet_input_noise_density(big, 2.0 / 3.0, ROOM);
         assert!(nb < ns);

@@ -190,7 +190,7 @@ mod tests {
         let p = Poly::new(vec![1.0, -3.0, 2.0]); // 2s^2 - 3s + 1
         assert_eq!(p.eval_real(2.0), 3.0);
         let z = p.eval(Complex::new(0.0, 1.0)); // s = j
-        // 2(-1) - 3j + 1 = -1 - 3j
+                                                // 2(-1) - 3j + 1 = -1 - 3j
         assert!((z - Complex::new(-1.0, -3.0)).abs() < 1e-12);
     }
 

@@ -71,10 +71,20 @@ pub fn render_cs_amplifier(m: Mosfet, rd: f64, rs: f64) -> Annotated {
     // MOSFET
     let g = draw_nmos(&mut img, cx, cy - 14, "M1");
     marks.push((
-        format!("NMOS gm={}mS ro={}k", trim_num(m.gm * 1e3), trim_num(m.ro / 1e3)),
+        format!(
+            "NMOS gm={}mS ro={}k",
+            trim_num(m.gm * 1e3),
+            trim_num(m.ro / 1e3)
+        ),
         g,
     ));
-    img.draw_text(cx + 20, cy - 6, &format!("gm={}mS", trim_num(m.gm * 1e3)), TEXT, BLACK);
+    img.draw_text(
+        cx + 20,
+        cy - 6,
+        &format!("gm={}mS", trim_num(m.gm * 1e3)),
+        TEXT,
+        BLACK,
+    );
     // input
     img.draw_line(cx - 80, cy - 14, cx - 26, cy - 14, STROKE, BLACK);
     img.draw_text(cx - 120, cy - 20, "vin", TEXT, BLACK);
@@ -162,10 +172,21 @@ pub fn render_bode(tf: &TransferFunction, w_start: f64, decades: u32) -> Annotat
 
     // DC gain label
     let dc_db = tf.magnitude_db(w_start);
-    img.draw_text(ox + 8, to_y(dc_db) - 18, &format!("{:.0}dB", dc_db), TEXT, BLACK);
+    img.draw_text(
+        ox + 8,
+        to_y(dc_db) - 18,
+        &format!("{:.0}dB", dc_db),
+        TEXT,
+        BLACK,
+    );
     marks.push((
         format!("low-frequency gain {:.0} dB", dc_db),
-        Region::new((ox + 8) as usize, (to_y(dc_db) - 20).max(0) as usize, 80, 24),
+        Region::new(
+            (ox + 8) as usize,
+            (to_y(dc_db) - 20).max(0) as usize,
+            80,
+            24,
+        ),
     ));
     // crossover
     if let Some(wu) = tf.unity_gain_freq() {
@@ -198,12 +219,18 @@ pub fn render_feedback_block(a: f64, beta: f64) -> Annotated {
     img.draw_rect(150, 55, 90, 50, STROKE, BLACK);
     let a_label = format!("a={}", trim_num(a));
     img.draw_text(160, 72, &a_label, TEXT, BLACK);
-    marks.push((format!("forward amplifier {a_label}"), Region::new(150, 55, 90, 50)));
+    marks.push((
+        format!("forward amplifier {a_label}"),
+        Region::new(150, 55, 90, 50),
+    ));
     // feedback block
     img.draw_rect(150, 140, 90, 44, STROKE, BLACK);
     let b_label = format!("B={}", trim_num(beta));
     img.draw_text(160, 154, &b_label, TEXT, BLACK);
-    marks.push((format!("feedback network {b_label}"), Region::new(150, 140, 90, 44)));
+    marks.push((
+        format!("feedback network {b_label}"),
+        Region::new(150, 140, 90, 44),
+    ));
     // wiring
     img.draw_arrow(20, 80, 64, 80, STROKE, BLACK);
     img.draw_text(10, 60, "x", TEXT, BLACK);
@@ -241,7 +268,10 @@ pub fn render_adc(adc: &Adc) -> Annotated {
                 if i + 1 < shown {
                     img.draw_arrow(x + 70, 85, x + 86, 85, STROKE, BLACK);
                 }
-                marks.push((format!("pipeline stage {label}"), Region::new(x as usize, 60, 70, 50)));
+                marks.push((
+                    format!("pipeline stage {label}"),
+                    Region::new(x as usize, 60, 70, 50),
+                ));
             }
             img.draw_text(20, 130, &format!("{} stages total", stages), TEXT, BLACK);
         }
@@ -249,7 +279,10 @@ pub fn render_adc(adc: &Adc) -> Annotated {
             img.draw_rect(120, 40, 160, 90, STROKE, BLACK);
             let label = format!("{} comparators", adc.comparator_count());
             img.draw_text(130, 70, &label, TEXT, BLACK);
-            marks.push((format!("flash bank: {label}"), Region::new(120, 40, 160, 90)));
+            marks.push((
+                format!("flash bank: {label}"),
+                Region::new(120, 40, 160, 90),
+            ));
         }
         AdcKind::Sar => {
             img.draw_rect(110, 40, 100, 50, STROKE, BLACK);
@@ -286,7 +319,10 @@ mod tests {
 
     #[test]
     fn cs_schematic_without_degeneration() {
-        let m = Mosfet { gm: 1e-3, ro: 100e3 };
+        let m = Mosfet {
+            gm: 1e-3,
+            ro: 100e3,
+        };
         let vis = render_cs_amplifier(m, 5e3, 0.0);
         assert!(!vis.marks.iter().any(|mk| mk.label.contains("RS=")));
     }

@@ -144,8 +144,7 @@ impl Predictor for GsharePredictor {
         } else {
             *c = c.saturating_sub(1);
         }
-        self.history = ((self.history << 1) | u64::from(taken))
-            & ((1u64 << self.history_bits) - 1);
+        self.history = ((self.history << 1) | u64::from(taken)) & ((1u64 << self.history_bits) - 1);
     }
     fn name(&self) -> &'static str {
         "gshare"

@@ -70,7 +70,10 @@ impl CacheConfig {
                 Err(BadGeometryError(msg.to_string()))
             }
         };
-        check(self.block_bytes.is_power_of_two(), "block size not a power of two")?;
+        check(
+            self.block_bytes.is_power_of_two(),
+            "block size not a power of two",
+        )?;
         check(self.size_bytes.is_power_of_two(), "size not a power of two")?;
         check(self.associativity >= 1, "associativity must be at least 1")?;
         check(

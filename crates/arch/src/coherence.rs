@@ -124,7 +124,10 @@ impl BusSystem {
 
     /// Current state of `line` in `core`'s cache.
     pub fn state(&self, core: usize, line: u64) -> Mesi {
-        self.lines.get(&(core, line)).copied().unwrap_or(Mesi::Invalid)
+        self.lines
+            .get(&(core, line))
+            .copied()
+            .unwrap_or(Mesi::Invalid)
     }
 
     /// Performs a processor access and propagates snoops.
@@ -134,8 +137,8 @@ impl BusSystem {
     /// Panics if `core` is out of range.
     pub fn access(&mut self, core: usize, line: u64, op: CpuOp) {
         assert!(core < self.cores, "core index out of range");
-        let others_have_copy = (0..self.cores)
-            .any(|c| c != core && self.state(c, line) != Mesi::Invalid);
+        let others_have_copy =
+            (0..self.cores).any(|c| c != core && self.state(c, line) != Mesi::Invalid);
         let (next, action) = cpu_transition(self.state(core, line), op, others_have_copy);
         match action {
             Action::IssueBusRd => {

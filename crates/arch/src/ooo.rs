@@ -74,9 +74,7 @@ impl OooResult {
     /// Whether any instruction finished before an *earlier* (program
     /// order) instruction — the signature of out-of-order completion.
     pub fn completed_out_of_order(&self) -> bool {
-        self.timings
-            .windows(2)
-            .any(|w| w[1].finish < w[0].finish)
+        self.timings.windows(2).any(|w| w[1].finish < w[0].finish)
     }
 }
 
@@ -95,7 +93,7 @@ fn fu_kind(i: &Instr) -> Option<FuKind> {
 /// beyond issue order.
 pub fn run_ooo(prog: &[Instr], cfg: OooConfig) -> OooResult {
     let mut ready_at: BTreeMap<u8, u64> = BTreeMap::new(); // reg -> cycle value available
-    // free_at[k] = cycles each unit of the class frees up
+                                                           // free_at[k] = cycles each unit of the class frees up
     let mut alu_free: Vec<u64> = vec![0; cfg.alu_units.max(1) as usize];
     let mut mem_free: Vec<u64> = vec![0; cfg.mem_units.max(1) as usize];
     let mut timings = Vec::with_capacity(prog.len());
@@ -164,10 +162,7 @@ pub fn run_in_order(prog: &[Instr], cfg: OooConfig) -> OooResult {
             .enumerate()
             .min_by_key(|&(_, &t)| t)
             .expect("unit pools nonempty");
-        let start = issue
-            .max(operands_ready)
-            .max(unit_free)
-            .max(last_start); // in-order start
+        let start = issue.max(operands_ready).max(unit_free).max(last_start); // in-order start
         let finish = start + latency;
         pool[unit_idx] = finish;
         last_start = start;

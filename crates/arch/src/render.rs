@@ -75,7 +75,16 @@ pub fn render_pipeline(cfg: ForwardingConfig) -> Annotated {
         ));
     }
     if cfg.mem_to_mem {
-        img.draw_dashed_line(xs[4] + 10, y + bh / 2, xs[3] + bw / 2, y + bh - 2, 2, GRAY, 4, 3);
+        img.draw_dashed_line(
+            xs[4] + 10,
+            y + bh / 2,
+            xs[3] + bw / 2,
+            y + bh - 2,
+            2,
+            GRAY,
+            4,
+            3,
+        );
         marks.push((
             "MEM-MEM store-data forwarding path".to_string(),
             Region::new(xs[3] as usize, (y + bh / 2) as usize, 120, 30),
@@ -154,16 +163,28 @@ pub fn render_mesi_diagram() -> Annotated {
     // a few canonical labelled edges
     img.draw_arrow(276, 80, 144, 80, STROKE, BLACK); // E -> M
     img.draw_text(180, 58, "PrWr", TEXT, BLACK);
-    marks.push(("edge E->M on processor write (silent)".to_string(), Region::new(150, 54, 120, 30)));
+    marks.push((
+        "edge E->M on processor write (silent)".to_string(),
+        Region::new(150, 54, 120, 30),
+    ));
     img.draw_arrow(286, 226, 134, 104, STROKE, BLACK); // I -> M
     img.draw_text(196, 180, "PrWr/BusRdX", TEXT, BLACK);
-    marks.push(("edge I->M on write miss (BusRdX)".to_string(), Region::new(190, 172, 160, 26)));
+    marks.push((
+        "edge I->M on write miss (BusRdX)".to_string(),
+        Region::new(190, 172, 160, 26),
+    ));
     img.draw_arrow(110, 114, 110, 216, STROKE, BLACK); // M -> S
     img.draw_text(14, 160, "BusRd/Flush", TEXT, BLACK);
-    marks.push(("edge M->S on snooped read (flush)".to_string(), Region::new(10, 152, 150, 26)));
+    marks.push((
+        "edge M->S on snooped read (flush)".to_string(),
+        Region::new(10, 152, 150, 26),
+    ));
     img.draw_arrow(144, 250, 276, 250, STROKE, BLACK); // S -> I
     img.draw_text(180, 258, "BusRdX", TEXT, BLACK);
-    marks.push(("edge S->I on remote write".to_string(), Region::new(174, 252, 100, 26)));
+    marks.push((
+        "edge S->I on remote write".to_string(),
+        Region::new(174, 252, 100, 26),
+    ));
     let mut out = Annotated::new(img);
     for (label, region) in marks {
         out.mark(label, region);
@@ -209,7 +230,10 @@ pub fn render_topology(t: Topology) -> Annotated {
                         3,
                     );
                 }
-                marks.push(("wrap-around links (torus)".to_string(), Region::new(40, 20, 340, 40)));
+                marks.push((
+                    "wrap-around links (torus)".to_string(),
+                    Region::new(40, 20, 340, 40),
+                ));
             }
             marks.push((
                 format!("{}x{} grid of routers", w, h),
@@ -245,7 +269,10 @@ pub fn render_topology(t: Topology) -> Annotated {
                 node(&mut img, c.0, c.1);
             }
             img.draw_text(100, 20, &format!("{d}-cube"), TEXT, BLACK);
-            marks.push((format!("hypercube dimension {d}"), Region::new(80, 14, 120, 28)));
+            marks.push((
+                format!("hypercube dimension {d}"),
+                Region::new(80, 14, 120, 28),
+            ));
         }
         Topology::Crossbar { n } => {
             for i in 0..n.min(8) as i64 {
@@ -272,7 +299,10 @@ mod tests {
     #[test]
     fn pipeline_bypass_arrows_marked() {
         let vis = render_pipeline(ForwardingConfig::full());
-        assert!(vis.marks.iter().any(|m| m.label.contains("load unit output")));
+        assert!(vis
+            .marks
+            .iter()
+            .any(|m| m.label.contains("load unit output")));
         assert!(vis.marks.iter().any(|m| m.label.contains("EX stage")));
         let bare = render_pipeline(ForwardingConfig::none());
         assert!(bare.marks.iter().all(|m| !m.label.contains("bypass")));
@@ -288,9 +318,18 @@ mod tests {
             replacement: Replacement::Lru,
         };
         let vis = render_address_breakdown(cfg, 32);
-        assert!(vis.marks.iter().any(|m| m.label.contains("TAG field: 19 bits")));
-        assert!(vis.marks.iter().any(|m| m.label.contains("INDEX field: 7 bits")));
-        assert!(vis.marks.iter().any(|m| m.label.contains("OFFSET field: 6 bits")));
+        assert!(vis
+            .marks
+            .iter()
+            .any(|m| m.label.contains("TAG field: 19 bits")));
+        assert!(vis
+            .marks
+            .iter()
+            .any(|m| m.label.contains("INDEX field: 7 bits")));
+        assert!(vis
+            .marks
+            .iter()
+            .any(|m| m.label.contains("OFFSET field: 6 bits")));
     }
 
     #[test]

@@ -48,9 +48,9 @@ impl VectorMachine {
         let mut current: Vec<VecInstr> = Vec::new();
         for &instr in program {
             let structural = current.iter().any(|c| c.unit == instr.unit);
-            let data_dep = current.iter().any(|c| {
-                instr.srcs.iter().flatten().any(|&s| s == c.dest)
-            });
+            let data_dep = current
+                .iter()
+                .any(|c| instr.srcs.iter().flatten().any(|&s| s == c.dest));
             if structural || (data_dep && !self.chaining) || current.is_empty() {
                 if !current.is_empty() {
                     convoys.push(std::mem::take(&mut current));

@@ -24,11 +24,7 @@ fn ablation_perception(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("acuity", format!("{acuity:.1}")),
             &acuity,
-            |b, _| {
-                b.iter(|| {
-                    black_box(evaluate(&pipe, &bench, EvalOptions::default()).overall())
-                })
-            },
+            |b, _| b.iter(|| black_box(evaluate(&pipe, &bench, EvalOptions::default()).overall())),
         );
     }
     group.finish();
@@ -49,11 +45,7 @@ fn ablation_elimination(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("mc_elimination", format!("{elim:.2}")),
             &elim,
-            |b, _| {
-                b.iter(|| {
-                    black_box(evaluate(&pipe, &bench, EvalOptions::default()).overall())
-                })
-            },
+            |b, _| b.iter(|| black_box(evaluate(&pipe, &bench, EvalOptions::default()).overall())),
         );
     }
     group.finish();
@@ -76,11 +68,7 @@ fn ablation_knowledge(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("backbone_scale", format!("{scale:.1}")),
             &scale,
-            |b, _| {
-                b.iter(|| {
-                    black_box(evaluate(&pipe, &bench, EvalOptions::default()).overall())
-                })
-            },
+            |b, _| b.iter(|| black_box(evaluate(&pipe, &bench, EvalOptions::default()).overall())),
         );
     }
     group.finish();

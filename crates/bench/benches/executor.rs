@@ -1,0 +1,86 @@
+//! Executor benches: sequential harness vs the work-stealing
+//! [`ParallelExecutor`] vs a warm answer cache, on a single model and on
+//! the full twelve-model grid. The warm-cache rows skip inference
+//! entirely (answers replayed, judging re-run), which is where the
+//! order-of-magnitude win comes from.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use chipvqa_core::ChipVqa;
+use chipvqa_eval::harness::{evaluate, EvalOptions};
+use chipvqa_eval::{AnswerCache, ParallelExecutor, RuleJudge};
+use chipvqa_models::{ModelZoo, VlmPipeline};
+
+fn bench_single_model(c: &mut Criterion) {
+    let bench = ChipVqa::standard();
+    let pipe = VlmPipeline::new(ModelZoo::gpt4o());
+    let mut group = c.benchmark_group("executor_single_model");
+    group.sample_size(10);
+
+    group.bench_function("sequential_142", |b| {
+        b.iter(|| black_box(evaluate(&pipe, &bench, EvalOptions::default())))
+    });
+
+    for workers in [2usize, 4, 8] {
+        let exec = ParallelExecutor::new(workers);
+        group.bench_with_input(
+            BenchmarkId::new("parallel_142", workers),
+            &exec,
+            |b, exec| b.iter(|| black_box(exec.evaluate(&pipe, &bench, EvalOptions::default()))),
+        );
+    }
+
+    // warm cache: populate once, then measure pure replay + judging
+    let cache = Arc::new(AnswerCache::new());
+    let exec = ParallelExecutor::new(4).with_cache(Arc::clone(&cache));
+    exec.evaluate(&pipe, &bench, EvalOptions::default());
+    group.bench_function("warm_cache_142", |b| {
+        b.iter(|| black_box(exec.evaluate(&pipe, &bench, EvalOptions::default())))
+    });
+
+    group.finish();
+}
+
+fn bench_full_grid(c: &mut Criterion) {
+    let bench = ChipVqa::standard();
+    let pipes: Vec<VlmPipeline> = ModelZoo::all().into_iter().map(VlmPipeline::new).collect();
+    let mut group = c.benchmark_group("executor_grid_12_models");
+    group.sample_size(10);
+
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            for pipe in &pipes {
+                black_box(evaluate(pipe, &bench, EvalOptions::default()));
+            }
+        })
+    });
+
+    let exec = ParallelExecutor::new(8);
+    group.bench_function("parallel_8_workers", |b| {
+        b.iter(|| {
+            black_box(exec.evaluate_grid(&pipes, &bench, EvalOptions::default(), &RuleJudge::new()))
+        })
+    });
+
+    let cache = Arc::new(AnswerCache::new());
+    let cached = ParallelExecutor::new(8).with_cache(Arc::clone(&cache));
+    cached.evaluate_grid(&pipes, &bench, EvalOptions::default(), &RuleJudge::new());
+    group.bench_function("warm_cache_8_workers", |b| {
+        b.iter(|| {
+            black_box(cached.evaluate_grid(
+                &pipes,
+                &bench,
+                EvalOptions::default(),
+                &RuleJudge::new(),
+            ))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_model, bench_full_grid);
+criterion_main!(benches);

@@ -46,7 +46,12 @@ fn bench_substrates(c: &mut Criterion) {
     let mut grid = Grid::new(64, 64);
     grid.block_rect(32, 0, 1, 60);
     group.bench_function("maze_route_64x64", |b| {
-        b.iter(|| black_box(grid.route(Point::new(2, 2), Point::new(60, 60)).expect("routable")))
+        b.iter(|| {
+            black_box(
+                grid.route(Point::new(2, 2), Point::new(60, 60))
+                    .expect("routable"),
+            )
+        })
     });
 
     // Steiner vs spanning over 8 pins.

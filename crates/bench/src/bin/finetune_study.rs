@@ -16,10 +16,7 @@ fn main() {
 
     println!("ChipVQA fine-tuning study (future-work direction of §V)");
     println!("base model: LLaVA-7b; train: extended collection @ seed 20250701 (held out)\n");
-    println!(
-        "{:>8} {:>12} {:>12}",
-        "examples", "standard", "challenge"
-    );
+    println!("{:>8} {:>12} {:>12}", "examples", "standard", "challenge");
     for n in [0usize, 20, 60, 100, 160] {
         let n = n.min(all.len());
         let (model, _) = finetune(&ModelZoo::llava_7b(), &all[..n], FinetuneConfig::default());
@@ -45,11 +42,7 @@ fn main() {
     let (ft, report) = finetune(&ModelZoo::llava_7b(), &all, FinetuneConfig::default());
     let ft_rate = evaluate(&VlmPipeline::new(ft), &eval_std, EvalOptions::default()).overall();
     println!("\nGPT-4o {gpt:.2} | LLaVA-7b {base:.2} -> fine-tuned {ft_rate:.2}");
-    println!(
-        "gap to GPT-4o: {:.2} -> {:.2}",
-        gpt - base,
-        gpt - ft_rate
-    );
+    println!("gap to GPT-4o: {:.2} -> {:.2}", gpt - base, gpt - ft_rate);
     println!("\nknowledge axes before -> after (Digital..Physical):");
     for i in 0..5 {
         println!(

@@ -29,8 +29,7 @@ fn main() {
                 depth
             );
         }
-        let kinds: std::collections::BTreeSet<_> =
-            bench.iter().map(|q| q.visual_kind).collect();
+        let kinds: std::collections::BTreeSet<_> = bench.iter().map(|q| q.visual_kind).collect();
         println!("  diverse visual contents: {} kinds", kinds.len());
         let max_steps = bench
             .iter()

@@ -31,7 +31,10 @@ fn main() {
     let agent = AgentSystem::paper_setup();
 
     println!("TABLE III  Evaluation of Agent System on ChipVQA (reproduced)");
-    println!("{:<14} {:<8} {:>8}   (paper)", "Collection", "Model", "Pass@1");
+    println!(
+        "{:<14} {:<8} {:>8}   (paper)",
+        "Collection", "Model", "Pass@1"
+    );
     for (label, collection, paper_gpt, paper_agent) in [
         ("With Choice", &bench, 0.44, 0.49),
         ("No Choice", &challenge, 0.20, 0.21),
@@ -39,7 +42,10 @@ fn main() {
         let base = evaluate(&gpt, collection, EvalOptions::default()).overall();
         let (agent_all, per_cat) = agent_report(&agent, collection);
         println!("{label:<14} {:<8} {base:>8.2}   ({paper_gpt:.2})", "GPT4o");
-        println!("{label:<14} {:<8} {agent_all:>8.2}   ({paper_agent:.2})", "Agent");
+        println!(
+            "{label:<14} {:<8} {agent_all:>8.2}   ({paper_agent:.2})",
+            "Agent"
+        );
         // the paper notes a regression specifically on Manufacture
         if label == "No Choice" {
             let base_manuf = evaluate(&gpt, collection, EvalOptions::default())

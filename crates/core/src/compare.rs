@@ -122,8 +122,7 @@ impl fmt::Display for ComparisonTable {
 pub fn chipvqa_dominates(bench: &ChipVqa) -> bool {
     let us = chipvqa_profile(bench);
     prior_benchmarks().iter().all(|p| {
-        us.knowledge_depth > p.knowledge_depth
-            && us.chip_design_coverage > p.chip_design_coverage
+        us.knowledge_depth > p.knowledge_depth && us.chip_design_coverage > p.chip_design_coverage
     })
 }
 
@@ -134,10 +133,7 @@ pub fn depth_by_category(bench: &ChipVqa) -> Vec<(Category, f64)> {
         .iter()
         .map(|&c| {
             let qs: Vec<_> = bench.category(c).collect();
-            let mean = qs
-                .iter()
-                .map(|q| q.difficulty.knowledge_depth)
-                .sum::<f64>()
+            let mean = qs.iter().map(|q| q.difficulty.knowledge_depth).sum::<f64>()
                 / qs.len().max(1) as f64;
             (c, mean)
         })

@@ -89,7 +89,11 @@ impl ChipVqa {
     /// with its short-answer form, prompts unchanged (§IV-A).
     pub fn challenge(&self) -> ChipVqa {
         ChipVqa {
-            questions: self.questions.iter().map(Question::to_short_answer).collect(),
+            questions: self
+                .questions
+                .iter()
+                .map(Question::to_short_answer)
+                .collect(),
             seed: self.seed,
         }
     }

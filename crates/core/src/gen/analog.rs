@@ -4,8 +4,7 @@
 
 use chipvqa_analog::adc::{Adc, AdcKind};
 use chipvqa_analog::devices::{
-    common_source_gain, degenerated_cs_gain, looking_into_drain, source_follower_gain,
-    Mosfet,
+    common_source_gain, degenerated_cs_gain, looking_into_drain, source_follower_gain, Mosfet,
 };
 use chipvqa_analog::feedback::FeedbackLoop;
 use chipvqa_analog::mna::Circuit;
@@ -214,20 +213,29 @@ fn divider_schematic(vs: f64, r1: f64, r2: f64, rl: Option<f64>) -> Annotated {
     let mut img = Pixmap::new(420, 300);
     let mut marks: Vec<(String, Region)> = Vec::new();
     img.draw_text(20, 20, &format!("Vs = {}V", trim_float(vs)), 2, BLACK);
-    marks.push((format!("source Vs = {}V", trim_float(vs)), Region::new(16, 14, 130, 26)));
+    marks.push((
+        format!("source Vs = {}V", trim_float(vs)),
+        Region::new(16, 14, 130, 26),
+    ));
     img.draw_line(60, 50, 60, 250, 2, BLACK);
     // R1 box
     img.draw_rect(120, 60, 90, 36, 2, BLACK);
     let l1 = format!("R1={}k", trim_float(r1 / 1e3));
     img.draw_text(128, 70, &l1, 2, BLACK);
-    marks.push((format!("series resistor {l1}"), Region::new(120, 60, 90, 36)));
+    marks.push((
+        format!("series resistor {l1}"),
+        Region::new(120, 60, 90, 36),
+    ));
     img.draw_line(60, 78, 120, 78, 2, BLACK);
     img.draw_line(210, 78, 300, 78, 2, BLACK);
     // R2 to ground
     img.draw_rect(280, 110, 40, 90, 2, BLACK);
     let l2 = format!("R2={}k", trim_float(r2 / 1e3));
     img.draw_text(326, 140, &l2, 2, BLACK);
-    marks.push((format!("shunt resistor {l2}"), Region::new(278, 108, 110, 94)));
+    marks.push((
+        format!("shunt resistor {l2}"),
+        Region::new(278, 108, 110, 94),
+    ));
     img.draw_line(300, 78, 300, 110, 2, BLACK);
     img.draw_line(300, 200, 300, 240, 2, BLACK);
     img.draw_line(270, 240, 330, 240, 2, BLACK);
@@ -235,7 +243,10 @@ fn divider_schematic(vs: f64, r1: f64, r2: f64, rl: Option<f64>) -> Annotated {
         img.draw_rect(360, 110, 40, 90, 2, BLACK);
         let l3 = format!("RL={}k", trim_float(rl / 1e3));
         img.draw_text(352, 90, &l3, 2, BLACK);
-        marks.push((format!("load resistor {l3}"), Region::new(350, 86, 110, 120)));
+        marks.push((
+            format!("load resistor {l3}"),
+            Region::new(350, 86, 110, 120),
+        ));
         img.draw_line(300, 78, 380, 78, 2, BLACK);
         img.draw_line(380, 78, 380, 110, 2, BLACK);
         img.draw_line(380, 200, 380, 240, 2, BLACK);
@@ -268,7 +279,10 @@ fn divider_question(idx: &mut usize, rng: &mut StdRng) -> Question {
     let key_marks: Vec<usize> = (0..vis.marks.len()).collect();
     let mut distractors = numeric_distractors(gold, Some("V"), rng);
     // classic error: ignoring the load
-    distractors.insert(0, format!("{} V", trim_float(round_sig(vs * r2 / (r1 + r2), 3))));
+    distractors.insert(
+        0,
+        format!("{} V", trim_float(round_sig(vs * r2 / (r1 + r2), 3))),
+    );
     let gold_text = format!("{} V", trim_float(gold));
     distractors.retain(|d| *d != gold_text);
     let (choices, correct) = shuffle_choices(gold_text, distractors, rng);

@@ -83,12 +83,13 @@ fn pipeline_stall_question(k: usize, idx: &mut usize, rng: &mut StdRng) -> Quest
     let res = Pipeline::new(cfg).run(&prog);
     let vis = xrender::render_pipeline(cfg);
     let key_marks: Vec<usize> = (0..vis.marks.len()).collect();
-    let listing: String = prog
-        .iter()
-        .map(|i| format!("{i}; "))
-        .collect::<String>();
+    let listing: String = prog.iter().map(|i| format!("{i}; ")).collect::<String>();
     let (gold, unit, what) = if k < 2 {
-        (res.data_stalls as f64, "stall cycles", "data-hazard stall cycles")
+        (
+            res.data_stalls as f64,
+            "stall cycles",
+            "data-hazard stall cycles",
+        )
     } else {
         (
             (res.cpi() * 100.0).round() / 100.0,
@@ -444,11 +445,8 @@ fn vector_question(idx: &mut usize, rng: &mut StdRng) -> Question {
     let vis = text_panel(&lines, false);
     let key_marks: Vec<usize> = (1..vis.marks.len()).collect();
     let distractors = numeric_distractors(gold, Some("convoys"), rng);
-    let (choices, correct) = shuffle_choices(
-        format!("{} convoys", trim_float(gold)),
-        distractors,
-        rng,
-    );
+    let (choices, correct) =
+        shuffle_choices(format!("{} convoys", trim_float(gold)), distractors, rng);
     Question {
         id: next_id(idx),
         category: Category::Architecture,

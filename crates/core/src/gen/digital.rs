@@ -223,7 +223,11 @@ fn identify_block_question(block: usize, idx: &mut usize, rng: &mut StdRng) -> Q
         _ => (
             builders::mux2(),
             "2-to-1 multiplexer",
-            vec!["mux".to_string(), "2:1 mux".to_string(), "multiplexer".to_string()],
+            vec![
+                "mux".to_string(),
+                "2:1 mux".to_string(),
+                "multiplexer".to_string(),
+            ],
         ),
     };
     let vis = render::render_schematic(&netlist);
@@ -307,9 +311,9 @@ fn twos_complement_question(idx: &mut usize, rng: &mut StdRng) -> Question {
     );
     let gold = value as f64;
     let mut distractors = vec![
-        trim_float(bits as f64),                         // unsigned reading
-        trim_float(-((bits & 0x7F) as f64)),             // sign-magnitude reading
-        trim_float(-(((!bits) & 0xFF) as f64)),          // negated one's complement confusion
+        trim_float(bits as f64),                // unsigned reading
+        trim_float(-((bits & 0x7F) as f64)),    // sign-magnitude reading
+        trim_float(-(((!bits) & 0xFF) as f64)), // negated one's complement confusion
         trim_float(gold + 1.0),
     ];
     distractors.retain(|d| *d != trim_float(gold));
@@ -338,15 +342,12 @@ fn gray_code_question(idx: &mut usize, rng: &mut StdRng) -> Question {
     let gray = numbers::to_gray(value);
     let pattern = format!("{gray:06b}");
     let vis = text_panel(
-        &[
-            "Gray-code encoder output:".to_string(),
-            pattern.clone(),
-        ],
+        &["Gray-code encoder output:".to_string(), pattern.clone()],
         false,
     );
     let gold = value as f64;
     let mut distractors = vec![
-        trim_float(gray as f64),        // read as plain binary
+        trim_float(gray as f64), // read as plain binary
         trim_float(gold + 1.0),
         trim_float(gold - 1.0),
         trim_float(numbers::to_gray(gray) as f64), // double-encoded
@@ -435,11 +436,8 @@ fn waveform_question(k: usize, idx: &mut usize, rng: &mut StdRng) -> Question {
         q_trace.push(q);
     }
     let clk = [true, false, true, false, true, false];
-    let vis = render::render_waveform(&[
-        ("CLK", &clk[..]),
-        ("IN", &input[..]),
-        ("Q", &q_trace[..]),
-    ]);
+    let vis =
+        render::render_waveform(&[("CLK", &clk[..]), ("IN", &input[..]), ("Q", &q_trace[..])]);
     let key_marks: Vec<usize> = (0..vis.marks.len()).collect();
     let distractors: Vec<String> = ["D flip-flop", "T flip-flop", "SR latch", "JK flip-flop"]
         .iter()
@@ -514,10 +512,7 @@ fn characteristic_question(k: usize, idx: &mut usize, rng: &mut StdRng) -> Quest
         (FlipFlop::Sr, "SR flip-flop")
     };
     let eq = ff.characteristic();
-    let lines = vec![
-        "Characteristic equation:".to_string(),
-        format!("Q+ = {eq}"),
-    ];
+    let lines = vec!["Characteristic equation:".to_string(), format!("Q+ = {eq}")];
     let vis = text_panel(&lines, false);
     let distractors: Vec<String> = ["D flip-flop", "T flip-flop", "JK flip-flop", "SR flip-flop"]
         .iter()

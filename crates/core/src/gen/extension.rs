@@ -173,7 +173,10 @@ fn mirror_question(k: usize, rng: &mut StdRng) -> Question {
         "current mirror:".to_string(),
         format!("Iref = {} uA", trim_float(i_ref * 1e6)),
         format!("W/L ratio out:ref = {}:1", trim_float(mirror.ratio)),
-        format!("gm = 2 mS, ro = {} kOhm", trim_float(mirror.out_device.ro / 1e3)),
+        format!(
+            "gm = 2 mS, ro = {} kOhm",
+            trim_float(mirror.out_device.ro / 1e3)
+        ),
     ];
     let vis = text_panel(&lines, false);
     let (prompt, gold, unit): (String, f64, &str) = if k == 0 {
@@ -219,7 +222,10 @@ fn opamp_question(rng: &mut StdRng) -> Question {
         cc: f64::from(rng.gen_range(1..=4)) * 1e-12,
         cl: 5e-12,
     };
-    let gold = round_sig(op.unity_gain_bandwidth() / (2.0 * std::f64::consts::PI) / 1e6, 3);
+    let gold = round_sig(
+        op.unity_gain_bandwidth() / (2.0 * std::f64::consts::PI) / 1e6,
+        3,
+    );
     let lines = vec![
         "two-stage Miller op-amp:".to_string(),
         format!("gm1 = {} mS", trim_float(op.gm1 * 1e3)),
@@ -264,11 +270,10 @@ fn ooo_question(k: usize, rng: &mut StdRng) -> Question {
     let cfg = OooConfig::default();
     let ooo = run_ooo(&prog, cfg);
     let ino = run_in_order(&prog, cfg);
-    let lines: Vec<String> = std::iter::once(
-        "dual-issue machine: 2 ALUs (1 cy), 1 load unit (3 cy)".to_string(),
-    )
-    .chain(prog.iter().map(|i| format!("{i}")))
-    .collect();
+    let lines: Vec<String> =
+        std::iter::once("dual-issue machine: 2 ALUs (1 cy), 1 load unit (3 cy)".to_string())
+            .chain(prog.iter().map(|i| format!("{i}")))
+            .collect();
     let vis = text_panel(&lines, false);
     let key_marks: Vec<usize> = (0..vis.marks.len()).collect();
     let (prompt, gold): (String, f64) = match k {

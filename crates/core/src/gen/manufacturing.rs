@@ -178,7 +178,13 @@ fn stack_remaining_question(idx: &mut usize, rng: &mut StdRng) -> Question {
     }
 }
 
-const ALL_RETS: [Ret; 5] = [Ret::Opc, Ret::Psm, Ret::Oai, Ret::Sraf, Ret::MultiPatterning];
+const ALL_RETS: [Ret; 5] = [
+    Ret::Opc,
+    Ret::Psm,
+    Ret::Oai,
+    Ret::Sraf,
+    Ret::MultiPatterning,
+];
 
 fn ret_mc_question(idx: &mut usize, rng: &mut StdRng) -> Question {
     let ret = *super::pick(&ALL_RETS, rng);
@@ -275,12 +281,7 @@ fn resolution_question(idx: &mut usize, rng: &mut StdRng) -> Question {
 }
 
 fn dof_question(idx: &mut usize, rng: &mut StdRng) -> Question {
-    let tool = Lithography::new(
-        193.0,
-        0.5 + f64::from(rng.gen_range(0..8)) * 0.1,
-        0.35,
-        0.5,
-    );
+    let tool = Lithography::new(193.0, 0.5 + f64::from(rng.gen_range(0..8)) * 0.1, 0.35, 0.5);
     let gold = (tool.depth_of_focus_nm() * 10.0).round() / 10.0;
     let lines = vec![
         format!("wavelength = {} nm", trim_float(tool.wavelength_nm)),
@@ -442,7 +443,12 @@ fn wafer_map(diameter_mm: f64, die_mm2: f64) -> Annotated {
     marks.push((format!("caption: {cap}"), Region::new(36, 324, 300, 26)));
     marks.push((
         "wafer outline with die grid".to_string(),
-        Region::new((cx - r) as usize, (cy - r) as usize, (2 * r) as usize, (2 * r) as usize),
+        Region::new(
+            (cx - r) as usize,
+            (cy - r) as usize,
+            (2 * r) as usize,
+            (2 * r) as usize,
+        ),
     ));
     let mut out = Annotated::new(img);
     for (label, region) in marks {
@@ -537,7 +543,13 @@ fn flow_question(k: usize, idx: &mut usize, rng: &mut StdRng) -> Question {
         let lines: Vec<String> = steps
             .iter()
             .enumerate()
-            .map(|(i, s)| if i == hole { "???".into() } else { (*s).to_string() })
+            .map(|(i, s)| {
+                if i == hole {
+                    "???".into()
+                } else {
+                    (*s).to_string()
+                }
+            })
             .collect();
         let vis = text_panel(&lines, true);
         let key_marks: Vec<usize> = (0..vis.marks.len()).collect();

@@ -112,7 +112,12 @@ pub(crate) fn text_panel(lines: &[String], with_arrows: bool) -> chipvqa_raster:
         }
         marks.push((
             format!("line {i}: {line}"),
-            Region::new(26, (y - 4).max(0) as usize, (line.len() * 12 + 12).min(w), 30),
+            Region::new(
+                26,
+                (y - 4).max(0) as usize,
+                (line.len() * 12 + 12).min(w),
+                30,
+            ),
         ));
     }
     out.image = img;
@@ -214,7 +219,9 @@ mod tests {
         }
         let c = digital::generate(43);
         assert!(
-            a.iter().zip(&c).any(|(x, y)| x.prompt != y.prompt || x.kind != y.kind),
+            a.iter()
+                .zip(&c)
+                .any(|(x, y)| x.prompt != y.prompt || x.kind != y.kind),
             "different seeds should vary parameters"
         );
     }

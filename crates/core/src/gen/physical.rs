@@ -211,8 +211,16 @@ fn maze_question(k: usize, idx: &mut usize, rng: &mut StdRng) -> Question {
     )];
     let mut vis = prender::render_cell_layout(&cells);
     let w = vis.image.width();
-    vis.image.draw_text(10, (vis.image.height() - 24) as i64,
-        &format!("route ({},{}) to ({},{}) on a 14x14 grid", src.x, src.y, dst.x, dst.y), 2, 0);
+    vis.image.draw_text(
+        10,
+        (vis.image.height() - 24) as i64,
+        &format!(
+            "route ({},{}) to ({},{}) on a 14x14 grid",
+            src.x, src.y, dst.x, dst.y
+        ),
+        2,
+        0,
+    );
     vis.mark(
         format!("terminals ({},{}) and ({},{})", src.x, src.y, dst.x, dst.y),
         chipvqa_raster::Region::new(8, vis.image.height() - 28, w - 16, 26),
@@ -349,8 +357,14 @@ fn sta_question(k: usize, idx: &mut usize, rng: &mut StdRng) -> Question {
     let (g, _nodes, min_period) = random_timing_graph(rng);
     let lines = vec![
         "timing graph (delays in ns):".to_string(),
-        format!("FF1/Q (0.2) -> U1 ({}) -> U3 (0.5)", trim_float(g_delay(&g, 2))),
-        format!("FF2/Q (0.2) -> U2 ({}) -> U3 (0.5)", trim_float(g_delay(&g, 3))),
+        format!(
+            "FF1/Q (0.2) -> U1 ({}) -> U3 (0.5)",
+            trim_float(g_delay(&g, 2))
+        ),
+        format!(
+            "FF2/Q (0.2) -> U2 ({}) -> U3 (0.5)",
+            trim_float(g_delay(&g, 3))
+        ),
         "every wire adds 0.1 ns".to_string(),
     ];
     let vis = text_panel(&lines, false);
@@ -390,7 +404,11 @@ fn sta_question(k: usize, idx: &mut usize, rng: &mut StdRng) -> Question {
         let alt1 = "FF1/Q -> U1 -> U3".to_string();
         let alt2 = "FF2/Q -> U2 -> U3".to_string();
         let distractors = vec![
-            if gold == alt1 { alt2.clone() } else { alt1.clone() },
+            if gold == alt1 {
+                alt2.clone()
+            } else {
+                alt1.clone()
+            },
             "FF1/Q -> U2 -> U3".to_string(),
             "FF2/Q -> U1 -> U3".to_string(),
         ];
@@ -531,9 +549,9 @@ mod tests {
     #[test]
     fn paper_routing_question_present() {
         let qs = generate(0);
-        assert!(qs
-            .iter()
-            .any(|q| q.prompt.contains("determine which routing topology has lower cost")));
+        assert!(qs.iter().any(|q| q
+            .prompt
+            .contains("determine which routing topology has lower cost")));
     }
 
     #[test]

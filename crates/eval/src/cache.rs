@@ -1,0 +1,266 @@
+//! Granular answer cache for repeated evaluations.
+//!
+//! Large-scale runs (the full model×question grid, the resolution sweep,
+//! pass@k) re-infer the same (model, question, resolution, attempt)
+//! cells over and over. The cache memoises the *model answer* — never
+//! the verdict, so a cached entry stays valid under any judge — keyed by
+//! everything that determines the answer:
+//!
+//! * the model's behavioural [`fingerprint`](chipvqa_models::VlmPipeline::fingerprint)
+//!   (any calibration change yields a new key),
+//! * the question id **and** a hash of its full prompt (an id reused for
+//!   an edited question misses rather than serving a stale answer),
+//! * the downsampling factor of the resolution study,
+//! * the pass@k attempt index.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+use chipvqa_core::question::Question;
+use chipvqa_models::backbone::AnswerPath;
+use chipvqa_models::ModelResponse;
+use serde::{Deserialize, Serialize};
+
+/// FNV-1a over the question's full prompt (prompt text plus rendered
+/// choices), so any wording or option edit changes the key.
+pub fn prompt_hash(question: &Question) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in question.full_prompt().bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Everything that determines a model's answer to one inference call.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CacheKey {
+    /// Behavioural fingerprint of the model.
+    pub model_fingerprint: u64,
+    /// Question id.
+    pub question_id: String,
+    /// Hash of the full prompt (see [`prompt_hash`]).
+    pub prompt_hash: u64,
+    /// Image downsampling factor.
+    pub downsample: usize,
+    /// pass@k attempt index.
+    pub attempt: u64,
+}
+
+impl CacheKey {
+    /// Key for one inference call.
+    pub fn new(
+        model_fingerprint: u64,
+        question: &Question,
+        downsample: usize,
+        attempt: u64,
+    ) -> Self {
+        CacheKey {
+            model_fingerprint,
+            question_id: question.id.clone(),
+            prompt_hash: prompt_hash(question),
+            downsample,
+            attempt,
+        }
+    }
+}
+
+/// The memoised part of a [`ModelResponse`] — enough to rebuild a
+/// question outcome and re-judge under any judge. The percept is
+/// deliberately dropped: it is large and derivable by re-running.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CachedAnswer {
+    /// The answer text.
+    pub text: String,
+    /// How the answer came about.
+    pub path: AnswerPath,
+    /// The rolled solve probability (kept for ablation tooling).
+    pub solve_probability: f64,
+}
+
+impl From<&ModelResponse> for CachedAnswer {
+    fn from(resp: &ModelResponse) -> Self {
+        CachedAnswer {
+            text: resp.text.clone(),
+            path: resp.path,
+            solve_probability: resp.solve_probability,
+        }
+    }
+}
+
+/// Thread-safe answer cache shared by executor workers.
+///
+/// Reads take a shared lock; hit/miss counters are lock-free. The cache
+/// is *semantically transparent*: because the pipeline is deterministic
+/// per key, a hit returns exactly what inference would have produced, so
+/// cached and uncached evaluations yield identical reports.
+#[derive(Debug, Default)]
+pub struct AnswerCache {
+    entries: RwLock<HashMap<CacheKey, CachedAnswer>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl AnswerCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        AnswerCache::default()
+    }
+
+    /// Looks up an answer, counting a hit or miss.
+    pub fn lookup(&self, key: &CacheKey) -> Option<CachedAnswer> {
+        let found = self.entries.read().expect("cache lock").get(key).cloned();
+        match found {
+            Some(a) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(a)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores an answer (last write wins; all writers compute identical
+    /// values for a key, so races are benign).
+    pub fn insert(&self, key: CacheKey, answer: CachedAnswer) {
+        self.entries
+            .write()
+            .expect("cache lock")
+            .insert(key, answer);
+    }
+
+    /// Removes one entry; returns whether it existed.
+    pub fn invalidate(&self, key: &CacheKey) -> bool {
+        self.entries
+            .write()
+            .expect("cache lock")
+            .remove(key)
+            .is_some()
+    }
+
+    /// Drops every entry for one model fingerprint (e.g. after a
+    /// recalibration); returns how many were removed.
+    pub fn invalidate_model(&self, model_fingerprint: u64) -> usize {
+        let mut map = self.entries.write().expect("cache lock");
+        let before = map.len();
+        map.retain(|k, _| k.model_fingerprint != model_fingerprint);
+        before - map.len()
+    }
+
+    /// Drops everything.
+    pub fn clear(&self) {
+        self.entries.write().expect("cache lock").clear();
+    }
+
+    /// Number of cached answers.
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("cache lock").len()
+    }
+
+    /// Whether the cache holds no answers.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hits since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Misses since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Serialisable snapshot of the current contents, in deterministic
+    /// key order.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        let map = self.entries.read().expect("cache lock");
+        let mut entries: Vec<(CacheKey, CachedAnswer)> =
+            map.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        CacheSnapshot { entries }
+    }
+
+    /// Rebuilds a cache from a snapshot (counters start at zero).
+    pub fn from_snapshot(snapshot: CacheSnapshot) -> Self {
+        let cache = AnswerCache::new();
+        {
+            let mut map = cache.entries.write().expect("cache lock");
+            for (k, v) in snapshot.entries {
+                map.insert(k, v);
+            }
+        }
+        cache
+    }
+}
+
+/// Point-in-time, order-stable copy of a cache for persistence.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CacheSnapshot {
+    /// Cached (key, answer) pairs sorted by key.
+    pub entries: Vec<(CacheKey, CachedAnswer)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipvqa_core::ChipVqa;
+    use chipvqa_models::{ModelZoo, VlmPipeline};
+
+    #[test]
+    fn hit_miss_accounting_and_roundtrip() {
+        let bench = ChipVqa::standard();
+        let pipe = VlmPipeline::new(ModelZoo::gpt4o());
+        let cache = AnswerCache::new();
+        let q = &bench.questions()[0];
+        let key = CacheKey::new(pipe.fingerprint(), q, 1, 0);
+
+        assert!(cache.lookup(&key).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+
+        let resp = pipe.infer(q, 1, 0);
+        cache.insert(key.clone(), CachedAnswer::from(&resp));
+        let hit = cache.lookup(&key).expect("inserted");
+        assert_eq!(hit.text, resp.text);
+        assert_eq!(hit.path, resp.path);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+
+        let snap = cache.snapshot();
+        let restored = AnswerCache::from_snapshot(snap.clone());
+        assert_eq!(restored.len(), 1);
+        assert_eq!(restored.snapshot(), snap);
+    }
+
+    #[test]
+    fn prompt_edit_changes_key() {
+        let bench = ChipVqa::standard();
+        let q = &bench.questions()[5];
+        let mut edited = q.clone();
+        edited.prompt.push_str(" (rev 2)");
+        assert_ne!(prompt_hash(q), prompt_hash(&edited));
+        assert_ne!(CacheKey::new(7, q, 1, 0), CacheKey::new(7, &edited, 1, 0));
+    }
+
+    #[test]
+    fn model_invalidation_is_selective() {
+        let bench = ChipVqa::standard();
+        let a = VlmPipeline::new(ModelZoo::gpt4o());
+        let b = VlmPipeline::new(ModelZoo::llava_7b());
+        let cache = AnswerCache::new();
+        for q in bench.iter().take(4) {
+            for pipe in [&a, &b] {
+                let key = CacheKey::new(pipe.fingerprint(), q, 1, 0);
+                cache.insert(key, CachedAnswer::from(&pipe.infer(q, 1, 0)));
+            }
+        }
+        assert_eq!(cache.len(), 8);
+        assert_eq!(cache.invalidate_model(a.fingerprint()), 4);
+        assert_eq!(cache.len(), 4);
+        let survivor = CacheKey::new(b.fingerprint(), &bench.questions()[0], 1, 0);
+        assert!(cache.lookup(&survivor).is_some());
+    }
+}

@@ -1,0 +1,363 @@
+//! Checkpoint/resume for long grid evaluations.
+//!
+//! A [`Checkpoint`] records the identity of a grid run — model
+//! fingerprints, a benchmark content hash, the evaluation options — plus
+//! every completed shard's outcomes. A killed run can be resumed from
+//! the serialized checkpoint: already-completed shards are skipped, the
+//! remainder is executed by the [`ParallelExecutor`], and the merged
+//! reports are identical to an uninterrupted run (merging is positional,
+//! so it does not matter in which order, or in which process, shards
+//! completed).
+//!
+//! Identity is checked on resume: a checkpoint taken with different
+//! models, a different benchmark revision, or different options is
+//! rejected with a [`CheckpointError`] instead of silently blending
+//! incompatible partial results.
+
+use std::fmt;
+
+use chipvqa_core::ChipVqa;
+use chipvqa_models::VlmPipeline;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::prompt_hash;
+use crate::executor::internal::{merge_from_pairs, run_selected, shard_keys, ShardKey};
+use crate::executor::ParallelExecutor;
+use crate::harness::{EvalOptions, EvalReport, QuestionOutcome};
+use crate::judge::Judge;
+
+/// Outcomes of one completed shard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardResult {
+    /// Which shard.
+    pub key: ShardKey,
+    /// Its question outcomes, in question order.
+    pub outcomes: Vec<QuestionOutcome>,
+}
+
+/// Resumable state of one grid evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Fingerprints of the grid's models, in grid order.
+    pub model_fingerprints: Vec<u64>,
+    /// Content hash of the benchmark (ids + prompts).
+    pub bench_hash: u64,
+    /// The evaluation options of the run.
+    pub options: EvalOptions,
+    /// Completed shards, in completion order.
+    pub completed: Vec<ShardResult>,
+}
+
+/// Why a checkpoint cannot drive a resume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The checkpoint's models differ from the grid being resumed.
+    ModelMismatch,
+    /// The benchmark content changed since the checkpoint was taken.
+    BenchMismatch,
+    /// The evaluation options changed.
+    OptionsMismatch,
+    /// A recorded shard is not part of the canonical plan (corruption).
+    UnknownShard(ShardKey),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::ModelMismatch => {
+                write!(f, "checkpoint was taken with a different model grid")
+            }
+            CheckpointError::BenchMismatch => {
+                write!(
+                    f,
+                    "checkpoint was taken against a different benchmark revision"
+                )
+            }
+            CheckpointError::OptionsMismatch => {
+                write!(f, "checkpoint was taken with different evaluation options")
+            }
+            CheckpointError::UnknownShard(k) => write!(
+                f,
+                "checkpoint contains a shard outside the plan: model {} questions {}..{}",
+                k.model_idx, k.q_start, k.q_end
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Content hash of a benchmark: question count, ids and full prompts.
+pub fn bench_hash(bench: &ChipVqa) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    eat(&(bench.len() as u64).to_le_bytes());
+    for q in bench.iter() {
+        eat(q.id.as_bytes());
+        eat(&prompt_hash(q).to_le_bytes());
+    }
+    h
+}
+
+impl Checkpoint {
+    /// A fresh checkpoint (no completed shards) for a grid run.
+    pub fn new(pipes: &[VlmPipeline], bench: &ChipVqa, options: EvalOptions) -> Self {
+        Checkpoint {
+            model_fingerprints: pipes.iter().map(VlmPipeline::fingerprint).collect(),
+            bench_hash: bench_hash(bench),
+            options,
+            completed: Vec::new(),
+        }
+    }
+
+    /// Whether this checkpoint belongs to exactly this run.
+    pub fn validate(
+        &self,
+        pipes: &[VlmPipeline],
+        bench: &ChipVqa,
+        options: EvalOptions,
+    ) -> Result<(), CheckpointError> {
+        let fingerprints: Vec<u64> = pipes.iter().map(VlmPipeline::fingerprint).collect();
+        if self.model_fingerprints != fingerprints {
+            return Err(CheckpointError::ModelMismatch);
+        }
+        if self.bench_hash != bench_hash(bench) {
+            return Err(CheckpointError::BenchMismatch);
+        }
+        if self.options != options {
+            return Err(CheckpointError::OptionsMismatch);
+        }
+        let plan = shard_keys(pipes.len(), bench.len());
+        for done in &self.completed {
+            if !plan.contains(&done.key) {
+                return Err(CheckpointError::UnknownShard(done.key));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of completed shards.
+    pub fn completed_shards(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Total shards a full run of this grid needs.
+    pub fn total_shards(&self, bench: &ChipVqa) -> usize {
+        shard_keys(self.model_fingerprints.len(), bench.len()).len()
+    }
+
+    /// Serialises to JSON (what a driver would write to disk).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Restores from JSON.
+    pub fn from_json(json: &str) -> Result<Checkpoint, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+impl ParallelExecutor {
+    /// Runs (part of) a grid evaluation, recording progress in
+    /// `checkpoint`.
+    ///
+    /// At most `max_shards` *new* shards are executed when the budget is
+    /// given — the hook that lets a driver bound work per invocation (or
+    /// a test kill a run mid-flight). Returns `Ok(Some(reports))` once
+    /// every shard of the grid is in the checkpoint, `Ok(None)` when work
+    /// remains, and an error when the checkpoint does not match the run.
+    pub fn evaluate_grid_resumable(
+        &self,
+        pipes: &[VlmPipeline],
+        bench: &ChipVqa,
+        options: EvalOptions,
+        judge: &dyn Judge,
+        checkpoint: &mut Checkpoint,
+        max_shards: Option<usize>,
+    ) -> Result<Option<Vec<EvalReport>>, CheckpointError> {
+        checkpoint.validate(pipes, bench, options)?;
+
+        let plan = shard_keys(pipes.len(), bench.len());
+        let pending: Vec<ShardKey> = plan
+            .iter()
+            .filter(|k| !checkpoint.completed.iter().any(|d| d.key == **k))
+            .copied()
+            .collect();
+        let budget = max_shards.unwrap_or(pending.len()).min(pending.len());
+        let batch = &pending[..budget];
+
+        if !batch.is_empty() {
+            let results = run_selected(self, pipes, bench, options, judge, batch);
+            for (key, outcomes) in batch.iter().zip(results) {
+                checkpoint.completed.push(ShardResult {
+                    key: *key,
+                    outcomes,
+                });
+            }
+        }
+
+        if checkpoint.completed.len() == plan.len() {
+            let pairs: Vec<(ShardKey, Vec<QuestionOutcome>)> = checkpoint
+                .completed
+                .iter()
+                .map(|d| (d.key, d.outcomes.clone()))
+                .collect();
+            Ok(Some(merge_from_pairs(pipes, bench, &pairs)))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::evaluate;
+    use crate::judge::RuleJudge;
+    use chipvqa_models::ModelZoo;
+
+    fn pipes() -> Vec<VlmPipeline> {
+        [ModelZoo::gpt4o(), ModelZoo::llava_7b()]
+            .into_iter()
+            .map(VlmPipeline::new)
+            .collect()
+    }
+
+    #[test]
+    fn resume_after_kill_matches_uninterrupted() {
+        let bench = ChipVqa::standard();
+        let pipes = pipes();
+        let exec = ParallelExecutor::new(4);
+        let options = EvalOptions::default();
+
+        // uninterrupted reference
+        let full = exec
+            .evaluate_grid_resumable(
+                &pipes,
+                &bench,
+                options,
+                &RuleJudge::new(),
+                &mut Checkpoint::new(&pipes, &bench, options),
+                None,
+            )
+            .expect("valid")
+            .expect("complete");
+
+        // "killed" run: 3 shards, then serialize, drop, restore, finish
+        let mut ckpt = Checkpoint::new(&pipes, &bench, options);
+        let first = exec
+            .evaluate_grid_resumable(
+                &pipes,
+                &bench,
+                options,
+                &RuleJudge::new(),
+                &mut ckpt,
+                Some(3),
+            )
+            .expect("valid");
+        assert!(first.is_none(), "run is incomplete after 3 shards");
+        assert_eq!(ckpt.completed_shards(), 3);
+
+        let json = ckpt.to_json().expect("serializes");
+        let mut restored = Checkpoint::from_json(&json).expect("parses");
+        assert_eq!(restored, ckpt);
+
+        let resumed = exec
+            .evaluate_grid_resumable(
+                &pipes,
+                &bench,
+                options,
+                &RuleJudge::new(),
+                &mut restored,
+                None,
+            )
+            .expect("valid")
+            .expect("complete after resume");
+        assert_eq!(resumed, full, "resumed run is bit-identical");
+
+        // and both match plain sequential evaluation
+        for (pipe, report) in pipes.iter().zip(&resumed) {
+            assert_eq!(&evaluate(pipe, &bench, options), report);
+        }
+    }
+
+    #[test]
+    fn zero_budget_does_no_work() {
+        let bench = ChipVqa::standard();
+        let pipes = pipes();
+        let exec = ParallelExecutor::new(2);
+        let mut ckpt = Checkpoint::new(&pipes, &bench, EvalOptions::default());
+        let out = exec
+            .evaluate_grid_resumable(
+                &pipes,
+                &bench,
+                EvalOptions::default(),
+                &RuleJudge::new(),
+                &mut ckpt,
+                Some(0),
+            )
+            .expect("valid");
+        assert!(out.is_none());
+        assert_eq!(ckpt.completed_shards(), 0);
+    }
+
+    #[test]
+    fn mismatched_checkpoints_are_rejected() {
+        let bench = ChipVqa::standard();
+        let pipes = pipes();
+        let exec = ParallelExecutor::new(2);
+        let options = EvalOptions::default();
+        let ckpt = Checkpoint::new(&pipes, &bench, options);
+
+        // different models
+        let other: Vec<VlmPipeline> = [ModelZoo::fuyu_8b(), ModelZoo::llava_7b()]
+            .into_iter()
+            .map(VlmPipeline::new)
+            .collect();
+        assert_eq!(
+            ckpt.validate(&other, &bench, options),
+            Err(CheckpointError::ModelMismatch)
+        );
+
+        // different benchmark content
+        let other_bench = ChipVqa::with_seed(bench.seed() + 1);
+        assert_eq!(
+            ckpt.validate(&pipes, &other_bench, options),
+            Err(CheckpointError::BenchMismatch)
+        );
+
+        // different options
+        let other_options = EvalOptions {
+            attempts: 3,
+            ..options
+        };
+        assert_eq!(
+            ckpt.validate(&pipes, &bench, other_options),
+            Err(CheckpointError::OptionsMismatch)
+        );
+
+        // and the executor surfaces the error
+        let mut bad = Checkpoint::new(&other, &bench, options);
+        let err = exec
+            .evaluate_grid_resumable(&pipes, &bench, options, &RuleJudge::new(), &mut bad, None)
+            .unwrap_err();
+        assert_eq!(err, CheckpointError::ModelMismatch);
+    }
+
+    #[test]
+    fn bench_hash_tracks_content() {
+        let a = ChipVqa::standard();
+        let b = ChipVqa::standard();
+        assert_eq!(bench_hash(&a), bench_hash(&b));
+        assert_ne!(bench_hash(&a), bench_hash(&a.challenge()));
+        assert_ne!(
+            bench_hash(&a),
+            bench_hash(&ChipVqa::with_seed(a.seed() + 1))
+        );
+    }
+}

@@ -1,0 +1,592 @@
+//! Work-stealing parallel evaluation.
+//!
+//! [`ParallelExecutor`] shards the model×question grid into contiguous
+//! question ranges, distributes the shards over a pool of scoped worker
+//! threads (per-worker deques with stealing, so a slow shard never
+//! serialises the run), and merges outcomes back **in question order**.
+//! Because the VLM pipeline is deterministic per (model, question,
+//! attempt) and merging is positional, the parallel report is
+//! *identical* — not just statistically equal — to the sequential
+//! [`evaluate`](crate::harness::evaluate) result, for any worker count.
+//!
+//! Two optional layers ride on the same code path:
+//!
+//! * an [`AnswerCache`] that memoises model answers across runs (a warm
+//!   cache skips inference entirely and re-judges the stored answers);
+//! * a [`RetryPolicy`] that re-queries a flaky judge (e.g.
+//!   [`NoisyJudge`](crate::noisy::NoisyJudge)) several times per verdict
+//!   and takes the majority, with seeded exponential backoff between
+//!   attempts. The default policy (one attempt, no backoff) reproduces
+//!   single-shot judging bit-for-bit.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use chipvqa_core::question::Question;
+use chipvqa_core::ChipVqa;
+use chipvqa_models::backbone::AnswerPath;
+use chipvqa_models::VlmPipeline;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{AnswerCache, CacheKey, CachedAnswer};
+use crate::harness::{EvalOptions, EvalReport, QuestionOutcome};
+use crate::judge::{Judge, RuleJudge};
+
+/// How many questions one shard covers. Small enough that 8 workers on
+/// one 142-question model all stay busy, large enough that shard
+/// bookkeeping is negligible against inference.
+pub const SHARD_SIZE: usize = 16;
+
+/// Judge retry behaviour for one verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Judge queries per verdict; the majority wins (ties fall to the
+    /// first attempt, so `attempts = 1` is exactly single-shot judging).
+    pub attempts: u64,
+    /// Base backoff before each re-query, in milliseconds; attempt `i`
+    /// waits `backoff_base_ms << (i - 1)` plus seeded jitter. Zero (the
+    /// default) disables sleeping, which is right for in-process judges.
+    pub backoff_base_ms: u64,
+    /// Seed for the backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            backoff_base_ms: 0,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Majority vote over `attempts` queries of a possibly-flaky judge.
+    pub fn with_attempts(attempts: u64) -> Self {
+        assert!(attempts >= 1, "at least one judge attempt required");
+        RetryPolicy {
+            attempts,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Judges `response` under this policy.
+    pub fn judged(&self, judge: &dyn Judge, question: &Question, response: &str) -> bool {
+        let first = judge.verdict(question, response, 0);
+        if self.attempts <= 1 {
+            return first;
+        }
+        let mut yes = u64::from(first);
+        for attempt in 1..self.attempts {
+            self.backoff(question, attempt);
+            if judge.verdict(question, response, attempt) {
+                yes += 1;
+            }
+        }
+        // strict majority, ties to the first attempt
+        if 2 * yes == self.attempts {
+            first
+        } else {
+            2 * yes > self.attempts
+        }
+    }
+
+    fn backoff(&self, question: &Question, attempt: u64) {
+        if self.backoff_base_ms == 0 {
+            return;
+        }
+        let base = self.backoff_base_ms << (attempt - 1).min(16);
+        // seeded jitter in [0, base): deterministic per (seed, question,
+        // attempt), so reruns sleep identically
+        let mut h = self.seed ^ 0x9e37_79b9_7f4a_7c15;
+        for b in question.id.bytes().chain(attempt.to_le_bytes()) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let jitter = if base == 0 { 0 } else { h % base };
+        std::thread::sleep(std::time::Duration::from_millis(base + jitter));
+    }
+}
+
+/// One unit of parallel work: a contiguous question range of one model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Shard {
+    model_idx: usize,
+    q_start: usize,
+    q_end: usize,
+}
+
+/// Work-stealing evaluator producing sequential-identical reports.
+#[derive(Debug, Clone)]
+pub struct ParallelExecutor {
+    workers: usize,
+    retry: RetryPolicy,
+    cache: Option<Arc<AnswerCache>>,
+}
+
+impl ParallelExecutor {
+    /// An executor with `workers` threads (clamped to at least one), no
+    /// cache, single-shot judging.
+    pub fn new(workers: usize) -> Self {
+        ParallelExecutor {
+            workers: workers.max(1),
+            retry: RetryPolicy::default(),
+            cache: None,
+        }
+    }
+
+    /// Attaches a shared answer cache; hits skip inference.
+    pub fn with_cache(mut self, cache: Arc<AnswerCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Sets the judge retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        assert!(retry.attempts >= 1, "at least one judge attempt required");
+        self.retry = retry;
+        self
+    }
+
+    /// Worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The attached cache, if any.
+    pub fn cache(&self) -> Option<&Arc<AnswerCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Evaluates one model with the default rule judge.
+    pub fn evaluate(
+        &self,
+        pipe: &VlmPipeline,
+        bench: &ChipVqa,
+        options: EvalOptions,
+    ) -> EvalReport {
+        self.evaluate_with_judge(pipe, bench, options, &RuleJudge::new())
+    }
+
+    /// Evaluates one model with a caller-supplied judge.
+    pub fn evaluate_with_judge(
+        &self,
+        pipe: &VlmPipeline,
+        bench: &ChipVqa,
+        options: EvalOptions,
+        judge: &dyn Judge,
+    ) -> EvalReport {
+        let pipes = std::slice::from_ref(pipe);
+        let shards = plan_shards(1, bench.len());
+        let results = self.run_shards(pipes, bench, options, judge, &shards);
+        merge_reports(pipes, bench, results)
+            .pop()
+            .expect("one model")
+    }
+
+    /// Evaluates every model of a grid, returning reports in model order.
+    pub fn evaluate_grid(
+        &self,
+        pipes: &[VlmPipeline],
+        bench: &ChipVqa,
+        options: EvalOptions,
+        judge: &dyn Judge,
+    ) -> Vec<EvalReport> {
+        let shards = plan_shards(pipes.len(), bench.len());
+        let results = self.run_shards(pipes, bench, options, judge, &shards);
+        merge_reports(pipes, bench, results)
+    }
+
+    /// Runs `shards`, returning each shard's outcomes (same order as the
+    /// input slice). This is the engine shared by the plain entry points
+    /// and checkpoint resume.
+    fn run_shards(
+        &self,
+        pipes: &[VlmPipeline],
+        bench: &ChipVqa,
+        options: EvalOptions,
+        judge: &dyn Judge,
+        shards: &[Shard],
+    ) -> Vec<Vec<QuestionOutcome>> {
+        let workers = self.workers.min(shards.len()).max(1);
+
+        // Per-worker deques, round-robin seeded so early shards spread
+        // across workers; idle workers steal from the back of others.
+        let deques: Vec<Mutex<VecDeque<(usize, Shard)>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (i, &shard) in shards.iter().enumerate() {
+            deques[i % workers]
+                .lock()
+                .expect("deque lock")
+                .push_back((i, shard));
+        }
+
+        let mut slots: Vec<Option<Vec<QuestionOutcome>>> = vec![None; shards.len()];
+        let cache = self.cache.as_deref();
+        let retry = self.retry;
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for me in 0..workers {
+                let deques = &deques;
+                handles.push(scope.spawn(move || {
+                    let mut done: Vec<(usize, Vec<QuestionOutcome>)> = Vec::new();
+                    loop {
+                        let next = take_work(deques, me);
+                        let Some((slot, shard)) = next else { break };
+                        let pipe = &pipes[shard.model_idx];
+                        let outcomes = bench.questions()[shard.q_start..shard.q_end]
+                            .iter()
+                            .map(|q| eval_question(pipe, q, options, judge, &retry, cache))
+                            .collect();
+                        done.push((slot, outcomes));
+                    }
+                    done
+                }));
+            }
+            for handle in handles {
+                for (slot, outcomes) in handle.join().expect("worker panicked") {
+                    slots[slot] = Some(outcomes);
+                }
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|s| s.expect("every shard completed"))
+            .collect()
+    }
+}
+
+/// Pops local work, stealing from the busiest-looking victim when the
+/// local deque is empty. Returns `None` when no work is left anywhere.
+fn take_work(deques: &[Mutex<VecDeque<(usize, Shard)>>], me: usize) -> Option<(usize, Shard)> {
+    if let Some(item) = deques[me].lock().expect("deque lock").pop_front() {
+        return Some(item);
+    }
+    for offset in 1..deques.len() {
+        let victim = (me + offset) % deques.len();
+        if let Some(item) = deques[victim].lock().expect("deque lock").pop_back() {
+            return Some(item);
+        }
+    }
+    None
+}
+
+/// The grid's shard list in deterministic (model, question-range) order.
+fn plan_shards(models: usize, questions: usize) -> Vec<Shard> {
+    let mut shards = Vec::new();
+    for model_idx in 0..models {
+        let mut q_start = 0;
+        while q_start < questions {
+            let q_end = (q_start + SHARD_SIZE).min(questions);
+            shards.push(Shard {
+                model_idx,
+                q_start,
+                q_end,
+            });
+            q_start = q_end;
+        }
+    }
+    shards
+}
+
+/// Exactly the sequential harness's per-question loop, with the cache
+/// interposed before inference and the retry policy around the judge.
+fn eval_question(
+    pipe: &VlmPipeline,
+    q: &Question,
+    options: EvalOptions,
+    judge: &dyn Judge,
+    retry: &RetryPolicy,
+    cache: Option<&AnswerCache>,
+) -> QuestionOutcome {
+    let mut passed = false;
+    let mut first_response = String::new();
+    let mut first_path = AnswerPath::Failed;
+    for attempt in 0..options.attempts.max(1) {
+        let answer = infer_cached(pipe, q, options.downsample, attempt, cache);
+        if attempt == 0 {
+            first_response = answer.text.clone();
+            first_path = answer.path;
+        }
+        if retry.judged(judge, q, &answer.text) {
+            passed = true;
+            break;
+        }
+    }
+    QuestionOutcome {
+        id: q.id.clone(),
+        category: q.category,
+        passed,
+        response: first_response,
+        path: first_path,
+    }
+}
+
+fn infer_cached(
+    pipe: &VlmPipeline,
+    q: &Question,
+    downsample: usize,
+    attempt: u64,
+    cache: Option<&AnswerCache>,
+) -> CachedAnswer {
+    let Some(cache) = cache else {
+        return CachedAnswer::from(&pipe.infer(q, downsample, attempt));
+    };
+    let key = CacheKey::new(pipe.fingerprint(), q, downsample, attempt);
+    if let Some(hit) = cache.lookup(&key) {
+        return hit;
+    }
+    let answer = CachedAnswer::from(&pipe.infer(q, downsample, attempt));
+    cache.insert(key, answer.clone());
+    answer
+}
+
+/// Merges per-shard outcomes into per-model reports, question order
+/// restored positionally.
+fn merge_reports(
+    pipes: &[VlmPipeline],
+    bench: &ChipVqa,
+    results: Vec<Vec<QuestionOutcome>>,
+) -> Vec<EvalReport> {
+    let shards = plan_shards(pipes.len(), bench.len());
+    assert_eq!(shards.len(), results.len(), "one result per shard");
+    let mut per_model: Vec<Vec<Option<QuestionOutcome>>> =
+        pipes.iter().map(|_| vec![None; bench.len()]).collect();
+    for (shard, outcomes) in shards.iter().zip(results) {
+        assert_eq!(outcomes.len(), shard.q_end - shard.q_start, "shard shape");
+        for (offset, outcome) in outcomes.into_iter().enumerate() {
+            per_model[shard.model_idx][shard.q_start + offset] = Some(outcome);
+        }
+    }
+    pipes
+        .iter()
+        .zip(per_model)
+        .map(|(pipe, slots)| EvalReport {
+            model: pipe.profile().name.clone(),
+            outcomes: slots
+                .into_iter()
+                .map(|s| s.expect("grid fully covered"))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Internal hooks for the checkpoint module: shard planning and shard
+/// execution with a caller-chosen subset.
+pub(crate) mod internal {
+    use super::*;
+
+    /// Serialisable mirror of the internal shard (stable identity for
+    /// checkpoints).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+    pub struct ShardKey {
+        /// Model index in the grid.
+        pub model_idx: usize,
+        /// First question index (inclusive).
+        pub q_start: usize,
+        /// Last question index (exclusive).
+        pub q_end: usize,
+    }
+
+    /// Shard keys for a grid, in canonical order.
+    pub fn shard_keys(models: usize, questions: usize) -> Vec<ShardKey> {
+        plan_shards(models, questions)
+            .into_iter()
+            .map(|s| ShardKey {
+                model_idx: s.model_idx,
+                q_start: s.q_start,
+                q_end: s.q_end,
+            })
+            .collect()
+    }
+
+    /// Runs exactly `keys` (any subset of the canonical plan) and
+    /// returns their outcomes in the same order.
+    pub fn run_selected(
+        exec: &ParallelExecutor,
+        pipes: &[VlmPipeline],
+        bench: &ChipVqa,
+        options: EvalOptions,
+        judge: &dyn Judge,
+        keys: &[ShardKey],
+    ) -> Vec<Vec<QuestionOutcome>> {
+        let shards: Vec<Shard> = keys
+            .iter()
+            .map(|k| Shard {
+                model_idx: k.model_idx,
+                q_start: k.q_start,
+                q_end: k.q_end,
+            })
+            .collect();
+        exec.run_shards(pipes, bench, options, judge, &shards)
+    }
+
+    /// Positional merge exposed for checkpoint assembly.
+    pub fn merge_from_pairs(
+        pipes: &[VlmPipeline],
+        bench: &ChipVqa,
+        pairs: &[(ShardKey, Vec<QuestionOutcome>)],
+    ) -> Vec<EvalReport> {
+        let mut per_model: Vec<Vec<Option<QuestionOutcome>>> =
+            pipes.iter().map(|_| vec![None; bench.len()]).collect();
+        for (key, outcomes) in pairs {
+            assert_eq!(outcomes.len(), key.q_end - key.q_start, "shard shape");
+            for (offset, outcome) in outcomes.iter().enumerate() {
+                per_model[key.model_idx][key.q_start + offset] = Some(outcome.clone());
+            }
+        }
+        pipes
+            .iter()
+            .zip(per_model)
+            .map(|(pipe, slots)| EvalReport {
+                model: pipe.profile().name.clone(),
+                outcomes: slots
+                    .into_iter()
+                    .map(|s| s.expect("grid fully covered"))
+                    .collect(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::evaluate_with_judge;
+    use crate::noisy::NoisyJudge;
+    use chipvqa_models::ModelZoo;
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let bench = ChipVqa::standard();
+        let pipe = VlmPipeline::new(ModelZoo::gpt4o());
+        let seq = crate::harness::evaluate(&pipe, &bench, EvalOptions::default());
+        for workers in [1, 3, 8] {
+            let par =
+                ParallelExecutor::new(workers).evaluate(&pipe, &bench, EvalOptions::default());
+            assert_eq!(seq, par, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn cache_is_semantically_transparent() {
+        let bench = ChipVqa::standard();
+        let pipe = VlmPipeline::new(ModelZoo::llava_13b());
+        let cache = Arc::new(AnswerCache::new());
+        let exec = ParallelExecutor::new(4).with_cache(Arc::clone(&cache));
+
+        let cold = exec.evaluate(&pipe, &bench, EvalOptions::default());
+        assert_eq!(cache.hits(), 0, "cold run cannot hit");
+        assert_eq!(cache.len() as usize, bench.len());
+
+        let warm = exec.evaluate(&pipe, &bench, EvalOptions::default());
+        assert_eq!(cold, warm, "warm report identical");
+        assert_eq!(cache.hits() as usize, bench.len(), "warm run all hits");
+
+        let seq = crate::harness::evaluate(&pipe, &bench, EvalOptions::default());
+        assert_eq!(seq, warm, "cache never changes results");
+    }
+
+    #[test]
+    fn default_retry_is_single_shot() {
+        let bench = ChipVqa::standard();
+        let pipe = VlmPipeline::new(ModelZoo::fuyu_8b());
+        let judge = NoisyJudge::new(RuleJudge::new(), 0.05, 9);
+        let seq = evaluate_with_judge(&pipe, &bench, EvalOptions::default(), &judge);
+        let par = ParallelExecutor::new(4).evaluate_with_judge(
+            &pipe,
+            &bench,
+            EvalOptions::default(),
+            &judge,
+        );
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn majority_vote_tames_a_flaky_judge() {
+        let bench = ChipVqa::standard();
+        let pipe = VlmPipeline::new(ModelZoo::gpt4o());
+        let clean = crate::harness::evaluate(&pipe, &bench, EvalOptions::default());
+        let flaky = NoisyJudge::new(RuleJudge::new(), 0.10, 3);
+
+        let single = ParallelExecutor::new(4).evaluate_with_judge(
+            &pipe,
+            &bench,
+            EvalOptions::default(),
+            &flaky,
+        );
+        let voted = ParallelExecutor::new(4)
+            .with_retry(RetryPolicy::with_attempts(5))
+            .evaluate_with_judge(&pipe, &bench, EvalOptions::default(), &flaky);
+
+        let disagree = |a: &EvalReport, b: &EvalReport| {
+            a.outcomes
+                .iter()
+                .zip(&b.outcomes)
+                .filter(|(x, y)| x.passed != y.passed)
+                .count()
+        };
+        let err_single = disagree(&clean, &single);
+        let err_voted = disagree(&clean, &voted);
+        assert!(
+            err_voted < err_single,
+            "majority vote must reduce flips: {err_voted} vs {err_single}"
+        );
+    }
+
+    #[test]
+    fn grid_reports_match_per_model_runs() {
+        let bench = ChipVqa::standard();
+        let pipes: Vec<VlmPipeline> = [
+            ModelZoo::gpt4o(),
+            ModelZoo::llava_7b(),
+            ModelZoo::kosmos_2(),
+        ]
+        .into_iter()
+        .map(VlmPipeline::new)
+        .collect();
+        let exec = ParallelExecutor::new(6);
+        let grid = exec.evaluate_grid(&pipes, &bench, EvalOptions::default(), &RuleJudge::new());
+        assert_eq!(grid.len(), pipes.len());
+        for (pipe, report) in pipes.iter().zip(&grid) {
+            let solo = crate::harness::evaluate(pipe, &bench, EvalOptions::default());
+            assert_eq!(&solo, report);
+        }
+    }
+
+    #[test]
+    fn shard_plan_covers_grid_exactly_once() {
+        let shards = plan_shards(3, 142);
+        let mut seen = vec![vec![0u8; 142]; 3];
+        for s in &shards {
+            for qi in s.q_start..s.q_end {
+                seen[s.model_idx][qi] += 1;
+            }
+        }
+        assert!(seen.iter().flatten().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn tie_votes_fall_to_first_attempt() {
+        struct AlternatingJudge;
+        impl Judge for AlternatingJudge {
+            fn is_correct(&self, _q: &Question, _r: &str) -> bool {
+                true
+            }
+            fn verdict(&self, _q: &Question, _r: &str, attempt: u64) -> bool {
+                attempt % 2 == 0
+            }
+        }
+        let bench = ChipVqa::standard();
+        let q = &bench.questions()[0];
+        // attempts = 2: one yes (attempt 0), one no -> tie -> first = yes
+        let policy = RetryPolicy::with_attempts(2);
+        assert!(policy.judged(&AlternatingJudge, q, "x"));
+        // attempts = 4: 2 yes, 2 no -> tie -> still the first attempt
+        let policy = RetryPolicy::with_attempts(4);
+        assert!(policy.judged(&AlternatingJudge, q, "x"));
+    }
+}

@@ -9,9 +9,24 @@ use crate::normalize::{extract_choice_letter, extract_number, normalize_text};
 /// Binary equivalence judgement between a response and a question's gold.
 /// The paper uses GPT-4 in this role; the reproduction's default is
 /// [`RuleJudge`].
-pub trait Judge {
+///
+/// Judges are `Sync` so the parallel executor can share one judge across
+/// worker threads.
+pub trait Judge: Sync {
     /// Returns `true` when `response` answers `question` correctly.
     fn is_correct(&self, question: &Question, response: &str) -> bool;
+
+    /// Verdict for one *judging attempt* of the same response.
+    ///
+    /// A deterministic judge returns the same verdict for every attempt
+    /// (the default ignores `judge_attempt`); a flaky judge such as
+    /// [`NoisyJudge`](crate::noisy::NoisyJudge) redraws its noise per
+    /// attempt, which is what makes retry-with-majority-vote in the
+    /// executor meaningful. Attempt 0 MUST equal [`Judge::is_correct`].
+    fn verdict(&self, question: &Question, response: &str, judge_attempt: u64) -> bool {
+        let _ = judge_attempt;
+        self.is_correct(question, response)
+    }
 }
 
 /// Deterministic rule-based judge (see crate docs for the substitution

@@ -15,6 +15,12 @@
 //! degradation study; [`noisy`] models an imperfect LLM auto-judge and
 //! the paper's hybrid manual-override mechanism for robustness studies.
 //!
+//! For large runs, [`executor`] provides a work-stealing
+//! [`ParallelExecutor`] whose reports are identical to the sequential
+//! harness for any worker count, with an optional answer [`cache`]
+//! (hits skip inference) and judge retry with majority vote;
+//! [`checkpoint`] adds kill/resume for grid evaluations.
+//!
 //! # Example
 //!
 //! ```
@@ -31,6 +37,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
+pub mod checkpoint;
+pub mod executor;
 pub mod harness;
 pub mod judge;
 pub mod noisy;
@@ -38,6 +47,9 @@ pub mod normalize;
 pub mod report;
 pub mod resolution;
 
+pub use cache::{AnswerCache, CacheKey, CacheSnapshot, CachedAnswer};
+pub use checkpoint::{Checkpoint, CheckpointError, ShardResult};
+pub use executor::{ParallelExecutor, RetryPolicy};
 pub use harness::{evaluate, EvalOptions, EvalReport};
 pub use judge::{Judge, RuleJudge};
 pub use noisy::{HybridJudge, NoisyJudge};

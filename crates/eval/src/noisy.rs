@@ -43,6 +43,14 @@ impl<J: Judge> NoisyJudge<J> {
 
 impl<J: Judge> Judge for NoisyJudge<J> {
     fn is_correct(&self, question: &Question, response: &str) -> bool {
+        self.verdict(question, response, 0)
+    }
+
+    /// Redraws the flip noise per judging attempt (attempt 0 keeps the
+    /// historical hash, so single-shot evaluations are unchanged). This
+    /// is the flakiness that the executor's retry-with-majority-vote
+    /// averages out.
+    fn verdict(&self, question: &Question, response: &str, judge_attempt: u64) -> bool {
         let verdict = self.inner.is_correct(question, response);
         if self.flip_probability == 0.0 {
             return verdict;
@@ -51,6 +59,12 @@ impl<J: Judge> Judge for NoisyJudge<J> {
         for b in question.id.bytes().chain(response.bytes()) {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        if judge_attempt > 0 {
+            for b in judge_attempt.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
         }
         let mut rng = StdRng::seed_from_u64(h);
         if rng.gen_bool(self.flip_probability) {
@@ -109,12 +123,7 @@ mod tests {
     fn zero_noise_is_the_rule_judge() {
         let bench = ChipVqa::standard();
         let pipe = VlmPipeline::new(ModelZoo::gpt4o());
-        let clean = evaluate_with_judge(
-            &pipe,
-            &bench,
-            EvalOptions::default(),
-            &RuleJudge::new(),
-        );
+        let clean = evaluate_with_judge(&pipe, &bench, EvalOptions::default(), &RuleJudge::new());
         let noisy = evaluate_with_judge(
             &pipe,
             &bench,
@@ -131,13 +140,8 @@ mod tests {
         // conclusions survive an imperfect auto-judge.
         let bench = ChipVqa::standard();
         let pipe = VlmPipeline::new(ModelZoo::gpt4o());
-        let clean = evaluate_with_judge(
-            &pipe,
-            &bench,
-            EvalOptions::default(),
-            &RuleJudge::new(),
-        )
-        .overall();
+        let clean =
+            evaluate_with_judge(&pipe, &bench, EvalOptions::default(), &RuleJudge::new()).overall();
         for seed in [1u64, 2, 3] {
             let noisy = evaluate_with_judge(
                 &pipe,

@@ -33,10 +33,7 @@ pub fn extract_choice_letter(s: &str) -> Option<char> {
     // parenthesised letter anywhere
     let bytes = lower.as_bytes();
     for i in 0..bytes.len().saturating_sub(2) {
-        if bytes[i] == b'('
-            && bytes[i + 2] == b')'
-            && (b'a'..=b'd').contains(&bytes[i + 1])
-        {
+        if bytes[i] == b'(' && bytes[i + 2] == b')' && (b'a'..=b'd').contains(&bytes[i + 1]) {
             return Some(bytes[i + 1] as char);
         }
     }
@@ -77,7 +74,10 @@ pub fn extract_number(s: &str) -> Option<f64> {
                 return Some(v as f64);
             }
         }
-        if token.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+' || c == '.')
+        if token
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+' || c == '.')
         {
             if let Ok(v) = token.parse::<f64>() {
                 return Some(v);
@@ -94,7 +94,10 @@ mod tests {
     #[test]
     fn text_normalisation() {
         assert_eq!(normalize_text("  The Half-Adder! "), "half-adder");
-        assert_eq!(normalize_text("A  2-to-1   Multiplexer"), "2-to-1 multiplexer");
+        assert_eq!(
+            normalize_text("A  2-to-1   Multiplexer"),
+            "2-to-1 multiplexer"
+        );
         assert_eq!(normalize_text("S'Q + SR'"), "s'q + sr'");
     }
 

@@ -227,7 +227,11 @@ impl Bdd {
         total: usize,
         memo: &mut HashMap<NodeRef, u64>,
     ) -> u64 {
-        let node_level = if r.is_terminal() { total } else { self.level(r) };
+        let node_level = if r.is_terminal() {
+            total
+        } else {
+            self.level(r)
+        };
         let skipped = (node_level - level) as u32;
         let below = if r == NodeRef::FALSE {
             0
@@ -338,12 +342,9 @@ mod tests {
             leaf.prop_recursive(4, 24, 2, |inner| {
                 prop_oneof![
                     inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-                    (inner.clone(), inner.clone())
-                        .prop_map(|(a, b)| Expr::And(vec![a, b])),
-                    (inner.clone(), inner.clone())
-                        .prop_map(|(a, b)| Expr::Or(vec![a, b])),
-                    (inner.clone(), inner)
-                        .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+                    (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(vec![a, b])),
+                    (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(vec![a, b])),
+                    (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
                 ]
             })
         }

@@ -603,9 +603,15 @@ mod tests {
     #[test]
     fn canonical_sop_extremes() {
         let zero = p("AA'");
-        assert_eq!(zero.truth_table().unwrap().to_canonical_sop(), Expr::Const(false));
+        assert_eq!(
+            zero.truth_table().unwrap().to_canonical_sop(),
+            Expr::Const(false)
+        );
         let one = p("A + A'");
-        assert_eq!(one.truth_table().unwrap().to_canonical_sop(), Expr::Const(true));
+        assert_eq!(
+            one.truth_table().unwrap().to_canonical_sop(),
+            Expr::Const(true)
+        );
     }
 
     #[test]

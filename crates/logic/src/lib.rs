@@ -44,8 +44,8 @@
 pub mod bdd;
 pub mod builders;
 pub mod clocked;
-pub mod mapping;
 pub mod expr;
+pub mod mapping;
 pub mod minimize;
 pub mod netlist;
 pub mod numbers;

@@ -74,12 +74,7 @@ fn or2(nl: &mut Netlist, gate: UniversalGate, a: NodeId, b: NodeId) -> NodeId {
     }
 }
 
-fn build(
-    nl: &mut Netlist,
-    expr: &Expr,
-    inputs: &[(char, NodeId)],
-    gate: UniversalGate,
-) -> NodeId {
+fn build(nl: &mut Netlist, expr: &Expr, inputs: &[(char, NodeId)], gate: UniversalGate) -> NodeId {
     match expr {
         Expr::Const(b) => {
             // x NAND x' = 1; invert for 0 (dually for NOR)
@@ -167,11 +162,7 @@ mod tests {
             let bits: Vec<bool> = (0..n_inputs)
                 .map(|i| row >> (n_inputs - 1 - i) & 1 == 1)
                 .collect();
-            let pairs: Vec<(char, bool)> = vars
-                .iter()
-                .copied()
-                .zip(bits.iter().copied())
-                .collect();
+            let pairs: Vec<(char, bool)> = vars.iter().copied().zip(bits.iter().copied()).collect();
             assert_eq!(
                 nl.eval(&bits).expect("sized")[0],
                 expr.eval(&pairs),

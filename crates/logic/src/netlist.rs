@@ -246,7 +246,11 @@ impl Netlist {
     /// [`NetlistError::BadInputCount`] on input-vector length mismatch.
     pub fn eval(&self, input_values: &[bool]) -> Result<Vec<bool>, NetlistError> {
         let values = self.eval_all(input_values)?;
-        Ok(self.outputs.iter().map(|&(NodeId(i), _)| values[i]).collect())
+        Ok(self
+            .outputs
+            .iter()
+            .map(|&(NodeId(i), _)| values[i])
+            .collect())
     }
 
     /// Evaluates and returns every node's value.
@@ -308,7 +312,11 @@ impl Netlist {
         let mut depth = vec![0usize; self.gates.len()];
         for (i, gate) in self.gates.iter().enumerate() {
             let d = gate.inputs.iter().map(|id| depth[id.0]).max().unwrap_or(0);
-            depth[i] = if gate.kind == GateKind::Input { 0 } else { d + 1 };
+            depth[i] = if gate.kind == GateKind::Input {
+                0
+            } else {
+                d + 1
+            };
         }
         self.outputs
             .iter()
@@ -360,9 +368,7 @@ impl Netlist {
                 } else {
                     self.add_input("const")
                 };
-                let inv = self
-                    .add_gate(GateKind::Not, &[base])
-                    .expect("valid arity");
+                let inv = self.add_gate(GateKind::Not, &[base]).expect("valid arity");
                 let kind = if *b { GateKind::Or } else { GateKind::And };
                 self.add_gate(kind, &[base, inv]).expect("valid arity")
             }
@@ -392,7 +398,8 @@ impl Netlist {
             Expr::Xor(a, b) => {
                 let ia = self.build_expr(a, vars);
                 let ib = self.build_expr(b, vars);
-                self.add_gate(GateKind::Xor, &[ia, ib]).expect("valid arity")
+                self.add_gate(GateKind::Xor, &[ia, ib])
+                    .expect("valid arity")
             }
         }
     }

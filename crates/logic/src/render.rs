@@ -38,10 +38,24 @@ pub fn render_truth_table(tt: &TruthTable, output_name: &str) -> Annotated {
     let oy = 20i64;
 
     for r in 0..=rows {
-        img.draw_line(ox, oy + r * CELL_H, ox + cols * CELL_W, oy + r * CELL_H, STROKE, BLACK);
+        img.draw_line(
+            ox,
+            oy + r * CELL_H,
+            ox + cols * CELL_W,
+            oy + r * CELL_H,
+            STROKE,
+            BLACK,
+        );
     }
     for c in 0..=cols {
-        img.draw_line(ox + c * CELL_W, oy, ox + c * CELL_W, oy + rows * CELL_H, STROKE, BLACK);
+        img.draw_line(
+            ox + c * CELL_W,
+            oy,
+            ox + c * CELL_W,
+            oy + rows * CELL_H,
+            STROKE,
+            BLACK,
+        );
     }
     // header
     for (i, v) in tt.vars.iter().enumerate() {
@@ -133,10 +147,24 @@ pub fn render_kmap(tt: &TruthTable) -> Annotated {
         );
     }
     for r in 0..=rows.len() as i64 {
-        img.draw_line(ox, oy + r * CELL_H, ox + cols.len() as i64 * CELL_W, oy + r * CELL_H, STROKE, BLACK);
+        img.draw_line(
+            ox,
+            oy + r * CELL_H,
+            ox + cols.len() as i64 * CELL_W,
+            oy + r * CELL_H,
+            STROKE,
+            BLACK,
+        );
     }
     for c in 0..=cols.len() as i64 {
-        img.draw_line(ox + c * CELL_W, oy, ox + c * CELL_W, oy + rows.len() as i64 * CELL_H, STROKE, BLACK);
+        img.draw_line(
+            ox + c * CELL_W,
+            oy,
+            ox + c * CELL_W,
+            oy + rows.len() as i64 * CELL_H,
+            STROKE,
+            BLACK,
+        );
     }
     for (ri, &r) in rows.iter().enumerate() {
         for (ci, &c) in cols.iter().enumerate() {
@@ -147,7 +175,12 @@ pub fn render_kmap(tt: &TruthTable) -> Annotated {
             img.draw_text(x, y, if value { "1" } else { "0" }, TEXT, BLACK);
             marks.push((
                 format!("m{minterm}={}", u8::from(value)),
-                Region::new((x - 6) as usize, (y - 4) as usize, CELL_W as usize, CELL_H as usize),
+                Region::new(
+                    (x - 6) as usize,
+                    (y - 4) as usize,
+                    CELL_W as usize,
+                    CELL_H as usize,
+                ),
             ));
         }
     }
@@ -224,13 +257,23 @@ pub fn render_schematic(nl: &Netlist) -> Annotated {
             Region::new(x as usize, y as usize, GW as usize, GH as usize),
         ));
         // bubble for inverting gates
-        if matches!(g.kind, GateKind::Not | GateKind::Nand | GateKind::Nor | GateKind::Xnor) {
+        if matches!(
+            g.kind,
+            GateKind::Not | GateKind::Nand | GateKind::Nor | GateKind::Xnor
+        ) {
             img.draw_circle(x + GW + 5, y + GH / 2, 4, STROKE, BLACK);
         }
     }
     for (out, name) in nl.outputs() {
         let (x, y) = pos(out.0);
-        img.draw_arrow(x + GW + 10, y + GH / 2, x + GW + 40, y + GH / 2, STROKE, BLACK);
+        img.draw_arrow(
+            x + GW + 10,
+            y + GH / 2,
+            x + GW + 40,
+            y + GH / 2,
+            STROKE,
+            BLACK,
+        );
         img.draw_text(x + GW + 44, y + GH / 2 - 6, name, TEXT, BLACK);
         marks.push((
             format!("output {name}"),
@@ -258,16 +301,36 @@ pub fn render_state_table(st: &StateTable) -> Annotated {
     let (ox, oy) = (20i64, 20i64);
 
     for r in 0..=rows {
-        img.draw_line(ox, oy + r * CELL_H, ox + cols * cw, oy + r * CELL_H, STROKE, BLACK);
+        img.draw_line(
+            ox,
+            oy + r * CELL_H,
+            ox + cols * cw,
+            oy + r * CELL_H,
+            STROKE,
+            BLACK,
+        );
     }
     for c in 0..=cols {
-        img.draw_line(ox + c * cw, oy, ox + c * cw, oy + rows * CELL_H, STROKE, BLACK);
+        img.draw_line(
+            ox + c * cw,
+            oy,
+            ox + c * cw,
+            oy + rows * CELL_H,
+            STROKE,
+            BLACK,
+        );
     }
     let state_names: String = st.state_var_names().iter().collect();
     let input_names: String = st.input_names().iter().collect();
     img.draw_text(ox + 6, oy + 6, &state_names, TEXT, BLACK);
     img.draw_text(ox + cw + 6, oy + 6, &input_names, TEXT, BLACK);
-    img.draw_text(ox + 2 * cw + 6, oy + 6, &format!("{state_names}+"), TEXT, BLACK);
+    img.draw_text(
+        ox + 2 * cw + 6,
+        oy + 6,
+        &format!("{state_names}+"),
+        TEXT,
+        BLACK,
+    );
 
     for (row, &next) in st.rows().iter().enumerate() {
         let present = row >> in_bits;

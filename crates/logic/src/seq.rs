@@ -408,11 +408,8 @@ mod tests {
                     let Some(expected) = ff.next_state(q, &inputs) else {
                         continue; // illegal SR input
                     };
-                    let mut assignment: Vec<(char, bool)> = names
-                        .iter()
-                        .copied()
-                        .zip(inputs.iter().copied())
-                        .collect();
+                    let mut assignment: Vec<(char, bool)> =
+                        names.iter().copied().zip(inputs.iter().copied()).collect();
                     assignment.push(('Q', q));
                     assert_eq!(eq.eval(&assignment), expected, "{ff} q={q} in={bits:b}");
                 }

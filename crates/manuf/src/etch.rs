@@ -259,7 +259,10 @@ mod tests {
         let rem = etch_stack(&stack, &boe(), 100.0);
         assert_eq!(rem.len(), 1);
         assert_eq!(rem[0].material, Material::Al);
-        assert!((rem[0].thickness_nm - 50.0).abs() < 1e-12, "BOE stops on Al");
+        assert!(
+            (rem[0].thickness_nm - 50.0).abs() < 1e-12,
+            "BOE stops on Al"
+        );
     }
 
     #[test]

@@ -163,7 +163,13 @@ mod tests {
         // multi-patterning is the strongest k1 lever, OPC the mildest
         assert!(Ret::MultiPatterning.k1_factor() < Ret::Psm.k1_factor());
         assert!(Ret::Psm.k1_factor() < Ret::Opc.k1_factor());
-        for ret in [Ret::Opc, Ret::Psm, Ret::Oai, Ret::Sraf, Ret::MultiPatterning] {
+        for ret in [
+            Ret::Opc,
+            Ret::Psm,
+            Ret::Oai,
+            Ret::Sraf,
+            Ret::MultiPatterning,
+        ] {
             assert!(!ret.signature().is_empty());
             assert!(!ret.name().is_empty());
         }

@@ -50,11 +50,23 @@ pub fn render_stack_cross_section(stack: &[Layer], opening_label: &str) -> Annot
     img.fill_rect(x0, ry, gap0 - x0, 22, BLACK);
     img.fill_rect(gap1, ry, x1 - gap1, 22, BLACK);
     img.draw_text(x0 + 4, ry - 18, "resist", TEXT, BLACK);
-    img.draw_arrow((gap0 + gap1) / 2, ry - 24, (gap0 + gap1) / 2, ry + 30, STROKE, BLACK);
+    img.draw_arrow(
+        (gap0 + gap1) / 2,
+        ry - 24,
+        (gap0 + gap1) / 2,
+        ry + 30,
+        STROKE,
+        BLACK,
+    );
     img.draw_text(gap1 + 8, ry - 2, opening_label, TEXT, BLACK);
     marks.push((
         format!("patterned resist opening: {opening_label}"),
-        Region::new(gap0 as usize, (ry - 26).max(0) as usize, (gap1 - gap0) as usize, 60),
+        Region::new(
+            gap0 as usize,
+            (ry - 26).max(0) as usize,
+            (gap1 - gap0) as usize,
+            60,
+        ),
     ));
     let mut out = Annotated::new(img);
     for (label, region) in marks {
@@ -73,7 +85,15 @@ pub fn render_ret_figure(ret: Ret) -> Annotated {
         Ret::Opc => {
             // an L-shaped polygon with serifs and a hammerhead
             img.draw_polyline(
-                &[(120, 80), (260, 80), (260, 120), (160, 120), (160, 240), (120, 240), (120, 80)],
+                &[
+                    (120, 80),
+                    (260, 80),
+                    (260, 120),
+                    (160, 120),
+                    (160, 240),
+                    (120, 240),
+                    (120, 80),
+                ],
                 STROKE,
                 BLACK,
             );
@@ -154,10 +174,16 @@ pub fn render_profile_curve(samples: &[(f64, f64)], junction_nm: Option<f64>) ->
     img.draw_text(4, oy, "log C", TEXT, BLACK);
     img.draw_text(ox + pw - 60, oy + ph + 10, "depth nm", TEXT, BLACK);
     if samples.len() >= 2 {
-        let xmax = samples.iter().map(|&(x, _)| x).fold(0.0, f64::max).max(1e-9);
-        let (cmin, cmax) = samples.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &(_, c)| {
-            (lo.min(c.max(1.0)), hi.max(c))
-        });
+        let xmax = samples
+            .iter()
+            .map(|&(x, _)| x)
+            .fold(0.0, f64::max)
+            .max(1e-9);
+        let (cmin, cmax) = samples
+            .iter()
+            .fold((f64::INFINITY, 0.0f64), |(lo, hi), &(_, c)| {
+                (lo.min(c.max(1.0)), hi.max(c))
+            });
         let ly = |c: f64| -> i64 {
             let t = (cmax.ln() - c.max(1.0).ln()) / (cmax.ln() - cmin.ln()).max(1e-9);
             oy + (t.clamp(0.0, 1.0) * ph as f64) as i64
@@ -214,7 +240,13 @@ mod tests {
 
     #[test]
     fn each_ret_has_distinct_signature_mark() {
-        for ret in [Ret::Opc, Ret::Psm, Ret::Oai, Ret::Sraf, Ret::MultiPatterning] {
+        for ret in [
+            Ret::Opc,
+            Ret::Psm,
+            Ret::Oai,
+            Ret::Sraf,
+            Ret::MultiPatterning,
+        ] {
             let vis = render_ret_figure(ret);
             assert_eq!(vis.marks.len(), 1, "{ret}");
             assert!(vis.image.ink_pixels() > 150, "{ret}");

@@ -122,7 +122,10 @@ pub fn simulate_wafer<R: rand::Rng>(
         let mut x = -r;
         while x + die <= r {
             let corners = [(x, y), (x + die, y), (x, y + die), (x + die, y + die)];
-            if corners.iter().all(|&(cx, cy)| (cx * cx + cy * cy).sqrt() <= r) {
+            if corners
+                .iter()
+                .all(|&(cx, cy)| (cx * cx + cy * cy).sqrt() <= r)
+            {
                 sites.push((x, y));
             }
             x += die;
@@ -261,7 +264,11 @@ mod tests {
         let map = simulate_wafer(300.0, 100.0, 0.1, &mut rng);
         let formula = gross_dies_per_wafer(300.0, 100.0);
         let ratio = map.gross() as f64 / formula as f64;
-        assert!((0.7..=1.2).contains(&ratio), "MC {} vs formula {formula}", map.gross());
+        assert!(
+            (0.7..=1.2).contains(&ratio),
+            "MC {} vs formula {formula}",
+            map.gross()
+        );
     }
 
     mod properties {

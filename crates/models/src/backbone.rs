@@ -97,10 +97,9 @@ pub fn answer(
                 let k = profile.knowledge_for(question.category);
                 let vd = question.difficulty.visual_dependence;
                 let readable = (1.0 - vd) + vd * percept.coverage;
-                let p_eliminate = (profile.mc_elimination
-                    * (0.25 + 0.75 * k)
-                    * (0.3 + 0.7 * readable))
-                    .clamp(0.0, 1.0);
+                let p_eliminate =
+                    (profile.mc_elimination * (0.25 + 0.75 * k) * (0.3 + 0.7 * readable))
+                        .clamp(0.0, 1.0);
                 let mut remaining: Vec<usize> = (0..choices.len())
                     .filter(|&i| i == *correct || !rng.gen_bool(p_eliminate))
                     .collect();
@@ -284,7 +283,10 @@ mod tests {
         let bench = ChipVqa::standard();
         let mut rng = StdRng::seed_from_u64(4);
         for q in bench.iter().filter(|q| !q.is_multiple_choice()).take(20) {
-            if let AnswerSpec::Numeric { value, tolerance, .. } = &q.answer {
+            if let AnswerSpec::Numeric {
+                value, tolerance, ..
+            } = &q.answer
+            {
                 let text = hallucinated_answer(q, &mut rng);
                 let lead: String = text
                     .split_whitespace()

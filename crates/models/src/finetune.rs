@@ -163,5 +163,4 @@ mod tests {
         // but not 7x bigger for 7x the data (saturation)
         assert!(gain_big < gain_small * 7.0);
     }
-
 }

@@ -60,6 +60,13 @@ impl VlmPipeline {
         &self.profile
     }
 
+    /// Behavioural identity of this pipeline — see
+    /// [`ModelProfile::fingerprint`]. Cached answers and checkpoints are
+    /// keyed on this value.
+    pub fn fingerprint(&self) -> u64 {
+        self.profile.fingerprint()
+    }
+
     /// Zero-shot inference on one question with the default configuration
     /// (temperature 0.1, native resolution). `attempt` varies the seed
     /// for pass@k evaluation.
@@ -96,8 +103,7 @@ impl VlmPipeline {
         // keep the seed stream identical to the unstyled pipeline (same
         // name), so only the adherence mechanism differs
         let mut rng = self.rng_for(question, attempt);
-        let percept =
-            encoder::perceive(&styled.profile, question, config.downsample, &mut rng);
+        let percept = encoder::perceive(&styled.profile, question, config.downsample, &mut rng);
         let ans = backbone::answer(
             &styled.profile,
             question,
@@ -159,8 +165,8 @@ impl VlmPipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use chipvqa_core::ChipVqa;
     use crate::zoo::ModelZoo;
+    use chipvqa_core::ChipVqa;
 
     #[test]
     fn inference_is_deterministic_per_attempt() {

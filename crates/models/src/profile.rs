@@ -59,6 +59,34 @@ impl ModelProfile {
         self.knowledge.iter().sum::<f64>() / self.knowledge.len() as f64
     }
 
+    /// Stable fingerprint over every behaviour-affecting field.
+    ///
+    /// Two profiles share a fingerprint iff they would answer every
+    /// question identically, so the fingerprint is a sound cache /
+    /// checkpoint identity for a model. Floats are hashed by exact bit
+    /// pattern — any calibration change invalidates the fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        eat(self.name.as_bytes());
+        eat(&self.params_b.to_bits().to_le_bytes());
+        eat(&(self.encoder_resolution as u64).to_le_bytes());
+        eat(&self.visual_acuity.to_bits().to_le_bytes());
+        for k in self.knowledge {
+            eat(&k.to_bits().to_le_bytes());
+        }
+        eat(&self.reasoning.to_bits().to_le_bytes());
+        eat(&self.instruction_following.to_bits().to_le_bytes());
+        eat(&self.mc_elimination.to_bits().to_le_bytes());
+        eat(&[u8::from(self.supports_system_prompt)]);
+        h
+    }
+
     /// Validates that every axis is inside its domain.
     ///
     /// # Panics
@@ -67,7 +95,11 @@ impl ModelProfile {
     /// zero — profiles are static data, so a bad profile is a programmer
     /// error.
     pub fn validate(&self) {
-        assert!(self.encoder_resolution > 0, "{}: zero resolution", self.name);
+        assert!(
+            self.encoder_resolution > 0,
+            "{}: zero resolution",
+            self.name
+        );
         for (axis, v) in [
             ("visual_acuity", self.visual_acuity),
             ("reasoning", self.reasoning),
@@ -130,5 +162,23 @@ mod tests {
     #[test]
     fn mean_knowledge() {
         assert!((profile().mean_knowledge() - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_field() {
+        let base = profile().fingerprint();
+        assert_eq!(base, profile().fingerprint(), "fingerprint is stable");
+
+        let mut p = profile();
+        p.reasoning += 1e-9;
+        assert_ne!(base, p.fingerprint(), "tiny calibration shift detected");
+
+        let mut p = profile();
+        p.name.push('2');
+        assert_ne!(base, p.fingerprint());
+
+        let mut p = profile();
+        p.supports_system_prompt = false;
+        assert_ne!(base, p.fingerprint());
     }
 }

@@ -188,7 +188,11 @@ mod tests {
         let stations = [2_000.0, 4_000.0, 6_000.0, 8_000.0];
         let plan = insert_buffers(&l, 10_000.0, &stations);
         let check = buffered_delay(&l, 10_000.0, &plan.positions);
-        assert!((check - plan.delay).abs() < 1e-18, "{check} vs {}", plan.delay);
+        assert!(
+            (check - plan.delay).abs() < 1e-18,
+            "{check} vs {}",
+            plan.delay
+        );
     }
 
     #[test]
@@ -208,7 +212,11 @@ mod tests {
                 .collect();
             best = best.min(buffered_delay(&l, total, &chosen));
         }
-        assert!((plan.delay - best).abs() < 1e-18, "{} vs {best}", plan.delay);
+        assert!(
+            (plan.delay - best).abs() < 1e-18,
+            "{} vs {best}",
+            plan.delay
+        );
     }
 
     #[test]

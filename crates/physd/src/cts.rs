@@ -19,10 +19,7 @@ pub struct ClockTree {
 impl ClockTree {
     /// Total wirelength of the distribution network.
     pub fn wirelength(&self) -> i64 {
-        self.segments
-            .iter()
-            .map(|&(a, b)| a.manhattan(b))
-            .sum()
+        self.segments.iter().map(|&(a, b)| a.manhattan(b)).sum()
     }
 
     /// Clock skew under a delay model of `delay_per_unit` per unit of wire
@@ -88,8 +85,14 @@ fn build_h(
         Point::new(c.x + half, c.y - half),
         Point::new(c.x + half, c.y + half),
     ];
-    segments.push((Point::new(c.x - half, c.y - half), Point::new(c.x - half, c.y + half)));
-    segments.push((Point::new(c.x + half, c.y - half), Point::new(c.x + half, c.y + half)));
+    segments.push((
+        Point::new(c.x - half, c.y - half),
+        Point::new(c.x - half, c.y + half),
+    ));
+    segments.push((
+        Point::new(c.x + half, c.y - half),
+        Point::new(c.x + half, c.y + half),
+    ));
     let leg = half + half; // centre → bar end → corner
     for corner in corners {
         if levels == 1 {

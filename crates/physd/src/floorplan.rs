@@ -150,12 +150,8 @@ impl SlicingTree {
     /// Total module area (lower bound on any floorplan of this tree).
     pub fn module_area(&self) -> i64 {
         match self {
-            SlicingTree::Module { shapes, .. } => {
-                shapes.iter().map(Shape::area).min().unwrap_or(0)
-            }
-            SlicingTree::HCut(a, b) | SlicingTree::VCut(a, b) => {
-                a.module_area() + b.module_area()
-            }
+            SlicingTree::Module { shapes, .. } => shapes.iter().map(Shape::area).min().unwrap_or(0),
+            SlicingTree::HCut(a, b) | SlicingTree::VCut(a, b) => a.module_area() + b.module_area(),
         }
     }
 
@@ -209,10 +205,7 @@ mod tests {
         for (i, s1) in curve.iter().enumerate() {
             for (j, s2) in curve.iter().enumerate() {
                 if i != j {
-                    assert!(
-                        !(s2.w <= s1.w && s2.h <= s1.h),
-                        "{s2:?} dominates {s1:?}"
-                    );
+                    assert!(!(s2.w <= s1.w && s2.h <= s1.h), "{s2:?} dominates {s1:?}");
                 }
             }
         }
@@ -235,7 +228,9 @@ mod tests {
     fn hcut_and_vcut_differ() {
         let a = SlicingTree::module("a", 2, 10);
         let b = SlicingTree::module("b", 2, 10);
-        let h = SlicingTree::hcut(a.clone(), b.clone()).best_shape().unwrap();
+        let h = SlicingTree::hcut(a.clone(), b.clone())
+            .best_shape()
+            .unwrap();
         let v = SlicingTree::vcut(a, b).best_shape().unwrap();
         // both reach 40 with rotations but through different aspect ratios
         assert_eq!(h.area(), 40);
@@ -256,8 +251,7 @@ mod tests {
         use proptest::prelude::*;
 
         fn arb_tree(depth: u32) -> impl Strategy<Value = SlicingTree> {
-            let leaf = (1i64..12, 1i64..12)
-                .prop_map(|(w, h)| SlicingTree::module("m", w, h));
+            let leaf = (1i64..12, 1i64..12).prop_map(|(w, h)| SlicingTree::module("m", w, h));
             leaf.prop_recursive(depth, 16, 2, |inner| {
                 (inner.clone(), inner, any::<bool>()).prop_map(|(a, b, horiz)| {
                     if horiz {

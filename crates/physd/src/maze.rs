@@ -159,9 +159,7 @@ mod tests {
     #[test]
     fn straight_route_matches_manhattan() {
         let g = Grid::new(20, 20);
-        let len = g
-            .route_length(Point::new(2, 3), Point::new(9, 7))
-            .unwrap();
+        let len = g.route_length(Point::new(2, 3), Point::new(9, 7)).unwrap();
         assert_eq!(len, 11);
     }
 
@@ -170,9 +168,7 @@ mod tests {
         let mut g = Grid::new(20, 20);
         // vertical wall with no gap between x=10 columns, y in 0..15
         g.block_rect(10, 0, 1, 15);
-        let len = g
-            .route_length(Point::new(5, 5), Point::new(15, 5))
-            .unwrap();
+        let len = g.route_length(Point::new(5, 5), Point::new(15, 5)).unwrap();
         assert!(len > 10, "must detour: {len}");
         // detour via y=15: 2*(15-5) + 10 = 30
         assert_eq!(len, 30);
@@ -217,7 +213,10 @@ mod tests {
     #[test]
     fn self_route_is_empty_length() {
         let g = Grid::new(4, 4);
-        assert_eq!(g.route_length(Point::new(1, 1), Point::new(1, 1)).unwrap(), 0);
+        assert_eq!(
+            g.route_length(Point::new(1, 1), Point::new(1, 1)).unwrap(),
+            0
+        );
     }
 
     mod properties {

@@ -104,17 +104,17 @@ pub fn legalize(cells: &[Cell], region: PlacementRegion) -> Result<Vec<PlacedCel
             if fill[row as usize] + cell.width > region.sites_per_row {
                 continue;
             }
-            let x = cell.target.x.clamp(fill[row as usize], region.sites_per_row - cell.width)
+            let x = cell
+                .target
+                .x
+                .clamp(fill[row as usize], region.sites_per_row - cell.width)
                 .max(fill[row as usize]);
             let cost = (x - cell.target.x).abs() + (row - cell.target.y).abs();
             if best.map_or(true, |(bc, _, _)| cost < bc) {
                 best = Some((cost, row, x));
             }
         }
-        let (cost, row, x) = best.ok_or(PlaceError::Overfull {
-            demand,
-            capacity,
-        })?;
+        let (cost, row, x) = best.ok_or(PlaceError::Overfull { demand, capacity })?;
         fill[row as usize] = x + cell.width;
         placed.push(PlacedCell {
             name: cell.name.clone(),
@@ -176,11 +176,7 @@ mod tests {
 
     #[test]
     fn overlapping_cells_are_separated() {
-        let cells = vec![
-            cell("a", 6, 5, 0),
-            cell("b", 6, 5, 0),
-            cell("c", 6, 5, 0),
-        ];
+        let cells = vec![cell("a", 6, 5, 0), cell("b", 6, 5, 0), cell("c", 6, 5, 0)];
         let placed = legalize(&cells, region()).unwrap();
         assert!(check_no_overlap(&placed));
         assert!(total_displacement(&placed) > 0);

@@ -85,11 +85,7 @@ pub fn render_route_tree(tree: &RouteTree, pins: &[Point], title: &str) -> Annot
 /// Renders two routing alternatives side by side (the paper's two-diagram
 /// comparison). The wirelength captions are deliberately *omitted* so the
 /// reader must compute costs from the annotated coordinates.
-pub fn render_route_comparison(
-    left: &RouteTree,
-    right: &RouteTree,
-    pins: &[Point],
-) -> Annotated {
+pub fn render_route_comparison(left: &RouteTree, right: &RouteTree, pins: &[Point]) -> Annotated {
     let single_l = render_route_tree_bare(left, pins, "topology A");
     let single_r = render_route_tree_bare(right, pins, "topology B");
     let w = single_l.image.width() + single_r.image.width();
@@ -153,7 +149,12 @@ pub fn render_cell_layout(cells: &[(String, Rect)]) -> Annotated {
         img.draw_text(x0 + 4, y0 + 4, name, TEXT, BLACK);
         marks.push((
             format!("cell {name}"),
-            Region::new(x0 as usize, y0 as usize, (x1 - x0).max(8) as usize, (y1 - y0).max(8) as usize),
+            Region::new(
+                x0 as usize,
+                y0 as usize,
+                (x1 - x0).max(8) as usize,
+                (y1 - y0).max(8) as usize,
+            ),
         ));
     }
     let mut out = Annotated::new(img);

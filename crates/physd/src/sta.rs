@@ -75,7 +75,11 @@ impl TimingGraph {
     /// # Errors
     ///
     /// [`TimingError::NegativeDelay`] for negative delays.
-    pub fn add_node(&mut self, name: impl Into<String>, delay: f64) -> Result<TimingNode, TimingError> {
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        delay: f64,
+    ) -> Result<TimingNode, TimingError> {
         if delay < 0.0 {
             return Err(TimingError::NegativeDelay(delay));
         }
@@ -91,7 +95,12 @@ impl TimingGraph {
     /// [`TimingError::BadEdge`] unless `from < to < node_count` (forward
     /// edges keep the graph a DAG); [`TimingError::NegativeDelay`] for
     /// negative wire delay.
-    pub fn add_edge(&mut self, from: TimingNode, to: TimingNode, wire: f64) -> Result<(), TimingError> {
+    pub fn add_edge(
+        &mut self,
+        from: TimingNode,
+        to: TimingNode,
+        wire: f64,
+    ) -> Result<(), TimingError> {
         if wire < 0.0 {
             return Err(TimingError::NegativeDelay(wire));
         }
@@ -199,11 +208,7 @@ impl TimingGraph {
             }
         }
 
-        let slack: Vec<f64> = arrival
-            .iter()
-            .zip(&required)
-            .map(|(a, r)| r - a)
-            .collect();
+        let slack: Vec<f64> = arrival.iter().zip(&required).map(|(a, r)| r - a).collect();
         let worst_slack = slack.iter().cloned().fold(f64::INFINITY, f64::min);
 
         // Critical path: walk back from the worst endpoint.

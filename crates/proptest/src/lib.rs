@@ -1,0 +1,208 @@
+//! Offline, vendored stand-in for [`proptest`](https://proptest-rs.github.io/proptest/).
+//!
+//! Same spelling, smaller engine: strategies are deterministic seeded
+//! generators (seeded from the test function's name, so every run and
+//! every machine sees the same cases) and there is **no shrinking** — a
+//! failing case panics with the generated inputs' debug representation
+//! instead. The surface covered is exactly what this workspace uses:
+//!
+//! * `proptest! { #[test] fn f(x in strategy, y: Type) { … } }` with an
+//!   optional `#![proptest_config(ProptestConfig::with_cases(n))]`
+//! * integer / float range strategies, `any::<T>()`, tuple strategies,
+//!   string-regex strategies (character classes and `{m,n}` repeats)
+//! * `prop_map`, `prop_recursive`, `boxed`, `prop_oneof!`,
+//!   `proptest::collection::vec`, `proptest::sample::select`
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Runs property-test functions.
+///
+/// Supported grammar (a subset of real proptest): an optional
+/// `#![proptest_config(expr)]` header followed by `#[test] fn` items
+/// whose parameters are either `pattern in strategy` or `name: Type`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])+ fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])+
+        fn $name() {
+            let __cfg = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            let mut __ran: u32 = 0;
+            let mut __attempts: u32 = 0;
+            while __ran < __cfg.cases {
+                __attempts += 1;
+                assert!(
+                    __attempts < __cfg.cases.saturating_mul(20).max(1000),
+                    "proptest {}: too many rejected cases (prop_assume too strict?)",
+                    stringify!($name),
+                );
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    $crate::__proptest_case!(__rng; ($($params)*) $body);
+                match __outcome {
+                    Ok(()) => __ran += 1,
+                    Err($crate::test_runner::TestCaseError::Reject) => continue,
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            __ran + 1,
+                            __cfg.cases,
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    ($rng:ident; ($($params:tt)*) $body:block) => {
+        (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+            $crate::__proptest_bind! { $rng; $($params)* }
+            { $body }
+            Ok(())
+        })()
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $pat:pat in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::strategy::Strategy::new_value(&($strat), &mut $rng);
+        $crate::__proptest_bind! { $rng; $($rest)* }
+    };
+    ($rng:ident; $pat:pat in $strat:expr) => {
+        let $pat = $crate::strategy::Strategy::new_value(&($strat), &mut $rng);
+    };
+    ($rng:ident; $name:ident: $ty:ty, $($rest:tt)*) => {
+        let $name: $ty =
+            $crate::strategy::Strategy::new_value(&$crate::arbitrary::any::<$ty>(), &mut $rng);
+        $crate::__proptest_bind! { $rng; $($rest)* }
+    };
+    ($rng:ident; $name:ident: $ty:ty) => {
+        let $name: $ty =
+            $crate::strategy::Strategy::new_value(&$crate::arbitrary::any::<$ty>(), &mut $rng);
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "msg", args…)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` with optional message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let __a = $a;
+        let __b = $b;
+        if __a != __b {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                __a,
+                __b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let __a = $a;
+        let __b = $b;
+        if __a != __b {
+            return Err($crate::test_runner::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(a, b)` with optional message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let __a = $a;
+        let __b = $b;
+        if __a == __b {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                __a
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let __a = $a;
+        let __b = $b;
+        if __a == __b {
+            return Err($crate::test_runner::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Rejects the current case (not counted against `cases`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,21 @@
+//! Sampling strategies (`proptest::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy choosing uniformly from a fixed list.
+#[derive(Debug, Clone)]
+pub struct Select<T>(Vec<T>);
+
+/// Uniform choice from `options` (must be nonempty).
+pub fn select<T: Clone + 'static>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select needs at least one option");
+    Select(options)
+}
+
+impl<T: Clone + 'static> Strategy for Select<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.0[rng.below(self.0.len())].clone()
+    }
+}

@@ -1,0 +1,184 @@
+//! Tiny regex-subset generator backing string-literal strategies.
+//!
+//! Supported syntax — enough for the patterns this workspace uses:
+//! literal characters, `.` (printable ASCII), character classes
+//! `[a-z0-9 ?.,]` (ranges and literals, no negation), and the
+//! quantifiers `{n}`, `{m,n}`, `*`, `+`, `?` applied to the previous
+//! atom. Unsupported constructs panic loudly rather than silently
+//! generating the wrong language.
+
+use crate::test_runner::TestRng;
+
+const STAR_MAX: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// Any printable ASCII character (`.`).
+    Dot,
+    /// One fixed character.
+    Lit(char),
+    /// One character from a class.
+    Class(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces: Vec<Piece> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        i += 1;
+        let atom = match c {
+            '.' => Atom::Dot,
+            '[' => {
+                let mut class = Vec::new();
+                assert!(
+                    chars.get(i) != Some(&'^'),
+                    "negated classes unsupported in pattern {pattern:?}"
+                );
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|c| *c != ']')
+                    {
+                        let hi = chars[i + 2];
+                        assert!(lo <= hi, "bad class range in pattern {pattern:?}");
+                        for v in lo as u32..=hi as u32 {
+                            class.push(char::from_u32(v).expect("class range char"));
+                        }
+                        i += 3;
+                    } else {
+                        class.push(lo);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern {pattern:?}");
+                i += 1; // consume ']'
+                assert!(!class.is_empty(), "empty class in pattern {pattern:?}");
+                Atom::Class(class)
+            }
+            '\\' => {
+                let escaped = *chars.get(i).unwrap_or_else(|| {
+                    panic!("dangling escape in pattern {pattern:?}");
+                });
+                i += 1;
+                match escaped {
+                    'd' => Atom::Class(('0'..='9').collect()),
+                    'w' => {
+                        let mut class: Vec<char> = ('a'..='z').collect();
+                        class.extend('A'..='Z');
+                        class.extend('0'..='9');
+                        class.push('_');
+                        Atom::Class(class)
+                    }
+                    other => Atom::Lit(other),
+                }
+            }
+            '(' | ')' | '|' => {
+                panic!("regex feature {c:?} unsupported in pattern {pattern:?}")
+            }
+            other => Atom::Lit(other),
+        };
+        // optional quantifier
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|c| *c == '}')
+                    .unwrap_or_else(|| panic!("unterminated quantifier in pattern {pattern:?}"));
+                let body: String = chars[i + 1..i + close].iter().collect();
+                i += close + 1;
+                if let Some((lo, hi)) = body.split_once(',') {
+                    let lo: usize = lo.trim().parse().expect("quantifier lower bound");
+                    let hi: usize = hi.trim().parse().expect("quantifier upper bound");
+                    assert!(lo <= hi, "bad quantifier in pattern {pattern:?}");
+                    (lo, hi)
+                } else {
+                    let n: usize = body.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+            Some('*') => {
+                i += 1;
+                (0, STAR_MAX)
+            }
+            Some('+') => {
+                i += 1;
+                (1, STAR_MAX)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn gen_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Dot => char::from_u32(rng.int_in(0x20, 0x7e) as u32).expect("printable ascii"),
+        Atom::Lit(c) => *c,
+        Atom::Class(options) => options[rng.below(options.len())],
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = rng.int_in(piece.min as i128, piece.max as i128) as usize;
+        for _ in 0..count {
+            out.push(gen_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut rng = TestRng::for_test("class");
+        for _ in 0..200 {
+            let s = generate("[a-zA-Z0-9 ?.,]{0,60}", &mut rng);
+            assert!(s.chars().count() <= 60);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " ?.,".contains(c)));
+        }
+    }
+
+    #[test]
+    fn dot_quantified() {
+        let mut rng = TestRng::for_test("dot");
+        let mut max_len = 0;
+        for _ in 0..200 {
+            let s = generate(".{0,120}", &mut rng);
+            assert!(s.chars().count() <= 120);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+            max_len = max_len.max(s.chars().count());
+        }
+        assert!(max_len > 40, "quantifier should reach long strings");
+    }
+
+    #[test]
+    fn literals_and_counts() {
+        let mut rng = TestRng::for_test("lit");
+        assert_eq!(generate("abc", &mut rng), "abc");
+        assert_eq!(generate("a{3}", &mut rng), "aaa");
+        let s = generate("x[01]{2}y", &mut rng);
+        assert_eq!(s.len(), 4);
+        assert!(s.starts_with('x') && s.ends_with('y'));
+    }
+}

@@ -1,0 +1,87 @@
+//! Test configuration and the deterministic case RNG.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Per-test configuration (mirror of `proptest::test_runner::Config`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; 64 keeps the large seeded suites fast
+        // while still exercising each property broadly. Tests that want
+        // more ask via `with_cases`.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Outcome of one generated case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Assertion failure — aborts the test with this message.
+    Fail(String),
+    /// `prop_assume!` rejection — the case is redrawn.
+    Reject,
+}
+
+/// Deterministic RNG used to generate cases; seeded from the test name
+/// so every run sees the same sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// RNG for a named test.
+    pub fn for_test(name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    /// RNG from an explicit seed (for strategy-internal use).
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    /// Uniform `usize` below `bound` (which must be nonzero).
+    pub fn below(&mut self, bound: usize) -> usize {
+        self.0.gen_range(0..bound)
+    }
+
+    /// Uniform inclusive range.
+    pub fn int_in(&mut self, low: i128, high: i128) -> i128 {
+        debug_assert!(low <= high);
+        let span = (high - low + 1) as u128;
+        let draw = (u128::from(self.0.next_u64()) << 64 | u128::from(self.0.next_u64())) % span;
+        low + draw as i128
+    }
+
+    /// Uniform `f64` in `[low, high)`.
+    pub fn float_in(&mut self, low: f64, high: f64) -> f64 {
+        let unit: f64 = self.0.gen_range(0.0..1.0);
+        low + unit * (high - low)
+    }
+
+    /// One random bit.
+    pub fn bool(&mut self) -> bool {
+        self.0.gen::<bool>()
+    }
+
+    /// Raw 64 random bits.
+    pub fn bits(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}

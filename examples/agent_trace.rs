@@ -20,7 +20,11 @@ fn main() {
     for id in ["physical-000", "manuf-000", "arch-005"] {
         let q = bench.get(id).expect("canonical ids exist");
         println!("================================================================");
-        println!("[{}] {}", q.id, q.prompt.chars().take(180).collect::<String>());
+        println!(
+            "[{}] {}",
+            q.id,
+            q.prompt.chars().take(180).collect::<String>()
+        );
         let out = agent.answer(q, 0);
         print!("{}", out.transcript.render());
         println!("[designer, final]    {}", out.text);

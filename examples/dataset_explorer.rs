@@ -18,19 +18,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("JSON export: {} bytes of metadata", json.len());
     let back = ChipVqa::from_json(&json)?;
     assert_eq!(back.len(), bench.len());
-    println!("round-trip restored {} questions with visuals regenerated\n", back.len());
+    println!(
+        "round-trip restored {} questions with visuals regenerated\n",
+        back.len()
+    );
 
     let id = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "digital-003".into());
     match bench.get(&id) {
         Some(q) => {
-            println!("[{}] {} / {} / {}", q.id, q.category, q.visual_kind,
-                if q.is_multiple_choice() { "multiple choice" } else { "short answer" });
+            println!(
+                "[{}] {} / {} / {}",
+                q.id,
+                q.category,
+                q.visual_kind,
+                if q.is_multiple_choice() {
+                    "multiple choice"
+                } else {
+                    "short answer"
+                }
+            );
             println!("prompt: {}\n", q.full_prompt());
             println!("gold: {}\n", q.golden_text());
-            println!("visual ({}x{} px, {} marks):",
-                q.visual.image.width(), q.visual.image.height(), q.visual.marks.len());
+            println!(
+                "visual ({}x{} px, {} marks):",
+                q.visual.image.width(),
+                q.visual.image.height(),
+                q.visual.marks.len()
+            );
             println!("{}", q.visual.image.to_ascii(8));
             // optional PGM export: `-- <id> --pgm <path>`
             let args: Vec<String> = std::env::args().collect();
@@ -38,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 if let Some(path) = args.get(i + 1) {
                     let mut file = std::fs::File::create(path)?;
                     q.visual.image.write_pgm(&mut file)?;
-                    println!("wrote {path} ({}x{} PGM)", q.visual.image.width(), q.visual.image.height());
+                    println!(
+                        "wrote {path} ({}x{} PGM)",
+                        q.visual.image.width(),
+                        q.visual.image.height()
+                    );
                 }
             }
         }

@@ -7,10 +7,12 @@
 //! ```
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use chipvqa::core::question::{Category, VisualKind};
 use chipvqa::core::ChipVqa;
-use chipvqa::eval::harness::{evaluate, EvalOptions};
+use chipvqa::eval::harness::EvalOptions;
+use chipvqa::eval::{AnswerCache, ParallelExecutor};
 use chipvqa::models::{ModelZoo, VlmPipeline};
 
 fn main() {
@@ -26,14 +28,24 @@ fn main() {
             std::process::exit(2);
         });
 
-    println!("report card: {} ({}B params, {}px encoder)\n",
-        profile.name, profile.params_b, profile.encoder_resolution);
+    println!(
+        "report card: {} ({}B params, {}px encoder)\n",
+        profile.name, profile.params_b, profile.encoder_resolution
+    );
 
     let bench = ChipVqa::standard();
     let challenge = bench.challenge();
     let pipe = VlmPipeline::new(profile);
-    let std_report = evaluate(&pipe, &bench, EvalOptions::default());
-    let chal_report = evaluate(&pipe, &challenge, EvalOptions::default());
+
+    // Work-stealing evaluation with a shared answer cache: reports are
+    // identical to sequential `evaluate`, and the pass@k sweep below
+    // reuses every answer already inferred for a smaller k.
+    let cache = Arc::new(AnswerCache::new());
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let exec = ParallelExecutor::new(workers).with_cache(Arc::clone(&cache));
+
+    let std_report = exec.evaluate(&pipe, &bench, EvalOptions::default());
+    let chal_report = exec.evaluate(&pipe, &challenge, EvalOptions::default());
 
     println!("{:<16} {:>10} {:>10}", "category", "standard", "challenge");
     for cat in Category::ALL {
@@ -67,14 +79,13 @@ fn main() {
 
     // how the standard-collection answers came about
     let (solved, guessed, failed) = std_report.path_histogram();
-    println!(
-        "\nanswer paths (standard): {solved} solved, {guessed} guessed, {failed} failed"
-    );
+    println!("\nanswer paths (standard): {solved} solved, {guessed} guessed, {failed} failed");
 
-    // pass@k scaling
+    // pass@k scaling (cache hits grow with k: attempts 0..k-1 of the
+    // previous sweep are reused verbatim)
     println!("\npass@k on the standard collection:");
     for k in [1u64, 3, 5] {
-        let r = evaluate(
+        let r = exec.evaluate(
             &pipe,
             &bench,
             EvalOptions {
@@ -84,4 +95,11 @@ fn main() {
         );
         println!("  pass@{k} = {:.2}", r.overall());
     }
+
+    println!(
+        "\nanswer cache: {} entries, {} hits / {} misses",
+        cache.len(),
+        cache.hits(),
+        cache.misses()
+    );
 }

@@ -21,7 +21,10 @@ fn main() {
 
     let pipe = VlmPipeline::new(ModelZoo::gpt4o());
     let judge = RuleJudge::new();
-    println!("Running {} on three sample questions:\n", pipe.profile().name);
+    println!(
+        "Running {} on three sample questions:\n",
+        pipe.profile().name
+    );
 
     for id in ["digital-000", "analog-000", "manuf-000"] {
         let q = bench.get(id).expect("canonical ids exist");
@@ -37,7 +40,10 @@ fn main() {
             resp.percept.perceived.len(),
             resp.percept.required
         );
-        println!("  [projector] visual tokens joined with {} prompt chars", prompt.len());
+        println!(
+            "  [projector] visual tokens joined with {} prompt chars",
+            prompt.len()
+        );
         println!("  [backbone]  answered: {}", resp.text);
         let verdict = judge.is_correct(q, &resp.text);
         println!(

@@ -1,0 +1,144 @@
+//! T1: property tests for the answer cache — under arbitrary
+//! interleavings of insert / lookup / invalidate, a lookup never returns
+//! a stale answer: whatever comes back was inserted under *exactly* the
+//! queried key (same model fingerprint, same prompt hash), and presence
+//! always agrees with a reference model.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use chipvqa::core::ChipVqa;
+use chipvqa::eval::cache::{prompt_hash, AnswerCache, CacheKey, CachedAnswer};
+use chipvqa::models::backbone::AnswerPath;
+use proptest::prelude::*;
+
+fn standard() -> &'static ChipVqa {
+    static BENCH: OnceLock<ChipVqa> = OnceLock::new();
+    BENCH.get_or_init(ChipVqa::standard)
+}
+
+/// The canonical answer for a key — injective in every key component,
+/// so any cross-key leak shows up as a text mismatch.
+fn canonical_answer(key: &CacheKey) -> CachedAnswer {
+    CachedAnswer {
+        text: format!(
+            "{}|{}|{}|{}|{}",
+            key.model_fingerprint, key.question_id, key.prompt_hash, key.downsample, key.attempt
+        ),
+        path: AnswerPath::Solved,
+        solve_probability: 0.5,
+    }
+}
+
+/// A small deterministic key universe: 3 fingerprints × 4 questions ×
+/// 2 prompt revisions × 2 resolutions. Prompt revisions share the
+/// question id but differ in prompt hash — the stale-answer hazard.
+fn key_universe() -> Vec<CacheKey> {
+    let bench = standard();
+    let mut keys = Vec::new();
+    for fp in [11u64, 22, 33] {
+        for q in bench.questions().iter().take(4) {
+            let mut edited = q.clone();
+            edited.prompt.push_str(" (rev B)");
+            for question in [q, &edited] {
+                for downsample in [1usize, 4] {
+                    keys.push(CacheKey::new(fp, question, downsample, 0));
+                }
+            }
+        }
+    }
+    keys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn interleavings_never_serve_stale_answers(
+        ops in proptest::collection::vec((0u8..4, 0usize..48), 1..80)
+    ) {
+        let keys = key_universe();
+        prop_assert_eq!(keys.len(), 48);
+        let cache = AnswerCache::new();
+        let mut reference: HashMap<CacheKey, CachedAnswer> = HashMap::new();
+
+        for (op, idx) in ops {
+            let key = &keys[idx];
+            match op {
+                // insert the canonical answer for this exact key
+                0 => {
+                    cache.insert(key.clone(), canonical_answer(key));
+                    reference.insert(key.clone(), canonical_answer(key));
+                }
+                // lookup: must agree with the reference, and any hit
+                // must be the canonical answer for *this* key
+                1 => {
+                    let got = cache.lookup(key);
+                    let want = reference.get(key).cloned();
+                    prop_assert_eq!(got.clone(), want);
+                    if let Some(hit) = got {
+                        prop_assert_eq!(hit, canonical_answer(key));
+                    }
+                }
+                // point invalidation
+                2 => {
+                    let existed = cache.invalidate(key);
+                    prop_assert_eq!(existed, reference.remove(key).is_some());
+                }
+                // model-wide invalidation
+                _ => {
+                    let removed = cache.invalidate_model(key.model_fingerprint);
+                    let before = reference.len();
+                    reference.retain(|k, _| k.model_fingerprint != key.model_fingerprint);
+                    prop_assert_eq!(removed, before - reference.len());
+                }
+            }
+        }
+
+        // final sweep: every key answers exactly per the reference
+        for key in &keys {
+            prop_assert_eq!(cache.lookup(key), reference.get(key).cloned());
+        }
+        prop_assert_eq!(cache.len(), reference.len());
+    }
+
+    /// A changed prompt (same question id) or changed fingerprint can
+    /// never hit an entry cached under the old key.
+    #[test]
+    fn changed_prompt_or_model_always_misses(fp in 1u64..1000, qi in 0usize..20) {
+        let bench = standard();
+        let q = &bench.questions()[qi];
+        let cache = AnswerCache::new();
+        let key = CacheKey::new(fp, q, 1, 0);
+        cache.insert(key.clone(), canonical_answer(&key));
+
+        let mut edited = q.clone();
+        edited.prompt.push('!');
+        prop_assert_ne!(prompt_hash(q), prompt_hash(&edited));
+        prop_assert!(cache.lookup(&CacheKey::new(fp, &edited, 1, 0)).is_none());
+        prop_assert!(cache.lookup(&CacheKey::new(fp ^ 1, q, 1, 0)).is_none());
+        prop_assert!(cache.lookup(&CacheKey::new(fp, q, 2, 0)).is_none());
+        prop_assert!(cache.lookup(&CacheKey::new(fp, q, 1, 1)).is_none());
+        prop_assert!(cache.lookup(&key).is_some());
+    }
+
+    /// Snapshot round-trips preserve contents exactly.
+    #[test]
+    fn snapshot_roundtrip_preserves_entries(
+        picks in proptest::collection::vec(0usize..48, 0..30)
+    ) {
+        let keys = key_universe();
+        let cache = AnswerCache::new();
+        for idx in &picks {
+            let key = &keys[*idx];
+            cache.insert(key.clone(), canonical_answer(key));
+        }
+        let snap = cache.snapshot();
+        let restored = AnswerCache::from_snapshot(snap.clone());
+        prop_assert_eq!(restored.snapshot(), snap);
+        for idx in &picks {
+            let key = &keys[*idx];
+            prop_assert_eq!(restored.lookup(key), Some(canonical_answer(key)));
+        }
+    }
+}

@@ -40,7 +40,10 @@ fn prompt_token_spread_matches_paper_band() {
     let min = *counts.iter().min().expect("nonempty");
     let max = *counts.iter().max().expect("nonempty");
     assert!(min <= 8, "paper min is 5 tokens; got {min}");
-    assert!((300..=400).contains(&max), "paper max is 370 tokens; got {max}");
+    assert!(
+        (300..=400).contains(&max),
+        "paper max is 370 tokens; got {max}"
+    );
 }
 
 #[test]
@@ -84,6 +87,69 @@ fn every_question_is_well_formed() {
 }
 
 #[test]
+fn golden_stats_and_ids_are_frozen() {
+    // The executor's cache and checkpoints key on question ids and
+    // prompt hashes, so the standard collection's identity must be
+    // frozen: Table-I counts exactly, and the id sequence stable across
+    // regenerations (ids are `<category>-<index>` with zero-padded,
+    // gap-free, per-category indices in collection order).
+    let bench = ChipVqa::standard();
+    let stats = DatasetStats::compute(&bench);
+    assert_eq!(
+        (stats.total, stats.multiple_choice, stats.short_answer),
+        (142, 99, 43)
+    );
+    let per_cat: Vec<(Category, usize)> = stats.by_category.clone();
+    assert_eq!(
+        per_cat,
+        vec![
+            (Category::Digital, 35),
+            (Category::Analog, 44),
+            (Category::Architecture, 20),
+            (Category::Manufacture, 20),
+            (Category::Physical, 23),
+        ]
+    );
+
+    let mut next_index: std::collections::BTreeMap<&str, usize> = Default::default();
+    for q in bench.iter() {
+        let (prefix, index) = q.id.split_once('-').expect("dash-separated id");
+        assert_eq!(index.len(), 3, "{}: zero-padded 3-digit index", q.id);
+        let counter = next_index
+            .entry(match q.category {
+                Category::Digital => "digital",
+                Category::Analog => "analog",
+                Category::Architecture => "arch",
+                Category::Manufacture => "manuf",
+                Category::Physical => "physical",
+            })
+            .or_default();
+        assert_eq!(prefix, q.id.split('-').next().unwrap());
+        assert_eq!(
+            index.parse::<usize>().expect("numeric index"),
+            *counter,
+            "{}: per-category indices are gap-free in order",
+            q.id
+        );
+        *counter += 1;
+    }
+
+    // regeneration yields the same ids in the same order — cache keys
+    // and checkpoints stay valid across processes
+    let again = ChipVqa::standard();
+    let ids: Vec<&String> = bench.iter().map(|q| &q.id).collect();
+    let ids_again: Vec<&String> = again.iter().map(|q| &q.id).collect();
+    assert_eq!(ids, ids_again);
+    assert_eq!(ids.first().map(|s| s.as_str()), Some("digital-000"));
+
+    // prompts (and hence prompt hashes) are equally frozen
+    use chipvqa::eval::cache::prompt_hash;
+    for (a, b) in bench.iter().zip(again.iter()) {
+        assert_eq!(prompt_hash(a), prompt_hash(b), "{}", a.id);
+    }
+}
+
+#[test]
 fn categories_match_id_prefixes() {
     let bench = ChipVqa::standard();
     for q in bench.iter() {
@@ -116,5 +182,8 @@ fn different_seed_same_structure_different_content() {
         .zip(b.iter())
         .filter(|(x, y)| x.prompt != y.prompt || x.kind != y.kind)
         .count();
-    assert!(differing > 40, "content must vary with the seed: {differing}");
+    assert!(
+        differing > 40,
+        "content must vary with the seed: {differing}"
+    );
 }

@@ -43,7 +43,8 @@ fn finetuned_open_model_narrows_the_gpt4o_gap() {
         EvalOptions::default(),
     )
     .overall();
-    let base_rate = evaluate(&VlmPipeline::new(base), &eval_bench, EvalOptions::default()).overall();
+    let base_rate =
+        evaluate(&VlmPipeline::new(base), &eval_bench, EvalOptions::default()).overall();
     let ft_rate = evaluate(&VlmPipeline::new(ft), &eval_bench, EvalOptions::default()).overall();
     assert!(ft_rate > base_rate, "{ft_rate} vs {base_rate}");
     assert!(
@@ -59,13 +60,13 @@ fn data_scaling_curve_is_monotone() {
     let all: Vec<&chipvqa::core::Question> = train.iter().collect();
     let mut last = 0.0;
     for n in [0usize, 30, 80, 142] {
-        let (model, _) = finetune(
-            &ModelZoo::llava_7b(),
-            &all[..n],
-            FinetuneConfig::default(),
-        );
-        let rate = evaluate(&VlmPipeline::new(model), &eval_bench, EvalOptions::default())
-            .overall();
+        let (model, _) = finetune(&ModelZoo::llava_7b(), &all[..n], FinetuneConfig::default());
+        let rate = evaluate(
+            &VlmPipeline::new(model),
+            &eval_bench,
+            EvalOptions::default(),
+        )
+        .overall();
         assert!(
             rate >= last - 0.03,
             "more data should not hurt much: {n} examples -> {rate} (prev {last})"

@@ -93,10 +93,7 @@ fn choices_help_every_model() {
         let name = profile.name.clone();
         let s = rate(profile.clone(), &bench);
         let c = rate(profile, &challenge);
-        assert!(
-            s >= c,
-            "{name}: standard {s} must be >= challenge {c}"
-        );
+        assert!(s >= c, "{name}: standard {s} must be >= challenge {c}");
     }
 }
 

@@ -2,7 +2,12 @@
 
 use chipvqa::core::stats::DatasetStats;
 use chipvqa::core::ChipVqa;
-use chipvqa::models::ModelZoo;
+use chipvqa::eval::harness::EvalOptions;
+use chipvqa::eval::{
+    AnswerCache, CacheKey, CacheSnapshot, CachedAnswer, Checkpoint, ParallelExecutor, RuleJudge,
+};
+use chipvqa::models::backbone::AnswerPath;
+use chipvqa::models::{ModelZoo, VlmPipeline};
 
 #[test]
 fn collection_json_roundtrip() {
@@ -37,6 +42,93 @@ fn profiles_serialize() {
         let back: chipvqa::models::ModelProfile =
             serde_json::from_str(&json).expect("deserializes");
         assert_eq!(profile, back);
+    }
+}
+
+#[test]
+fn checkpoint_json_roundtrip_mid_run() {
+    let bench = ChipVqa::standard();
+    let pipes: Vec<VlmPipeline> = [ModelZoo::gpt4o(), ModelZoo::llava_7b()]
+        .into_iter()
+        .map(VlmPipeline::new)
+        .collect();
+    let options = EvalOptions {
+        attempts: 2,
+        downsample: 2,
+    };
+    let exec = ParallelExecutor::new(4);
+    let mut ckpt = Checkpoint::new(&pipes, &bench, options);
+    let partial = exec
+        .evaluate_grid_resumable(
+            &pipes,
+            &bench,
+            options,
+            &RuleJudge::new(),
+            &mut ckpt,
+            Some(4),
+        )
+        .expect("compatible");
+    assert!(partial.is_none(), "4 of 18 shards is not a full grid");
+    assert_eq!(ckpt.completed_shards(), 4);
+
+    let json = ckpt.to_json().expect("serializes");
+    assert!(json.contains("model_fingerprints"));
+    let back = Checkpoint::from_json(&json).expect("deserializes");
+    assert_eq!(
+        back, ckpt,
+        "checkpoint round-trips mid-run, outcomes and all"
+    );
+    assert!(back.validate(&pipes, &bench, options).is_ok());
+}
+
+#[test]
+fn empty_checkpoint_roundtrip() {
+    let bench = ChipVqa::standard();
+    let pipes = vec![VlmPipeline::new(ModelZoo::kosmos_2())];
+    let ckpt = Checkpoint::new(&pipes, &bench, EvalOptions::default());
+    let back = Checkpoint::from_json(&ckpt.to_json().expect("serializes")).expect("deserializes");
+    assert_eq!(back, ckpt);
+    assert_eq!(back.completed_shards(), 0);
+}
+
+#[test]
+fn cache_snapshot_json_roundtrip() {
+    let bench = ChipVqa::standard();
+    let pipe = VlmPipeline::new(ModelZoo::phi3_vision());
+    let cache = AnswerCache::new();
+    for (i, q) in bench.iter().take(5).enumerate() {
+        let key = CacheKey::new(pipe.fingerprint(), q, 1 + i % 2, i as u64 % 3);
+        cache.insert(
+            key,
+            CachedAnswer::from(&pipe.infer(q, 1 + i % 2, i as u64 % 3)),
+        );
+    }
+    let snap = cache.snapshot();
+    let json = serde_json::to_string(&snap).expect("serializes");
+    let back: CacheSnapshot = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, snap);
+
+    let restored = AnswerCache::from_snapshot(back);
+    assert_eq!(restored.len(), 5);
+    let q = &bench.questions()[0];
+    let key = CacheKey::new(pipe.fingerprint(), q, 1, 0);
+    assert_eq!(
+        restored.lookup(&key).expect("restored entry").text,
+        pipe.infer(q, 1, 0).text
+    );
+}
+
+#[test]
+fn cached_answer_preserves_path_variants() {
+    for path in [AnswerPath::Solved, AnswerPath::Guessed, AnswerPath::Failed] {
+        let ans = CachedAnswer {
+            text: "42 ns".into(),
+            path,
+            solve_probability: 0.25,
+        };
+        let json = serde_json::to_string(&ans).expect("serializes");
+        let back: CachedAnswer = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, ans);
     }
 }
 
