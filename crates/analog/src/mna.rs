@@ -309,8 +309,9 @@ fn gaussian_solve(mut a: Vec<Vec<f64>>, mut z: Vec<f64>) -> Option<Vec<f64>> {
             if f == 0.0 {
                 continue;
             }
-            for k in col..n {
-                a[row][k] -= f * a[col][k];
+            let (top, bottom) = a.split_at_mut(row);
+            for (dst, &src) in bottom[0][col..].iter_mut().zip(&top[col][col..]) {
+                *dst -= f * src;
             }
             z[row] -= f * z[col];
         }

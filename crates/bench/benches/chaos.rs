@@ -1,0 +1,50 @@
+//! Chaos benches: what supervision costs.
+//!
+//! Three rows on the same single-model evaluation: the plain executor,
+//! the supervised executor with the all-zero [`FaultPlan`] (the pure
+//! overhead of deadlines + breaker bookkeeping on the happy path — this
+//! must stay within noise of the plain row), and a supervised run under
+//! a realistic storm (retries, corrupt-and-recover, breaker churn).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use chipvqa_core::ChipVqa;
+use chipvqa_eval::fault::install_quiet_panic_hook;
+use chipvqa_eval::harness::EvalOptions;
+use chipvqa_eval::{FaultPlan, ParallelExecutor, Supervisor};
+use chipvqa_models::{ModelZoo, VlmPipeline};
+
+fn bench_supervision_overhead(c: &mut Criterion) {
+    install_quiet_panic_hook();
+    let bench = ChipVqa::standard();
+    let pipe = VlmPipeline::new(ModelZoo::llama_3_2_90b());
+    let mut group = c.benchmark_group("chaos_single_model");
+    group.sample_size(10);
+
+    let plain = ParallelExecutor::new(4);
+    group.bench_function("unsupervised_142", |b| {
+        b.iter(|| black_box(plain.evaluate(&pipe, &bench, EvalOptions::default())))
+    });
+
+    let zero = ParallelExecutor::new(4).with_supervisor(Supervisor::new(FaultPlan::none()));
+    group.bench_function("supervised_zero_fault_142", |b| {
+        b.iter(|| black_box(zero.evaluate(&pipe, &bench, EvalOptions::default())))
+    });
+
+    for rate in [0.01f64, 0.05] {
+        let stormy =
+            ParallelExecutor::new(4).with_supervisor(Supervisor::new(FaultPlan::uniform(7, rate)));
+        group.bench_with_input(
+            BenchmarkId::new("supervised_storm_142", format!("{rate:.2}")),
+            &stormy,
+            |b, exec| b.iter(|| black_box(exec.evaluate(&pipe, &bench, EvalOptions::default()))),
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_supervision_overhead);
+criterion_main!(benches);

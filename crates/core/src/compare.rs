@@ -98,8 +98,8 @@ impl fmt::Display for ComparisonTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{:<10} {:>9} {:>9} {:>9}  {}",
-            "benchmark", "knowledge", "reasoning", "chip-cov", "band"
+            "{:<10} {:>9} {:>9} {:>9}  band",
+            "benchmark", "knowledge", "reasoning", "chip-cov"
         )?;
         for p in &self.0 {
             writeln!(

@@ -408,7 +408,7 @@ fn bode_question(k: usize, idx: &mut usize, rng: &mut StdRng) -> Question {
     let dc = f64::from(rng.gen_range(2..=4));
     let dc_gain = 10f64.powf(dc);
     let wp1 = 10f64.powf(f64::from(rng.gen_range(2..=3)));
-    let tf = if k % 2 == 0 {
+    let tf = if k.is_multiple_of(2) {
         TransferFunction::single_pole(dc_gain, wp1)
     } else {
         TransferFunction::from_poles_zeros(dc_gain, &[wp1, wp1 * 1e3], &[])

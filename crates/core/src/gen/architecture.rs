@@ -65,9 +65,9 @@ fn hazard_program(rng: &mut StdRng) -> Vec<Instr> {
     let n = rng.gen_range(4..8);
     for i in 0..n {
         match i % 3 {
-            0 => b = b.load(Reg(1), Reg(0), 4 * i as i32),
+            0 => b = b.load(Reg(1), Reg(0), 4 * i),
             1 => b = b.add(Reg(2), Reg(1), Reg(1)),
-            _ => b = b.store(Reg(2), Reg(0), 8 * i as i32),
+            _ => b = b.store(Reg(2), Reg(0), 8 * i),
         }
     }
     b.build()
@@ -75,7 +75,7 @@ fn hazard_program(rng: &mut StdRng) -> Vec<Instr> {
 
 fn pipeline_stall_question(k: usize, idx: &mut usize, rng: &mut StdRng) -> Question {
     let prog = hazard_program(rng);
-    let cfg = if k % 2 == 0 {
+    let cfg = if k.is_multiple_of(2) {
         ForwardingConfig::full()
     } else {
         ForwardingConfig::none()

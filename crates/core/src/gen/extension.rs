@@ -257,7 +257,7 @@ fn ooo_program(rng: &mut StdRng) -> Vec<Instr> {
     let n = rng.gen_range(5..9);
     for i in 0..n {
         b = match i % 3 {
-            0 => b.load(Reg(1 + (i % 3) as u8), Reg(0), 8 * i as i32),
+            0 => b.load(Reg(1 + (i % 3) as u8), Reg(0), 8 * i),
             1 => b.add(Reg(4 + (i % 4) as u8), Reg(1), Reg(2)),
             _ => b.add(Reg(8 + (i % 4) as u8), Reg(9), Reg(10)),
         };

@@ -47,7 +47,7 @@ impl DatasetStats {
             token_counts.push(count_tokens(&q.prompt));
         }
         let mut by_visual: Vec<(VisualKind, usize)> = by_visual.into_iter().collect();
-        by_visual.sort_by(|a, b| b.1.cmp(&a.1));
+        by_visual.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
         DatasetStats {
             total: bench.len(),
             multiple_choice: mc,

@@ -12,6 +12,14 @@
 //!   an edited question misses rather than serving a stale answer),
 //! * the downsampling factor of the resolution study,
 //! * the pass@k attempt index.
+//!
+//! **Invariant: only clean answers enter the cache.** Supervised (chaos)
+//! runs never insert a faulted response — a truncated, garbled or
+//! otherwise failed call must not poison future runs with corrupted
+//! answers. The supervisor's recovery loop only reaches insertion on a
+//! fault-free draw, and [`AnswerCache::insert`] debug-asserts that the
+//! text carries no corruption markers (see
+//! [`fault::is_corrupted_text`](crate::fault::is_corrupted_text)).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -110,7 +118,7 @@ impl AnswerCache {
 
     /// Looks up an answer, counting a hit or miss.
     pub fn lookup(&self, key: &CacheKey) -> Option<CachedAnswer> {
-        let found = self.entries.read().expect("cache lock").get(key).cloned();
+        let found = read_lock(&self.entries).get(key).cloned();
         match found {
             Some(a) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -125,26 +133,27 @@ impl AnswerCache {
 
     /// Stores an answer (last write wins; all writers compute identical
     /// values for a key, so races are benign).
+    ///
+    /// Callers must only insert *clean* (non-faulted) answers — see the
+    /// module-level invariant. Debug builds assert it.
     pub fn insert(&self, key: CacheKey, answer: CachedAnswer) {
-        self.entries
-            .write()
-            .expect("cache lock")
-            .insert(key, answer);
+        debug_assert!(
+            !crate::fault::is_corrupted_text(&answer.text),
+            "cache invariant violated: faulted answer for {key:?}: {:?}",
+            answer.text
+        );
+        write_lock(&self.entries).insert(key, answer);
     }
 
     /// Removes one entry; returns whether it existed.
     pub fn invalidate(&self, key: &CacheKey) -> bool {
-        self.entries
-            .write()
-            .expect("cache lock")
-            .remove(key)
-            .is_some()
+        write_lock(&self.entries).remove(key).is_some()
     }
 
     /// Drops every entry for one model fingerprint (e.g. after a
     /// recalibration); returns how many were removed.
     pub fn invalidate_model(&self, model_fingerprint: u64) -> usize {
-        let mut map = self.entries.write().expect("cache lock");
+        let mut map = write_lock(&self.entries);
         let before = map.len();
         map.retain(|k, _| k.model_fingerprint != model_fingerprint);
         before - map.len()
@@ -152,12 +161,12 @@ impl AnswerCache {
 
     /// Drops everything.
     pub fn clear(&self) {
-        self.entries.write().expect("cache lock").clear();
+        write_lock(&self.entries).clear();
     }
 
     /// Number of cached answers.
     pub fn len(&self) -> usize {
-        self.entries.read().expect("cache lock").len()
+        read_lock(&self.entries).len()
     }
 
     /// Whether the cache holds no answers.
@@ -178,7 +187,7 @@ impl AnswerCache {
     /// Serialisable snapshot of the current contents, in deterministic
     /// key order.
     pub fn snapshot(&self) -> CacheSnapshot {
-        let map = self.entries.read().expect("cache lock");
+        let map = read_lock(&self.entries);
         let mut entries: Vec<(CacheKey, CachedAnswer)> =
             map.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
@@ -189,13 +198,29 @@ impl AnswerCache {
     pub fn from_snapshot(snapshot: CacheSnapshot) -> Self {
         let cache = AnswerCache::new();
         {
-            let mut map = cache.entries.write().expect("cache lock");
+            let mut map = write_lock(&cache.entries);
             for (k, v) in snapshot.entries {
                 map.insert(k, v);
             }
         }
         cache
     }
+}
+
+/// Poison-tolerant read lock: a panic caught by the supervised
+/// executor's `catch_unwind` must not cascade into every later cache
+/// access. Entries are always internally consistent (each insert is a
+/// single map operation), so recovering the guard is sound.
+fn read_lock<K, V>(lock: &RwLock<HashMap<K, V>>) -> std::sync::RwLockReadGuard<'_, HashMap<K, V>> {
+    lock.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Poison-tolerant write lock; see [`read_lock`].
+fn write_lock<K, V>(
+    lock: &RwLock<HashMap<K, V>>,
+) -> std::sync::RwLockWriteGuard<'_, HashMap<K, V>> {
+    lock.write()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// Point-in-time, order-stable copy of a cache for persistence.
@@ -243,6 +268,75 @@ mod tests {
         edited.prompt.push_str(" (rev 2)");
         assert_ne!(prompt_hash(q), prompt_hash(&edited));
         assert_ne!(CacheKey::new(7, q, 1, 0), CacheKey::new(7, &edited, 1, 0));
+    }
+
+    #[test]
+    fn faulted_attempt_never_cached_recovered_success_is() {
+        // A fault on recovery attempt 0 followed by success on attempt 1
+        // must cache only the clean success — the invariant the
+        // supervisor's recovery loop upholds.
+        use crate::fault::FaultPlan;
+        use crate::supervisor::{RecoveryPolicy, Supervisor};
+
+        let bench = ChipVqa::standard();
+        let pipe = VlmPipeline::new(ModelZoo::gpt4o());
+        let cache = AnswerCache::new();
+
+        // find a question whose attempt-0 draw faults (recoverably) and
+        // whose attempt-1 draw is clean under this plan
+        let sup = Supervisor::new(FaultPlan {
+            truncate_rate: 0.45,
+            ..FaultPlan::none()
+        })
+        .with_recovery(RecoveryPolicy {
+            max_retries: 1,
+            ..RecoveryPolicy::default()
+        });
+        let fp = pipe.fingerprint();
+        let recovered = bench
+            .iter()
+            .find(|q| {
+                use crate::fault::{CallKey, CallSite};
+                let draw = |recovery| {
+                    crate::fault::FaultInjector::new(sup.plan().clone()).draw(CallKey {
+                        fingerprint: fp,
+                        question_id: &q.id,
+                        site: CallSite::Inference,
+                        attempt: 0,
+                        recovery,
+                    })
+                };
+                draw(0).is_some() && draw(1).is_none()
+            })
+            .expect("some question faults once then recovers");
+
+        let answer = sup
+            .infer(&pipe, recovered, 1, 0, Some(&cache))
+            .expect("recovers on attempt 1");
+        assert_eq!(cache.len(), 1, "only the clean success is cached");
+        assert!(!crate::fault::is_corrupted_text(&answer.text));
+        let hit = cache
+            .lookup(&CacheKey::new(fp, recovered, 1, 0))
+            .expect("cached under the call key");
+        assert_eq!(hit.text, pipe.infer(recovered, 1, 0).text, "pristine text");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn corrupted_insert_trips_the_invariant_assertion() {
+        let bench = ChipVqa::standard();
+        let q = &bench.questions()[0];
+        let cache = AnswerCache::new();
+        let key = CacheKey::new(1, q, 1, 0);
+        let corrupted = CachedAnswer {
+            text: format!("unfinished ans{}", crate::fault::TRUNCATION_MARKER),
+            path: chipvqa_models::backbone::AnswerPath::Failed,
+            solve_probability: 0.0,
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.insert(key, corrupted)
+        }));
+        assert!(result.is_err(), "debug assertion must reject faulted text");
     }
 
     #[test]

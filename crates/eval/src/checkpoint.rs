@@ -13,6 +13,13 @@
 //! models, a different benchmark revision, or different options is
 //! rejected with a [`CheckpointError`] instead of silently blending
 //! incompatible partial results.
+//!
+//! Supervised (chaos) runs additionally record **quarantined shards** —
+//! shards whose worker caught a panic. Their (degraded) outcomes still
+//! enter the merged report, but the quarantine list survives in the
+//! checkpoint so a driver can call
+//! [`Checkpoint::requeue_quarantined`] after fixing the environment and
+//! resume: only the poisoned shards re-run.
 
 use std::fmt;
 
@@ -25,6 +32,7 @@ use crate::executor::internal::{merge_from_pairs, run_selected, shard_keys, Shar
 use crate::executor::ParallelExecutor;
 use crate::harness::{EvalOptions, EvalReport, QuestionOutcome};
 use crate::judge::Judge;
+use crate::supervisor::EvalError;
 
 /// Outcomes of one completed shard.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -46,6 +54,9 @@ pub struct Checkpoint {
     pub options: EvalOptions,
     /// Completed shards, in completion order.
     pub completed: Vec<ShardResult>,
+    /// Shards whose worker caught a panic (their outcomes are recorded,
+    /// degraded). Candidates for [`Checkpoint::requeue_quarantined`].
+    pub quarantined: Vec<ShardKey>,
 }
 
 /// Why a checkpoint cannot drive a resume.
@@ -112,6 +123,7 @@ impl Checkpoint {
             bench_hash: bench_hash(bench),
             options,
             completed: Vec::new(),
+            quarantined: Vec::new(),
         }
     }
 
@@ -138,7 +150,27 @@ impl Checkpoint {
                 return Err(CheckpointError::UnknownShard(done.key));
             }
         }
+        for key in &self.quarantined {
+            if !plan.contains(key) {
+                return Err(CheckpointError::UnknownShard(*key));
+            }
+        }
         Ok(())
+    }
+
+    /// Drops every quarantined shard's recorded outcomes so the next
+    /// resume re-executes them (after the driver fixed whatever crashed
+    /// the workers). Returns how many shards were requeued.
+    pub fn requeue_quarantined(&mut self) -> usize {
+        let quarantined = std::mem::take(&mut self.quarantined);
+        let before = self.completed.len();
+        self.completed.retain(|d| !quarantined.contains(&d.key));
+        before - self.completed.len()
+    }
+
+    /// Shards currently quarantined.
+    pub fn quarantined_shards(&self) -> usize {
+        self.quarantined.len()
     }
 
     /// Number of completed shards.
@@ -194,6 +226,15 @@ impl ParallelExecutor {
         if !batch.is_empty() {
             let results = run_selected(self, pipes, bench, options, judge, batch);
             for (key, outcomes) in batch.iter().zip(results) {
+                // a caught worker panic quarantines the shard: results are
+                // recorded (degraded) but flagged for retry-on-resume
+                if outcomes
+                    .iter()
+                    .any(|o| o.error == Some(EvalError::WorkerPanic))
+                    && !checkpoint.quarantined.contains(key)
+                {
+                    checkpoint.quarantined.push(*key);
+                }
                 checkpoint.completed.push(ShardResult {
                     key: *key,
                     outcomes,

@@ -17,9 +17,16 @@
 //!   [`NoisyJudge`](crate::noisy::NoisyJudge)) several times per verdict
 //!   and takes the majority, with seeded exponential backoff between
 //!   attempts. The default policy (one attempt, no backoff) reproduces
-//!   single-shot judging bit-for-bit.
+//!   single-shot judging bit-for-bit;
+//! * a [`Supervisor`] that hardens the run against infrastructure
+//!   failure: per-call deadlines, bounded retries, a per-model circuit
+//!   breaker, and panic isolation (`catch_unwind` around each question,
+//!   so one poisoned question quarantines its shard instead of aborting
+//!   the run). With the all-zero [`FaultPlan`](crate::fault::FaultPlan)
+//!   the supervised path is byte-identical to the unsupervised one.
 
 use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Mutex};
 
 use chipvqa_core::question::Question;
@@ -31,6 +38,7 @@ use serde::{Deserialize, Serialize};
 use crate::cache::{AnswerCache, CacheKey, CachedAnswer};
 use crate::harness::{EvalOptions, EvalReport, QuestionOutcome};
 use crate::judge::{Judge, RuleJudge};
+use crate::supervisor::{BreakerSchedule, EvalError, Supervisor};
 
 /// How many questions one shard covers. Small enough that 8 workers on
 /// one 142-question model all stay busy, large enough that shard
@@ -79,7 +87,7 @@ impl RetryPolicy {
         }
         let mut yes = u64::from(first);
         for attempt in 1..self.attempts {
-            self.backoff(question, attempt);
+            self.sleep_backoff(question, attempt);
             if judge.verdict(question, response, attempt) {
                 yes += 1;
             }
@@ -92,20 +100,29 @@ impl RetryPolicy {
         }
     }
 
-    fn backoff(&self, question: &Question, attempt: u64) {
+    pub(crate) fn sleep_backoff(&self, question: &Question, attempt: u64) {
         if self.backoff_base_ms == 0 {
             return;
         }
         let base = self.backoff_base_ms << (attempt - 1).min(16);
-        // seeded jitter in [0, base): deterministic per (seed, question,
-        // attempt), so reruns sleep identically
-        let mut h = self.seed ^ 0x9e37_79b9_7f4a_7c15;
-        for b in question.id.bytes().chain(attempt.to_le_bytes()) {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
-        let jitter = if base == 0 { 0 } else { h % base };
+        let jitter = seeded_jitter_ms(self.seed, &question.id, attempt, base);
         std::thread::sleep(std::time::Duration::from_millis(base + jitter));
+    }
+}
+
+/// Seeded jitter in `[0, base)`: deterministic per (seed, question,
+/// attempt), so reruns sleep identically. Shared by [`RetryPolicy`] and
+/// the [`Supervisor`]'s recovery backoff.
+pub(crate) fn seeded_jitter_ms(seed: u64, question_id: &str, attempt: u64, base: u64) -> u64 {
+    let mut h = seed ^ 0x9e37_79b9_7f4a_7c15;
+    for b in question_id.bytes().chain(attempt.to_le_bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    if base == 0 {
+        0
+    } else {
+        h % base
     }
 }
 
@@ -123,16 +140,18 @@ pub struct ParallelExecutor {
     workers: usize,
     retry: RetryPolicy,
     cache: Option<Arc<AnswerCache>>,
+    supervisor: Option<Arc<Supervisor>>,
 }
 
 impl ParallelExecutor {
     /// An executor with `workers` threads (clamped to at least one), no
-    /// cache, single-shot judging.
+    /// cache, single-shot judging, unsupervised execution.
     pub fn new(workers: usize) -> Self {
         ParallelExecutor {
             workers: workers.max(1),
             retry: RetryPolicy::default(),
             cache: None,
+            supervisor: None,
         }
     }
 
@@ -149,6 +168,15 @@ impl ParallelExecutor {
         self
     }
 
+    /// Attaches a [`Supervisor`]: per-call fault injection + recovery,
+    /// circuit breaking, and panic isolation. A supervisor whose fault
+    /// plan is all-zero leaves reports byte-identical to the
+    /// unsupervised path.
+    pub fn with_supervisor(mut self, supervisor: Supervisor) -> Self {
+        self.supervisor = Some(Arc::new(supervisor));
+        self
+    }
+
     /// Worker count.
     pub fn workers(&self) -> usize {
         self.workers
@@ -157,6 +185,11 @@ impl ParallelExecutor {
     /// The attached cache, if any.
     pub fn cache(&self) -> Option<&Arc<AnswerCache>> {
         self.cache.as_ref()
+    }
+
+    /// The attached supervisor, if any.
+    pub fn supervisor(&self) -> Option<&Arc<Supervisor>> {
+        self.supervisor.as_ref()
     }
 
     /// Evaluates one model with the default rule judge.
@@ -211,6 +244,17 @@ impl ParallelExecutor {
     ) -> Vec<Vec<QuestionOutcome>> {
         let workers = self.workers.min(shards.len()).max(1);
 
+        // Supervised runs obey a precomputed per-model breaker schedule —
+        // the sequential-order breaker trajectory, derived purely from
+        // the fault plan — so shed/attempt decisions cannot depend on
+        // worker count or steal order.
+        let schedules: Option<Vec<BreakerSchedule>> = self.supervisor.as_deref().map(|sup| {
+            pipes
+                .iter()
+                .map(|p| sup.breaker_schedule(p.fingerprint(), bench))
+                .collect()
+        });
+
         // Per-worker deques, round-robin seeded so early shards spread
         // across workers; idle workers steal from the back of others.
         let deques: Vec<Mutex<VecDeque<(usize, Shard)>>> =
@@ -224,12 +268,14 @@ impl ParallelExecutor {
 
         let mut slots: Vec<Option<Vec<QuestionOutcome>>> = vec![None; shards.len()];
         let cache = self.cache.as_deref();
+        let supervisor = self.supervisor.as_deref();
         let retry = self.retry;
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for me in 0..workers {
                 let deques = &deques;
+                let schedules = schedules.as_deref();
                 handles.push(scope.spawn(move || {
                     let mut done: Vec<(usize, Vec<QuestionOutcome>)> = Vec::new();
                     loop {
@@ -238,7 +284,21 @@ impl ParallelExecutor {
                         let pipe = &pipes[shard.model_idx];
                         let outcomes = bench.questions()[shard.q_start..shard.q_end]
                             .iter()
-                            .map(|q| eval_question(pipe, q, options, judge, &retry, cache))
+                            .enumerate()
+                            .map(|(offset, q)| match (supervisor, schedules) {
+                                (Some(sup), Some(schedules)) => eval_question_isolated(
+                                    pipe,
+                                    q,
+                                    options,
+                                    judge,
+                                    &retry,
+                                    cache,
+                                    sup,
+                                    &schedules[shard.model_idx],
+                                    shard.q_start + offset,
+                                ),
+                                _ => eval_question(pipe, q, options, judge, &retry, cache),
+                            })
                             .collect();
                         done.push((slot, outcomes));
                     }
@@ -322,10 +382,106 @@ fn eval_question(
         passed,
         response: first_response,
         path: first_path,
+        error: None,
     }
 }
 
-fn infer_cached(
+/// Supervised per-question evaluation with panic isolation: breaker
+/// sheds never run, injected (or genuine) worker panics are caught with
+/// `catch_unwind` and become a structured [`EvalError::WorkerPanic`]
+/// outcome — quarantining the question instead of aborting the run.
+#[allow(clippy::too_many_arguments)]
+fn eval_question_isolated(
+    pipe: &VlmPipeline,
+    q: &Question,
+    options: EvalOptions,
+    judge: &dyn Judge,
+    retry: &RetryPolicy,
+    cache: Option<&AnswerCache>,
+    sup: &Supervisor,
+    schedule: &BreakerSchedule,
+    question_index: usize,
+) -> QuestionOutcome {
+    if !schedule.attempts_question(question_index) {
+        return failed_outcome(q, String::new(), EvalError::BreakerOpen);
+    }
+    std::panic::catch_unwind(AssertUnwindSafe(|| {
+        eval_question_supervised(pipe, q, options, judge, retry, cache, sup)
+    }))
+    .unwrap_or_else(|_| failed_outcome(q, String::new(), EvalError::WorkerPanic))
+}
+
+/// The supervised mirror of [`eval_question`]: every inference and judge
+/// call goes through the supervisor's fault injection + recovery. The
+/// first terminal failure at any site aborts the question with a
+/// structured error (degraded truncated/garbled evidence is kept as the
+/// recorded response).
+fn eval_question_supervised(
+    pipe: &VlmPipeline,
+    q: &Question,
+    options: EvalOptions,
+    judge: &dyn Judge,
+    retry: &RetryPolicy,
+    cache: Option<&AnswerCache>,
+    sup: &Supervisor,
+) -> QuestionOutcome {
+    let fingerprint = pipe.fingerprint();
+    let mut passed = false;
+    let mut first_response = String::new();
+    let mut first_path = AnswerPath::Failed;
+    let mut error = None;
+    'attempts: for attempt in 0..options.attempts.max(1) {
+        match sup.infer(pipe, q, options.downsample, attempt, cache) {
+            Ok(answer) => {
+                if attempt == 0 {
+                    first_response = answer.text.clone();
+                    first_path = answer.path;
+                }
+                match sup.judged(judge, retry, fingerprint, q, &answer.text) {
+                    Ok(true) => {
+                        passed = true;
+                        break 'attempts;
+                    }
+                    Ok(false) => {}
+                    Err(e) => {
+                        error = Some(e);
+                        break 'attempts;
+                    }
+                }
+            }
+            Err((e, degraded)) => {
+                if attempt == 0 {
+                    if let Some(text) = degraded {
+                        first_response = text;
+                    }
+                }
+                error = Some(e);
+                break 'attempts;
+            }
+        }
+    }
+    QuestionOutcome {
+        id: q.id.clone(),
+        category: q.category,
+        passed: passed && error.is_none(),
+        response: first_response,
+        path: first_path,
+        error,
+    }
+}
+
+fn failed_outcome(q: &Question, response: String, error: EvalError) -> QuestionOutcome {
+    QuestionOutcome {
+        id: q.id.clone(),
+        category: q.category,
+        passed: false,
+        response,
+        path: AnswerPath::Failed,
+        error: Some(error),
+    }
+}
+
+pub(crate) fn infer_cached(
     pipe: &VlmPipeline,
     q: &Question,
     downsample: usize,
@@ -567,6 +723,105 @@ mod tests {
             }
         }
         assert!(seen.iter().flatten().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn supervised_zero_plan_is_byte_identical() {
+        use crate::fault::FaultPlan;
+        let bench = ChipVqa::standard();
+        let pipe = VlmPipeline::new(ModelZoo::llava_llama3());
+        let plain = ParallelExecutor::new(4).evaluate(&pipe, &bench, EvalOptions::default());
+        let supervised = ParallelExecutor::new(4)
+            .with_supervisor(Supervisor::new(FaultPlan::none()))
+            .evaluate(&pipe, &bench, EvalOptions::default());
+        assert_eq!(plain, supervised);
+        assert_eq!(
+            serde_json::to_string(&plain).expect("serializes"),
+            serde_json::to_string(&supervised).expect("serializes"),
+            "byte-identical, not just structurally equal"
+        );
+        assert!(!supervised.is_degraded());
+        assert_eq!(supervised.answered(), bench.len());
+    }
+
+    #[test]
+    fn chaos_run_is_worker_count_invariant_and_accounted() {
+        use crate::fault::{install_quiet_panic_hook, FaultPlan};
+        install_quiet_panic_hook();
+        let bench = ChipVqa::standard();
+        let pipe = VlmPipeline::new(ModelZoo::phi3_vision());
+        let sup = || Supervisor::new(FaultPlan::uniform(902, 0.03));
+        let reference = ParallelExecutor::new(1).with_supervisor(sup()).evaluate(
+            &pipe,
+            &bench,
+            EvalOptions::default(),
+        );
+        assert!(reference.is_degraded(), "3% x 6 kinds must hit something");
+        assert_eq!(
+            reference.answered() + reference.failed() + reference.breaker_skipped(),
+            bench.len(),
+            "accounting covers every question"
+        );
+        for workers in [2usize, 8] {
+            let par = ParallelExecutor::new(workers)
+                .with_supervisor(sup())
+                .evaluate(&pipe, &bench, EvalOptions::default());
+            assert_eq!(reference, par, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn broken_model_is_shed_without_contaminating_the_grid() {
+        use crate::fault::FaultPlan;
+        let bench = ChipVqa::standard();
+        let pipes: Vec<VlmPipeline> = [ModelZoo::gpt4o(), ModelZoo::fuyu_8b()]
+            .into_iter()
+            .map(VlmPipeline::new)
+            .collect();
+        let broken = pipes[1].fingerprint();
+        let exec = ParallelExecutor::new(4)
+            .with_supervisor(Supervisor::new(FaultPlan::none().with_broken_model(broken)));
+        let grid = exec.evaluate_grid(&pipes, &bench, EvalOptions::default(), &RuleJudge::new());
+
+        // the healthy model is untouched — byte-identical to a clean run
+        let clean = crate::harness::evaluate(&pipes[0], &bench, EvalOptions::default());
+        assert_eq!(grid[0], clean);
+
+        // the broken model is mostly shed by its breaker, explicitly
+        let report = &grid[1];
+        assert!(report.breaker_skipped() > bench.len() / 2);
+        assert_eq!(report.answered(), 0, "a dead backend answers nothing");
+        assert_eq!(
+            report.answered() + report.failed() + report.breaker_skipped(),
+            bench.len()
+        );
+        assert_eq!(report.overall(), 0.0);
+        let breakdown = report.failure_breakdown();
+        assert!(breakdown.contains_key("transient"));
+        assert!(breakdown.contains_key("breaker-open"));
+    }
+
+    #[test]
+    fn injected_panics_are_quarantined_not_fatal() {
+        use crate::fault::{install_quiet_panic_hook, FaultPlan};
+        use crate::supervisor::EvalError;
+        install_quiet_panic_hook();
+        let bench = ChipVqa::standard();
+        let pipe = VlmPipeline::new(ModelZoo::paligemma());
+        let exec = ParallelExecutor::new(4).with_supervisor(Supervisor::new(FaultPlan {
+            panic_rate: 0.10,
+            ..FaultPlan::none()
+        }));
+        // must complete despite ~14 worker crashes
+        let report = exec.evaluate(&pipe, &bench, EvalOptions::default());
+        let panics = report
+            .outcomes
+            .iter()
+            .filter(|o| o.error == Some(EvalError::WorkerPanic))
+            .count();
+        assert!(panics > 0, "panics were injected");
+        assert_eq!(report.outcomes.len(), bench.len(), "no question lost");
+        assert_eq!(report.failed(), panics);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use chipvqa_models::VlmPipeline;
 use serde::{Deserialize, Serialize};
 
 use crate::judge::{Judge, RuleJudge};
+use crate::supervisor::EvalError;
 
 /// Evaluation options.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -44,6 +45,18 @@ pub struct QuestionOutcome {
     pub response: String,
     /// How the first attempt came about (solved / guessed / failed).
     pub path: AnswerPath,
+    /// Terminal infrastructure failure, if the question has no
+    /// trustworthy answer (`None` = the model genuinely answered). Set
+    /// only by supervised execution; see
+    /// [`EvalError`](crate::supervisor::EvalError).
+    pub error: Option<EvalError>,
+}
+
+impl QuestionOutcome {
+    /// Whether the model actually answered (no infrastructure failure).
+    pub fn answered(&self) -> bool {
+        self.error.is_none()
+    }
 }
 
 /// Aggregated evaluation results for one model on one collection.
@@ -112,6 +125,73 @@ impl EvalReport {
         }
         map
     }
+
+    // --- coverage & failure accounting (degraded-report semantics) ---
+
+    /// Questions the model actually answered (no terminal failure).
+    pub fn answered(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.answered()).count()
+    }
+
+    /// Questions that terminally failed in infrastructure (excluding
+    /// breaker sheds).
+    pub fn failed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.error, Some(e) if e != EvalError::BreakerOpen))
+            .count()
+    }
+
+    /// Questions shed unattempted by the model's open circuit breaker.
+    pub fn breaker_skipped(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.error == Some(EvalError::BreakerOpen))
+            .count()
+    }
+
+    /// Fraction of the collection with a trustworthy answer. 1.0 means
+    /// the report is complete; anything lower means it is *degraded* and
+    /// its pass rates undercount the model.
+    pub fn coverage(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 1.0;
+        }
+        self.answered() as f64 / self.outcomes.len() as f64
+    }
+
+    /// Whether any outcome carries a terminal failure.
+    pub fn is_degraded(&self) -> bool {
+        self.outcomes.iter().any(|o| o.error.is_some())
+    }
+
+    /// Terminal failures bucketed by taxonomy label, e.g.
+    /// `{"timeout": 3, "breaker-open": 17}`.
+    pub fn failure_breakdown(&self) -> BTreeMap<&'static str, usize> {
+        let mut map = BTreeMap::new();
+        for o in &self.outcomes {
+            if let Some(e) = o.error {
+                *map.entry(e.label()).or_insert(0) += 1;
+            }
+        }
+        map
+    }
+
+    /// Per-category `(answered, failed, breaker-skipped)` counts — the
+    /// accounting shown in degraded Table II footers. The three always
+    /// sum to the category's question count.
+    pub fn category_accounting(&self) -> BTreeMap<Category, (usize, usize, usize)> {
+        let mut map: BTreeMap<Category, (usize, usize, usize)> = BTreeMap::new();
+        for o in &self.outcomes {
+            let e = map.entry(o.category).or_default();
+            match o.error {
+                None => e.0 += 1,
+                Some(EvalError::BreakerOpen) => e.2 += 1,
+                Some(_) => e.1 += 1,
+            }
+        }
+        map
+    }
 }
 
 /// Runs a model over a collection with the default rule judge.
@@ -148,6 +228,7 @@ pub fn evaluate_with_judge(
             passed,
             response: first_response,
             path: first_path,
+            error: None,
         });
     }
     EvalReport {

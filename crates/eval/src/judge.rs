@@ -12,6 +12,14 @@ use crate::normalize::{extract_choice_letter, extract_number, normalize_text};
 ///
 /// Judges are `Sync` so the parallel executor can share one judge across
 /// worker threads.
+///
+/// Under supervised execution every [`Judge::verdict`] call is treated
+/// as fallible infrastructure (a remote LLM judge can time out or be
+/// rate-limited): the [`Supervisor`](crate::supervisor::Supervisor)
+/// wraps each call with fault injection, deadline and bounded retries,
+/// and a verdict that exhausts recovery fails the question with a
+/// structured [`EvalError`](crate::supervisor::EvalError) instead of
+/// silently scoring it wrong.
 pub trait Judge: Sync {
     /// Returns `true` when `response` answers `question` correctly.
     fn is_correct(&self, question: &Question, response: &str) -> bool;

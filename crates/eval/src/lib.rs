@@ -21,6 +21,16 @@
 //! (hits skip inference) and judge retry with majority vote;
 //! [`checkpoint`] adds kill/resume for grid evaluations.
 //!
+//! For *in-run* resilience, [`fault`] provides a deterministic, seeded
+//! fault-injection harness (timeouts, truncated/garbled responses,
+//! rate-limit bursts, transient errors, worker panics) and
+//! [`supervisor`] the recovery side: deadlines, bounded jittered
+//! retries, per-model circuit breakers, and panic isolation. Failures
+//! that exhaust recovery become a structured
+//! [`EvalError`](supervisor::EvalError) on the outcome, and reports
+//! carry explicit coverage/failure accounting so a degraded report is
+//! visibly degraded rather than silently wrong.
+//!
 //! # Example
 //!
 //! ```
@@ -40,16 +50,22 @@
 pub mod cache;
 pub mod checkpoint;
 pub mod executor;
+pub mod fault;
 pub mod harness;
 pub mod judge;
 pub mod noisy;
 pub mod normalize;
 pub mod report;
 pub mod resolution;
+pub mod supervisor;
 
 pub use cache::{AnswerCache, CacheKey, CacheSnapshot, CachedAnswer};
 pub use checkpoint::{Checkpoint, CheckpointError, ShardResult};
 pub use executor::{ParallelExecutor, RetryPolicy};
+pub use fault::{FaultInjector, FaultKind, FaultPlan};
 pub use harness::{evaluate, EvalOptions, EvalReport};
 pub use judge::{Judge, RuleJudge};
 pub use noisy::{HybridJudge, NoisyJudge};
+pub use supervisor::{
+    BreakerConfig, BreakerState, CircuitBreaker, EvalError, RecoveryPolicy, Supervisor,
+};

@@ -40,10 +40,11 @@ pub fn extract_choice_letter(s: &str) -> Option<char> {
     // leading "b)", "b.", "b:" or a lone letter
     let first = lower.split_whitespace().next()?;
     let head: Vec<char> = first.chars().collect();
-    if head.len() <= 2 && ('a'..='d').contains(&head[0]) {
-        if head.len() == 1 || matches!(head[1], ')' | '.' | ':') {
-            return Some(head[0]);
-        }
+    if head.len() <= 2
+        && ('a'..='d').contains(&head[0])
+        && (head.len() == 1 || matches!(head[1], ')' | '.' | ':'))
+    {
+        return Some(head[0]);
     }
     // "answer is b" / "answer: b"
     if let Some(pos) = lower.find("answer") {

@@ -1,5 +1,11 @@
 //! Table rendering: regenerates the paper's Table II layout from
 //! evaluation reports.
+//!
+//! Degraded-report semantics: when any row carries terminal
+//! infrastructure failures (a chaos run, a flaky backend), the table
+//! grows an explicit `DEGRADED RUN` footer with per-model and
+//! per-category answered/failed/breaker-skipped accounting. A clean run
+//! renders byte-identically to the pre-supervision layout.
 
 use std::fmt;
 
@@ -43,6 +49,14 @@ impl Table2 {
         }
         rows.iter().map(|r| r.standard.overall()).sum::<f64>() / rows.len() as f64
     }
+
+    /// Whether any row (standard or challenge) carries terminal
+    /// infrastructure failures.
+    pub fn is_degraded(&self) -> bool {
+        self.rows
+            .iter()
+            .any(|r| r.standard.is_degraded() || r.challenge.is_degraded())
+    }
 }
 
 impl fmt::Display for Table2 {
@@ -71,6 +85,47 @@ impl fmt::Display for Table2 {
                 write!(f, " {all:>7.2}")?;
             }
             writeln!(f)?;
+        }
+        if self.is_degraded() {
+            writeln!(f)?;
+            writeln!(
+                f,
+                "DEGRADED RUN — pass rates above undercount models with failures."
+            )?;
+            writeln!(
+                f,
+                "{:<16} {:>4} {:>9} {:>7} {:>7} {:>9}  failures by category",
+                "Model", "set", "answered", "failed", "skipped", "coverage"
+            )?;
+            for row in &self.rows {
+                for (set, report) in [("std", &row.standard), ("chal", &row.challenge)] {
+                    if !report.is_degraded() {
+                        continue;
+                    }
+                    let acct = report.category_accounting();
+                    let by_cat: Vec<String> = Category::ALL
+                        .iter()
+                        .filter_map(|c| {
+                            let &(_, failed, skipped) = acct.get(c)?;
+                            if failed + skipped == 0 {
+                                return None;
+                            }
+                            Some(format!("{}:{}+{}", c.label(), failed, skipped))
+                        })
+                        .collect();
+                    writeln!(
+                        f,
+                        "{:<16} {:>4} {:>9} {:>7} {:>7} {:>8.1}%  {}",
+                        report.model,
+                        set,
+                        report.answered(),
+                        report.failed(),
+                        report.breaker_skipped(),
+                        report.coverage() * 100.0,
+                        by_cat.join(" ")
+                    )?;
+                }
+            }
         }
         Ok(())
     }
@@ -106,6 +161,40 @@ mod tests {
         assert!(s.contains("w/ Multi-Choice"));
         assert!(s.contains("w/o Multi-Choice"));
         assert!(s.contains("GPT4o"));
+    }
+
+    #[test]
+    fn clean_table_has_no_degraded_footer() {
+        let t = tiny_table();
+        assert!(!t.is_degraded());
+        assert!(!t.to_string().contains("DEGRADED RUN"));
+    }
+
+    #[test]
+    fn degraded_table_renders_the_accounting_footer() {
+        use crate::executor::ParallelExecutor;
+        use crate::fault::FaultPlan;
+        use crate::supervisor::Supervisor;
+
+        let bench = ChipVqa::standard();
+        let challenge = bench.challenge();
+        let pipe = VlmPipeline::new(ModelZoo::fuyu_8b());
+        let broken = FaultPlan::none().with_broken_model(pipe.fingerprint());
+        let exec = ParallelExecutor::new(2).with_supervisor(Supervisor::new(broken));
+        let row = ModelRow {
+            standard: exec.evaluate(&pipe, &bench, EvalOptions::default()),
+            challenge: exec.evaluate(&pipe, &challenge, EvalOptions::default()),
+        };
+        let t = Table2 { rows: vec![row] };
+        assert!(t.is_degraded());
+        let s = t.to_string();
+        assert!(s.contains("DEGRADED RUN"));
+        assert!(s.contains("failures by category"));
+        // both splits of the dead model appear in the footer
+        assert!(s.contains(" std "));
+        assert!(s.contains(" chal "));
+        // transient failures + breaker sheds show up as cat:failed+skipped
+        assert!(s.contains('+'), "per-category failed+skipped tokens: {s}");
     }
 
     #[test]

@@ -1,0 +1,740 @@
+//! Supervised execution: deadlines, bounded retries, circuit breakers.
+//!
+//! [`Supervisor`] sits between the executor's per-question loop and the
+//! fallible outside world ([`VlmPipeline::infer`] and [`Judge::verdict`]
+//! calls, with faults injected by a [`FaultInjector`]). It enforces a
+//! per-call deadline, retries transient failures with bounded, seeded,
+//! jittered backoff (the same jitter stream as
+//! [`RetryPolicy`](crate::executor::RetryPolicy)), and runs one
+//! three-state [`CircuitBreaker`] per model so a persistently failing
+//! backend is shed instead of burning the whole grid's time budget.
+//!
+//! Failures that exhaust recovery become a structured [`EvalError`]
+//! recorded on the question's outcome — a degraded report says exactly
+//! *what* it is missing and *why*, instead of being silently wrong.
+//!
+//! # Determinism
+//!
+//! Breaker decisions are precomputed as a [`BreakerSchedule`] by
+//! replaying each model's *first-attempt health* (a pure function of the
+//! fault plan) over the benchmark in question order. Workers consult the
+//! schedule instead of mutating shared breaker state, so reports are
+//! identical for any worker count and any shard-stealing order; the
+//! schedule has exactly the semantics a sequential run's breaker would.
+
+use std::panic::panic_any;
+
+use chipvqa_core::question::Question;
+use chipvqa_core::ChipVqa;
+use chipvqa_models::VlmPipeline;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{AnswerCache, CachedAnswer};
+use crate::executor::{seeded_jitter_ms, RetryPolicy};
+use crate::fault::{CallKey, CallSite, FaultInjector, FaultKind, FaultPlan, InjectedPanic};
+use crate::judge::Judge;
+
+/// Terminal failure taxonomy: why a question has no trustworthy answer.
+///
+/// Every variant maps to a [`FaultKind`] that exhausted recovery, plus
+/// [`EvalError::BreakerOpen`] for questions the circuit breaker shed
+/// without attempting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvalError {
+    /// Every attempt exceeded the supervisor's deadline.
+    Timeout {
+        /// The deadline that was enforced, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// Every attempt returned a truncated response.
+    Truncated,
+    /// Every attempt returned a garbled response.
+    Garbled,
+    /// Every attempt was rejected by rate limiting.
+    RateLimited,
+    /// Every attempt hit a transient error.
+    Transient,
+    /// The worker evaluating the question crashed (caught and isolated).
+    WorkerPanic,
+    /// The model's circuit breaker was open; the question was never
+    /// attempted.
+    BreakerOpen,
+}
+
+impl EvalError {
+    /// Stable short label for failure-accounting tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EvalError::Timeout { .. } => "timeout",
+            EvalError::Truncated => "truncated",
+            EvalError::Garbled => "garbled",
+            EvalError::RateLimited => "rate-limited",
+            EvalError::Transient => "transient",
+            EvalError::WorkerPanic => "worker-panic",
+            EvalError::BreakerOpen => "breaker-open",
+        }
+    }
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Timeout { deadline_ms } => {
+                write!(f, "deadline of {deadline_ms} ms exceeded on every attempt")
+            }
+            EvalError::Truncated => write!(f, "response truncated on every attempt"),
+            EvalError::Garbled => write!(f, "response garbled on every attempt"),
+            EvalError::RateLimited => write!(f, "rate-limited on every attempt"),
+            EvalError::Transient => write!(f, "transient errors exhausted retries"),
+            EvalError::WorkerPanic => write!(f, "worker panicked; question quarantined"),
+            EvalError::BreakerOpen => write!(f, "skipped: model circuit breaker open"),
+        }
+    }
+}
+
+/// Bounded retry behaviour for one supervised call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Retries after the first attempt (so a call is made at most
+    /// `max_retries + 1` times).
+    pub max_retries: u64,
+    /// Base backoff before retry `r`, growing as `base << (r - 1)` with
+    /// seeded jitter (the [`RetryPolicy`] stream). Zero disables
+    /// sleeping — right for simulated faults and tests.
+    pub backoff_base_ms: u64,
+    /// Seed for the backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 2,
+            backoff_base_ms: 0,
+            seed: 0,
+        }
+    }
+}
+
+/// Circuit breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerConfig {
+    /// Consecutive terminal failures that open the breaker.
+    pub failure_threshold: u32,
+    /// Questions shed while open before a half-open probe is allowed.
+    pub cooldown: u32,
+    /// Consecutive successful probes that close the breaker again.
+    pub probe_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown: 8,
+            probe_successes: 2,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// Panics on degenerate configurations.
+    pub fn validate(&self) {
+        assert!(self.failure_threshold >= 1, "threshold must be >= 1");
+        assert!(self.cooldown >= 1, "cooldown must be >= 1");
+        assert!(self.probe_successes >= 1, "probe count must be >= 1");
+    }
+}
+
+/// The three breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Calls flow normally; consecutive failures are counted.
+    Closed,
+    /// Calls are shed without being attempted.
+    Open,
+    /// Trial calls probe whether the backend recovered.
+    HalfOpen,
+}
+
+/// Per-model three-state circuit breaker (closed → open → half-open).
+///
+/// Driven in *question order* — [`allow`](CircuitBreaker::allow) is asked
+/// once per question, then exactly one of
+/// [`record_success`](CircuitBreaker::record_success) /
+/// [`record_failure`](CircuitBreaker::record_failure) reports how the
+/// attempt went.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    shed_while_open: u32,
+    probe_streak: u32,
+    trips: u32,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        config.validate();
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            shed_while_open: 0,
+            probe_streak: 0,
+            trips: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// How many times the breaker has opened.
+    pub fn trips(&self) -> u32 {
+        self.trips
+    }
+
+    /// Whether the next call may proceed. While open, sheds `cooldown`
+    /// calls, then transitions to half-open and lets a probe through.
+    pub fn allow(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if self.shed_while_open >= self.config.cooldown {
+                    self.state = BreakerState::HalfOpen;
+                    self.probe_streak = 0;
+                    true
+                } else {
+                    self.shed_while_open += 1;
+                    false
+                }
+            }
+        }
+    }
+
+    /// Reports a successful (non-terminal-failure) attempt.
+    pub fn record_success(&mut self) {
+        match self.state {
+            BreakerState::Closed => self.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                self.probe_streak += 1;
+                if self.probe_streak >= self.config.probe_successes {
+                    self.state = BreakerState::Closed;
+                    self.consecutive_failures = 0;
+                }
+            }
+            BreakerState::Open => unreachable!("open breaker allowed no call"),
+        }
+    }
+
+    /// Reports a terminally failed attempt.
+    pub fn record_failure(&mut self) {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.config.failure_threshold {
+                    self.trip();
+                }
+            }
+            BreakerState::HalfOpen => self.trip(),
+            BreakerState::Open => unreachable!("open breaker allowed no call"),
+        }
+    }
+
+    fn trip(&mut self) {
+        self.state = BreakerState::Open;
+        self.shed_while_open = 0;
+        self.probe_streak = 0;
+        self.trips += 1;
+    }
+}
+
+/// Precomputed breaker decisions for one model over one benchmark —
+/// the sequential-order breaker trajectory, shared read-only by all
+/// workers (see the module docs on determinism).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerSchedule {
+    attempts: Vec<bool>,
+    trips: u32,
+    final_state: BreakerState,
+}
+
+impl BreakerSchedule {
+    /// Whether question `index` is attempted (false = shed by breaker).
+    pub fn attempts_question(&self, index: usize) -> bool {
+        self.attempts.get(index).copied().unwrap_or(true)
+    }
+
+    /// How many questions the breaker shed.
+    pub fn shed_count(&self) -> usize {
+        self.attempts.iter().filter(|&&a| !a).count()
+    }
+
+    /// How many times the breaker opened over the run.
+    pub fn trips(&self) -> u32 {
+        self.trips
+    }
+
+    /// Breaker state after the last question.
+    pub fn final_state(&self) -> BreakerState {
+        self.final_state
+    }
+}
+
+/// Supervised-execution policy: fault injection (for chaos runs),
+/// deadline, recovery retries and circuit breaking. Attach to a
+/// [`ParallelExecutor`](crate::executor::ParallelExecutor) via
+/// [`with_supervisor`](crate::executor::ParallelExecutor::with_supervisor).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Supervisor {
+    injector: FaultInjector,
+    recovery: RecoveryPolicy,
+    deadline_ms: u64,
+    breaker: BreakerConfig,
+}
+
+impl Default for Supervisor {
+    fn default() -> Self {
+        Supervisor::new(FaultPlan::none())
+    }
+}
+
+impl Supervisor {
+    /// A supervisor injecting `plan`, with default recovery (2 retries,
+    /// no sleep), a 30 s deadline and default breaker tuning.
+    pub fn new(plan: FaultPlan) -> Self {
+        Supervisor {
+            injector: FaultInjector::new(plan),
+            recovery: RecoveryPolicy::default(),
+            deadline_ms: 30_000,
+            breaker: BreakerConfig::default(),
+        }
+    }
+
+    /// Sets the retry policy.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Sets the per-call deadline recorded on timeout failures.
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = deadline_ms;
+        self
+    }
+
+    /// Sets the circuit-breaker tuning.
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        breaker.validate();
+        self.breaker = breaker;
+        self
+    }
+
+    /// The fault plan being injected.
+    pub fn plan(&self) -> &FaultPlan {
+        self.injector.plan()
+    }
+
+    /// The recovery policy.
+    pub fn recovery(&self) -> RecoveryPolicy {
+        self.recovery
+    }
+
+    /// The breaker tuning.
+    pub fn breaker_config(&self) -> BreakerConfig {
+        self.breaker
+    }
+
+    /// First-attempt health of one `(model, question)` cell: the terminal
+    /// error the supervised first pass attempt would suffer, or `None`
+    /// if it recovers. A pure function of the fault plan — no inference
+    /// runs — which is what lets breaker trajectories be precomputed.
+    pub fn question_health(&self, fingerprint: u64, question_id: &str) -> Option<EvalError> {
+        for site in [CallSite::Inference, CallSite::Judge] {
+            let mut last = None;
+            for recovery in 0..=self.recovery.max_retries {
+                let drawn = self.injector.draw(CallKey {
+                    fingerprint,
+                    question_id,
+                    site,
+                    attempt: 0,
+                    recovery,
+                });
+                match drawn {
+                    None => {
+                        last = None;
+                        break;
+                    }
+                    Some(FaultKind::WorkerPanic) => return Some(EvalError::WorkerPanic),
+                    Some(kind) => last = Some(kind),
+                }
+            }
+            if let Some(kind) = last {
+                return Some(self.error_for(kind));
+            }
+        }
+        None
+    }
+
+    /// Replays the breaker over `bench` in question order for one model,
+    /// producing the deterministic shed/attempt schedule workers obey.
+    pub fn breaker_schedule(&self, fingerprint: u64, bench: &ChipVqa) -> BreakerSchedule {
+        if self.plan().is_zero() {
+            return BreakerSchedule {
+                attempts: vec![true; bench.len()],
+                trips: 0,
+                final_state: BreakerState::Closed,
+            };
+        }
+        let mut breaker = CircuitBreaker::new(self.breaker);
+        let mut attempts = Vec::with_capacity(bench.len());
+        for q in bench.iter() {
+            if !breaker.allow() {
+                attempts.push(false);
+                continue;
+            }
+            attempts.push(true);
+            match self.question_health(fingerprint, &q.id) {
+                None => breaker.record_success(),
+                Some(_) => breaker.record_failure(),
+            }
+        }
+        BreakerSchedule {
+            attempts,
+            trips: breaker.trips(),
+            final_state: breaker.state(),
+        }
+    }
+
+    /// Supervised inference: the faultable, retried, cache-aware call.
+    /// On success returns the *clean* answer (and only clean answers are
+    /// ever inserted into the cache); on terminal failure returns the
+    /// error plus any degraded response text (truncated/garbled evidence)
+    /// for the report.
+    ///
+    /// An injected [`FaultKind::WorkerPanic`] genuinely panics — the
+    /// executor isolates it with `catch_unwind`.
+    pub(crate) fn infer(
+        &self,
+        pipe: &VlmPipeline,
+        question: &Question,
+        downsample: usize,
+        attempt: u64,
+        cache: Option<&AnswerCache>,
+    ) -> Result<CachedAnswer, (EvalError, Option<String>)> {
+        let fingerprint = pipe.fingerprint();
+        let mut last: Option<(FaultKind, Option<String>)> = None;
+        for recovery in 0..=self.recovery.max_retries {
+            if recovery > 0 {
+                self.backoff(&question.id, recovery);
+            }
+            let key = CallKey {
+                fingerprint,
+                question_id: &question.id,
+                site: CallSite::Inference,
+                attempt,
+                recovery,
+            };
+            match self.injector.draw(key) {
+                None => {
+                    return Ok(crate::executor::infer_cached(
+                        pipe, question, downsample, attempt, cache,
+                    ));
+                }
+                Some(FaultKind::WorkerPanic) => panic_any(InjectedPanic {
+                    fingerprint,
+                    question_id: question.id.clone(),
+                }),
+                Some(kind) => {
+                    // Truncation/garbling corrupt a response that did
+                    // arrive; reproduce it (uncached!) so the degraded
+                    // evidence is real.
+                    let degraded = self.injector.corrupt(
+                        kind,
+                        &pipe.infer(question, downsample, attempt).text,
+                        key,
+                    );
+                    last = Some((kind, degraded));
+                }
+            }
+        }
+        let (kind, degraded) = last.expect("at least one recovery attempt ran");
+        Err((self.error_for(kind), degraded))
+    }
+
+    /// One supervised judge verdict (one voting attempt).
+    pub(crate) fn verdict(
+        &self,
+        judge: &dyn Judge,
+        fingerprint: u64,
+        question: &Question,
+        response: &str,
+        judge_attempt: u64,
+    ) -> Result<bool, EvalError> {
+        let mut last = None;
+        for recovery in 0..=self.recovery.max_retries {
+            if recovery > 0 {
+                self.backoff(&question.id, recovery);
+            }
+            let drawn = self.injector.draw(CallKey {
+                fingerprint,
+                question_id: &question.id,
+                site: CallSite::Judge,
+                attempt: judge_attempt,
+                recovery,
+            });
+            match drawn {
+                None => return Ok(judge.verdict(question, response, judge_attempt)),
+                Some(FaultKind::WorkerPanic) => panic_any(InjectedPanic {
+                    fingerprint,
+                    question_id: question.id.clone(),
+                }),
+                Some(kind) => last = Some(kind),
+            }
+        }
+        Err(self.error_for(last.expect("at least one recovery attempt ran")))
+    }
+
+    /// Supervised majority vote: [`RetryPolicy::judged`] with every
+    /// underlying verdict call going through fault injection + recovery.
+    pub(crate) fn judged(
+        &self,
+        judge: &dyn Judge,
+        retry: &RetryPolicy,
+        fingerprint: u64,
+        question: &Question,
+        response: &str,
+    ) -> Result<bool, EvalError> {
+        let first = self.verdict(judge, fingerprint, question, response, 0)?;
+        if retry.attempts <= 1 {
+            return Ok(first);
+        }
+        let mut yes = u64::from(first);
+        for attempt in 1..retry.attempts {
+            retry.sleep_backoff(question, attempt);
+            if self.verdict(judge, fingerprint, question, response, attempt)? {
+                yes += 1;
+            }
+        }
+        // strict majority, ties to the first attempt
+        if 2 * yes == retry.attempts {
+            Ok(first)
+        } else {
+            Ok(2 * yes > retry.attempts)
+        }
+    }
+
+    fn error_for(&self, kind: FaultKind) -> EvalError {
+        match kind {
+            FaultKind::Timeout => EvalError::Timeout {
+                deadline_ms: self.deadline_ms,
+            },
+            FaultKind::Truncated => EvalError::Truncated,
+            FaultKind::Garbled => EvalError::Garbled,
+            FaultKind::RateLimited => EvalError::RateLimited,
+            FaultKind::Transient => EvalError::Transient,
+            FaultKind::WorkerPanic => EvalError::WorkerPanic,
+        }
+    }
+
+    /// Jittered exponential backoff before recovery attempt `recovery`
+    /// (>= 1), sharing [`RetryPolicy`]'s seeded jitter stream.
+    fn backoff(&self, question_id: &str, recovery: u64) {
+        if self.recovery.backoff_base_ms == 0 {
+            return;
+        }
+        let base = self.recovery.backoff_base_ms << (recovery - 1).min(16);
+        let jitter = seeded_jitter_ms(self.recovery.seed, question_id, recovery, base);
+        std::thread::sleep(std::time::Duration::from_millis(base + jitter));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::judge::RuleJudge;
+    use chipvqa_models::ModelZoo;
+
+    #[test]
+    fn breaker_walks_closed_open_halfopen_closed() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown: 2,
+            probe_successes: 2,
+        });
+        assert_eq!(b.state(), BreakerState::Closed);
+        for _ in 0..3 {
+            assert!(b.allow());
+            b.record_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+
+        // cooldown: two calls shed, then a half-open probe
+        assert!(!b.allow());
+        assert!(!b.allow());
+        assert!(b.allow(), "probe after cooldown");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+
+        // two successful probes close it
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.allow());
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: 1,
+            probe_successes: 1,
+        });
+        assert!(b.allow());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow());
+        assert!(b.allow(), "half-open probe");
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open, "failed probe reopens");
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn success_resets_consecutive_failures() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown: 1,
+            probe_successes: 1,
+        });
+        assert!(b.allow());
+        b.record_failure();
+        assert!(b.allow());
+        b.record_success();
+        assert!(b.allow());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed, "streak was broken");
+    }
+
+    #[test]
+    fn zero_plan_schedule_attempts_everything() {
+        let bench = ChipVqa::standard();
+        let sup = Supervisor::new(FaultPlan::none());
+        let sched = sup.breaker_schedule(1234, &bench);
+        assert_eq!(sched.shed_count(), 0);
+        assert_eq!(sched.trips(), 0);
+        assert_eq!(sched.final_state(), BreakerState::Closed);
+        assert!((0..bench.len()).all(|i| sched.attempts_question(i)));
+    }
+
+    #[test]
+    fn broken_model_trips_breaker_and_sheds_most_of_the_run() {
+        let bench = ChipVqa::standard();
+        let fp = 0xfeed_beef;
+        let sup = Supervisor::new(FaultPlan::none().with_broken_model(fp));
+        let sched = sup.breaker_schedule(fp, &bench);
+        assert!(sched.trips() >= 1, "breaker must open");
+        assert!(
+            sched.shed_count() > bench.len() / 2,
+            "most of a dead model's grid is shed, got {}",
+            sched.shed_count()
+        );
+        // the attempted count is bounded by threshold + periodic probes
+        let attempted = bench.len() - sched.shed_count();
+        let cfg = sup.breaker_config();
+        let max_attempted =
+            cfg.failure_threshold as usize + bench.len() / (cfg.cooldown as usize + 1) + 1;
+        assert!(
+            attempted <= max_attempted,
+            "{attempted} attempted > bound {max_attempted}"
+        );
+        // a healthy model on the same plan is untouched
+        assert_eq!(sup.breaker_schedule(0x1, &bench).shed_count(), 0);
+    }
+
+    #[test]
+    fn question_health_is_pure_and_deterministic() {
+        let sup = Supervisor::new(FaultPlan::uniform(3, 0.08));
+        let a = sup.question_health(42, "digital-001");
+        let b = sup.question_health(42, "digital-001");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn supervised_infer_zero_plan_matches_plain_inference() {
+        let bench = ChipVqa::standard();
+        let pipe = chipvqa_models::VlmPipeline::new(ModelZoo::gpt4o());
+        let sup = Supervisor::new(FaultPlan::none());
+        let q = &bench.questions()[0];
+        let supervised = sup.infer(&pipe, q, 1, 0, None).expect("no faults");
+        let plain = pipe.infer(q, 1, 0);
+        assert_eq!(supervised.text, plain.text);
+        assert_eq!(supervised.path, plain.path);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_structured_errors() {
+        let bench = ChipVqa::standard();
+        let pipe = chipvqa_models::VlmPipeline::new(ModelZoo::gpt4o());
+        let sup = Supervisor::new(FaultPlan::none().with_broken_model(pipe.fingerprint()))
+            .with_recovery(RecoveryPolicy {
+                max_retries: 1,
+                ..RecoveryPolicy::default()
+            });
+        let q = &bench.questions()[0];
+        let (err, degraded) = sup.infer(&pipe, q, 1, 0, None).unwrap_err();
+        assert_eq!(err, EvalError::Transient);
+        assert_eq!(degraded, None, "transient errors leave no evidence");
+        // judge calls for the same broken model still work
+        let ok = sup
+            .verdict(
+                &RuleJudge::new(),
+                pipe.fingerprint(),
+                q,
+                &q.golden_text(),
+                0,
+            )
+            .expect("judge path unaffected by broken model");
+        assert!(ok);
+    }
+
+    #[test]
+    fn timeout_records_the_deadline() {
+        let bench = ChipVqa::standard();
+        let pipe = chipvqa_models::VlmPipeline::new(ModelZoo::kosmos_2());
+        let sup = Supervisor::new(FaultPlan {
+            timeout_rate: 1.0,
+            ..FaultPlan::none()
+        })
+        .with_deadline_ms(1234);
+        let q = &bench.questions()[3];
+        let (err, _) = sup.infer(&pipe, q, 1, 0, None).unwrap_err();
+        assert_eq!(err, EvalError::Timeout { deadline_ms: 1234 });
+        assert_eq!(err.label(), "timeout");
+    }
+
+    #[test]
+    fn eval_error_serde_roundtrip() {
+        for err in [
+            EvalError::Timeout { deadline_ms: 500 },
+            EvalError::Truncated,
+            EvalError::Garbled,
+            EvalError::RateLimited,
+            EvalError::Transient,
+            EvalError::WorkerPanic,
+            EvalError::BreakerOpen,
+        ] {
+            let json = serde_json::to_string(&err).expect("serializes");
+            let back: EvalError = serde_json::from_str(&json).expect("deserializes");
+            assert_eq!(back, err);
+            assert!(!err.label().is_empty());
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}

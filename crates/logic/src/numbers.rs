@@ -155,7 +155,7 @@ pub fn from_bcd(mut bcd: u64) -> u64 {
 /// Value of a fixed-point pattern with `frac_bits` fractional bits
 /// (Q-format), interpreting `bits` as `width`-bit two's complement.
 pub fn fixed_point_value(bits: u64, width: u32, frac_bits: u32) -> f64 {
-    from_twos_complement(bits, width) as f64 / f64::from(1u32 << frac_bits.min(31)) as f64
+    from_twos_complement(bits, width) as f64 / f64::from(1u32 << frac_bits.min(31))
 }
 
 /// Smallest representable step of a Q-format with `frac_bits` fractional

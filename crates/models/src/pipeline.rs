@@ -186,7 +186,7 @@ mod tests {
     fn different_models_answer_differently_somewhere() {
         let bench = ChipVqa::standard();
         let strong = VlmPipeline::new(ModelZoo::gpt4o());
-        let weak = VlmPipeline::new(ModelZoo::kosmos2());
+        let weak = VlmPipeline::new(ModelZoo::kosmos_2());
         let mut differs = false;
         for q in bench.iter().take(30) {
             if strong.infer(q, 1, 0).text != weak.infer(q, 1, 0).text {

@@ -13,6 +13,9 @@ use crate::profile::ModelProfile;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ModelZoo;
 
+// one positional argument per ModelProfile field, in declaration order —
+// a builder here would just re-spell the struct
+#[allow(clippy::too_many_arguments)]
 fn profile(
     name: &str,
     params_b: f64,
@@ -160,7 +163,10 @@ impl ModelZoo {
         )
     }
 
-    /// Convenience alias used in tests.
+    /// Deprecated spelling of [`ModelZoo::kosmos_2`]; kept so older
+    /// call sites keep compiling, but it is the same profile (same
+    /// fingerprint), not a thirteenth model.
+    #[deprecated(since = "0.1.0", note = "use `ModelZoo::kosmos_2` instead")]
     pub fn kosmos2() -> ModelProfile {
         Self::kosmos_2()
     }
@@ -275,6 +281,34 @@ mod tests {
         for p in &all {
             p.validate();
         }
+    }
+
+    #[test]
+    fn zoo_has_no_duplicate_profiles() {
+        // Every zoo entry is a distinct model: names and behavioural
+        // fingerprints must both be unique across `all()`.
+        let all = ModelZoo::all();
+        let mut names: Vec<&str> = all.iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len(), "duplicate model name in zoo");
+        let mut prints: Vec<u64> = all
+            .iter()
+            .map(|p| crate::VlmPipeline::new(p.clone()).fingerprint())
+            .collect();
+        prints.sort_unstable();
+        prints.dedup();
+        assert_eq!(prints.len(), all.len(), "duplicate fingerprint in zoo");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn kosmos2_alias_is_the_same_model() {
+        assert_eq!(ModelZoo::kosmos2(), ModelZoo::kosmos_2());
+        assert_eq!(
+            crate::VlmPipeline::new(ModelZoo::kosmos2()).fingerprint(),
+            crate::VlmPipeline::new(ModelZoo::kosmos_2()).fingerprint()
+        );
     }
 
     #[test]

@@ -110,7 +110,7 @@ pub fn legalize(cells: &[Cell], region: PlacementRegion) -> Result<Vec<PlacedCel
                 .clamp(fill[row as usize], region.sites_per_row - cell.width)
                 .max(fill[row as usize]);
             let cost = (x - cell.target.x).abs() + (row - cell.target.y).abs();
-            if best.map_or(true, |(bc, _, _)| cost < bc) {
+            if best.is_none_or(|(bc, _, _)| cost < bc) {
                 best = Some((cost, row, x));
             }
         }

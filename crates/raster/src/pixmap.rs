@@ -118,6 +118,7 @@ impl Pixmap {
 
     /// Draws a dashed line (alternating `dash_on` drawn pixels with
     /// `dash_off` skipped pixels along the Bresenham walk).
+    #[allow(clippy::too_many_arguments)] // mirrors draw_line's endpoint/stroke signature
     pub fn draw_dashed_line(
         &mut self,
         x0: i64,

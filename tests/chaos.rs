@@ -1,0 +1,159 @@
+//! T-chaos: supervised execution under seeded fault injection.
+//!
+//! Three properties from the robustness issue, checked end-to-end:
+//!
+//! 1. the **all-zero** [`FaultPlan`] reproduces today's clean reports
+//!    byte-for-byte for every zoo model (supervision is free when
+//!    nothing fails);
+//! 2. **any** seeded plan yields identical reports for 1, 2 and 8
+//!    workers (fault draws are keyed on call identity, never on
+//!    scheduling);
+//! 3. coverage accounting always closes: answered + failed +
+//!    breaker-skipped = 142 for every model.
+//!
+//! `CHIPVQA_CHAOS_SEED` (used by the CI chaos matrix) perturbs the
+//! injected plans without touching the proptest case generator, so each
+//! CI seed explores a different storm while staying reproducible.
+
+use chipvqa::core::ChipVqa;
+use chipvqa::eval::fault::install_quiet_panic_hook;
+use chipvqa::eval::harness::{evaluate, EvalOptions};
+use chipvqa::eval::supervisor::EvalError;
+use chipvqa::eval::{Checkpoint, FaultPlan, ParallelExecutor, RuleJudge, Supervisor};
+use chipvqa::models::{ModelZoo, VlmPipeline};
+use proptest::prelude::*;
+
+/// CI chaos-matrix seed; defaults to a fixed value locally.
+fn chaos_seed() -> u64 {
+    std::env::var("CHIPVQA_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_260_806)
+}
+
+#[test]
+fn zero_fault_plan_is_byte_identical_for_all_zoo_models() {
+    let bench = ChipVqa::standard();
+    for profile in ModelZoo::all() {
+        let pipe = VlmPipeline::new(profile);
+        let clean = evaluate(&pipe, &bench, EvalOptions::default());
+        let supervised = ParallelExecutor::new(4)
+            .with_supervisor(Supervisor::new(FaultPlan::none()))
+            .evaluate(&pipe, &bench, EvalOptions::default());
+        assert_eq!(clean, supervised, "{}", pipe.profile().name);
+        assert_eq!(
+            serde_json::to_string(&clean).expect("serialize"),
+            serde_json::to_string(&supervised).expect("serialize"),
+            "{}: supervised zero-fault run must serialize byte-identically",
+            pipe.profile().name
+        );
+        assert!(!supervised.is_degraded());
+        assert_eq!(supervised.answered(), bench.len());
+        assert_eq!(supervised.failed() + supervised.breaker_skipped(), 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Property 2: the same storm hits the same calls no matter how the
+    /// questions are scheduled across workers.
+    #[test]
+    fn seeded_plans_are_worker_count_invariant(
+        seed in 0u64..1_000_000,
+        rate in 0.005f64..0.05,
+    ) {
+        install_quiet_panic_hook();
+        let bench = ChipVqa::standard();
+        let pipe = VlmPipeline::new(ModelZoo::llava_34b());
+        let plan = FaultPlan::uniform(seed ^ chaos_seed(), rate);
+        let run = |workers: usize| {
+            ParallelExecutor::new(workers)
+                .with_supervisor(Supervisor::new(plan.clone()))
+                .evaluate(&pipe, &bench, EvalOptions::default())
+        };
+        let reference = run(1);
+        for workers in [2usize, 8] {
+            let par = run(workers);
+            prop_assert_eq!(&reference, &par, "workers = {}", workers);
+        }
+        prop_assert_eq!(
+            reference.answered() + reference.failed() + reference.breaker_skipped(),
+            bench.len()
+        );
+    }
+
+    /// Property 3: accounting closes under heavier storms, including a
+    /// fully broken backend, per model *and* per category.
+    #[test]
+    fn accounting_always_sums_to_142(
+        seed in 0u64..1_000_000,
+        rate in 0.02f64..0.12,
+    ) {
+        install_quiet_panic_hook();
+        let bench = ChipVqa::standard();
+        prop_assert_eq!(bench.len(), 142);
+        let pipes: Vec<VlmPipeline> = [ModelZoo::phi3_vision(), ModelZoo::paligemma()]
+            .into_iter()
+            .map(VlmPipeline::new)
+            .collect();
+        let plan = FaultPlan::uniform(seed ^ chaos_seed(), rate / 6.0)
+            .with_broken_model(pipes[1].fingerprint());
+        let exec = ParallelExecutor::new(4).with_supervisor(Supervisor::new(plan));
+        let reports = exec.evaluate_grid(&pipes, &bench, EvalOptions::default(), &RuleJudge::new());
+        for report in &reports {
+            prop_assert_eq!(
+                report.answered() + report.failed() + report.breaker_skipped(),
+                142,
+                "{} does not account for every question",
+                report.model
+            );
+            let by_cat = report.category_accounting();
+            let total: usize = by_cat.values().map(|(a, f, s)| a + f + s).sum();
+            prop_assert_eq!(total, 142, "{} category accounting leaks", report.model);
+        }
+        // the broken model is shed, not silently scored
+        prop_assert!(reports[1].breaker_skipped() > 0);
+        prop_assert_eq!(reports[1].answered(), 0);
+    }
+}
+
+#[test]
+fn panic_quarantine_then_requeue_resumes_to_a_clean_report() {
+    install_quiet_panic_hook();
+    let bench = ChipVqa::standard();
+    let pipes = vec![VlmPipeline::new(ModelZoo::neva_22b())];
+    let options = EvalOptions::default();
+    let clean = evaluate(&pipes[0], &bench, options);
+
+    // storm pass: only panics, so every non-panicked outcome is clean
+    let plan = FaultPlan {
+        panic_rate: 0.08,
+        ..FaultPlan::none()
+    };
+    let stormy = ParallelExecutor::new(4).with_supervisor(Supervisor::new(plan));
+    let mut ckpt = Checkpoint::new(&pipes, &bench, options);
+    let degraded = stormy
+        .evaluate_grid_resumable(&pipes, &bench, options, &RuleJudge::new(), &mut ckpt, None)
+        .expect("compatible checkpoint")
+        .expect("no budget, runs to completion");
+    let panicked = degraded[0]
+        .outcomes
+        .iter()
+        .filter(|o| o.error == Some(EvalError::WorkerPanic))
+        .count();
+    assert!(panicked > 0, "the storm must hit something");
+    assert!(ckpt.quarantined_shards() > 0, "panicked shards quarantined");
+
+    // operator fixes the environment: requeue and resume without faults
+    let requeued = ckpt.requeue_quarantined();
+    assert!(requeued > 0);
+    assert_eq!(ckpt.quarantined_shards(), 0);
+    let calm = ParallelExecutor::new(4);
+    let recovered = calm
+        .evaluate_grid_resumable(&pipes, &bench, options, &RuleJudge::new(), &mut ckpt, None)
+        .expect("compatible checkpoint")
+        .expect("runs to completion");
+    assert_eq!(recovered[0], clean, "requeued shards heal the report");
+    assert!(!recovered[0].is_degraded());
+}
