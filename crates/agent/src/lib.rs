@@ -37,6 +37,7 @@ use chipvqa_models::backbone;
 use chipvqa_models::encoder::Percept;
 use chipvqa_models::profile::ModelProfile;
 use chipvqa_models::ModelZoo;
+use chipvqa_telemetry::{kv, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -81,17 +82,28 @@ pub struct AgentSystem {
     planner: ModelProfile,
     tool: VisionTool,
     channel: ChannelConfig,
+    telemetry: Telemetry,
 }
 
 impl AgentSystem {
-    /// Builds an agent from explicit parts.
+    /// Builds an agent from explicit parts (telemetry disabled).
     pub fn new(planner: ModelProfile, vision: ModelProfile, channel: ChannelConfig) -> Self {
         planner.validate();
         AgentSystem {
             planner,
             tool: VisionTool::new(vision),
             channel,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a [`Telemetry`] handle recording the tool-call loop:
+    /// `agent.answer` spans, round/tool-call/fact counters and
+    /// `agent.channel.garble` events. The rng streams are untouched, so
+    /// answers are identical with telemetry on or off.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The paper's configuration: GPT-4-Turbo designer, GPT-4o vision
@@ -111,12 +123,20 @@ impl AgentSystem {
 
     /// Answers one question through the tool-call loop.
     pub fn answer(&self, question: &Question, attempt: u64) -> AgentResponse {
+        let tele = &self.telemetry;
+        let _span = if tele.enabled() {
+            tele.span_kv("agent.answer", vec![kv("question", &question.id)])
+        } else {
+            tele.span("agent.answer")
+        };
         let mut rng = self.rng_for(question, attempt);
         let mut transcript = Transcript::default();
         let mut transmitted: Vec<usize> = Vec::new();
         let required = question.key_marks.len();
 
         for round in 0..self.channel.max_rounds {
+            tele.counter("agent.rounds", 1);
+            tele.counter("agent.tool_calls", 1);
             // Planner asks; tool looks at the image.
             let observed = self.tool.describe(question, round, &mut rng);
             let mut new_facts = Vec::new();
@@ -133,6 +153,19 @@ impl AgentSystem {
                 if rng.gen_bool(fidelity.clamp(0.0, 1.0)) {
                     transmitted.push(mark);
                     new_facts.push(mark);
+                    tele.counter("agent.facts.delivered", 1);
+                } else {
+                    tele.counter("agent.facts.garbled", 1);
+                    if tele.enabled() {
+                        tele.event(
+                            "agent.channel.garble",
+                            vec![
+                                kv("question", &question.id),
+                                kv("mark", mark),
+                                kv("round", round),
+                            ],
+                        );
+                    }
                 }
             }
             transcript.push(TurnRecord {
@@ -214,6 +247,51 @@ mod tests {
         assert!(out.transcript.rounds() >= 1);
         assert!(out.transcript.rounds() <= 3);
         assert!(!out.transcript.turns[0].description.is_empty());
+    }
+
+    #[test]
+    fn telemetry_observes_the_loop_without_changing_answers() {
+        use chipvqa_telemetry::{MemorySink, MockClock, Telemetry};
+        use std::sync::Arc;
+
+        let bench = ChipVqa::standard();
+        let q = bench
+            .iter()
+            .find(|q| q.key_marks.len() >= 4)
+            .expect("fact-rich question exists");
+        let plain = AgentSystem::paper_setup().answer(q, 0);
+
+        let sink = Arc::new(MemorySink::new());
+        let tele = Telemetry::builder()
+            .clock(MockClock::new(1))
+            .sink(Arc::clone(&sink))
+            .build();
+        let traced = AgentSystem::paper_setup()
+            .with_telemetry(tele.clone())
+            .answer(q, 0);
+        assert_eq!(plain, traced, "telemetry must not perturb the rng stream");
+
+        let snap = tele.snapshot();
+        assert_eq!(snap.spans["agent.answer"].count, 1);
+        assert_eq!(
+            snap.counters["agent.rounds"] as usize,
+            traced.transcript.rounds()
+        );
+        assert_eq!(
+            snap.counters["agent.rounds"],
+            snap.counters["agent.tool_calls"]
+        );
+        let delivered: usize = traced
+            .transcript
+            .turns
+            .iter()
+            .map(|t| t.facts_delivered)
+            .sum();
+        assert_eq!(snap.counters["agent.facts.delivered"] as usize, delivered);
+        // every garble event carries the question id
+        for ev in sink.named("agent.channel.garble") {
+            assert_eq!(ev.get("question"), Some(q.id.as_str()));
+        }
     }
 
     /// Table III shape: the agent beats plain GPT-4o with choices and

@@ -1,0 +1,55 @@
+//! Telemetry cost benches: the same single-model evaluation with no
+//! telemetry field touched (baseline), with an explicitly attached
+//! disabled handle (must be within noise of the baseline — the
+//! `telemetry_overhead` binary gates this in CI), and with a fully
+//! enabled handle feeding metrics plus an in-memory trace sink (the
+//! price of actually recording).
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use chipvqa_core::ChipVqa;
+use chipvqa_eval::harness::EvalOptions;
+use chipvqa_eval::ParallelExecutor;
+use chipvqa_models::{ModelZoo, VlmPipeline};
+use chipvqa_telemetry::{MemorySink, Telemetry};
+
+fn bench_telemetry_modes(c: &mut Criterion) {
+    let bench = ChipVqa::standard();
+    let pipe = VlmPipeline::new(ModelZoo::gpt4o());
+    let mut group = c.benchmark_group("telemetry_single_model");
+    group.sample_size(10);
+
+    let baseline = ParallelExecutor::new(4);
+    group.bench_function("baseline_142", |b| {
+        b.iter(|| black_box(baseline.evaluate(&pipe, &bench, EvalOptions::default())))
+    });
+
+    let noop = ParallelExecutor::new(4).with_telemetry(Telemetry::disabled());
+    group.bench_function("noop_telemetry_142", |b| {
+        b.iter(|| black_box(noop.evaluate(&pipe, &bench, EvalOptions::default())))
+    });
+
+    let recording = ParallelExecutor::new(4).with_telemetry(Telemetry::recording());
+    group.bench_function("recording_telemetry_142", |b| {
+        b.iter(|| black_box(recording.evaluate(&pipe, &bench, EvalOptions::default())))
+    });
+
+    let sink = Arc::new(MemorySink::new());
+    let sinked =
+        ParallelExecutor::new(4).with_telemetry(Telemetry::builder().sink(sink.clone()).build());
+    group.bench_function("sinked_telemetry_142", |b| {
+        b.iter(|| {
+            let report = sinked.evaluate(&pipe, &bench, EvalOptions::default());
+            sink.clear();
+            black_box(report)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_modes);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Instrumented chaos run: a supervised evaluation under a seeded fault
+//! storm with full telemetry attached, emitting a deterministic JSONL
+//! trace for the CI artifact.
+//!
+//! The run uses one worker and a [`MockClock`], so the trace is a pure
+//! function of the seed: the same `CHIPVQA_CHAOS_SEED` always produces a
+//! byte-identical file. Any degraded Table II rows are re-emitted as
+//! structured `run.degraded` events, so the trace carries the same
+//! information as the human-readable footer.
+//!
+//! Usage: `chaos_trace [output.jsonl]` (default `chaos_trace.jsonl`);
+//! `CHIPVQA_CHAOS_SEED` selects the storm (default 20260806).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use chipvqa_core::ChipVqa;
+use chipvqa_eval::fault::install_quiet_panic_hook;
+use chipvqa_eval::harness::EvalOptions;
+use chipvqa_eval::report::{ModelRow, Table2};
+use chipvqa_eval::{FaultPlan, ParallelExecutor, Supervisor};
+use chipvqa_models::{ModelZoo, VlmPipeline};
+use chipvqa_telemetry::{JsonlSink, MockClock, Telemetry};
+
+fn chaos_seed() -> u64 {
+    std::env::var("CHIPVQA_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_260_806)
+}
+
+fn main() {
+    install_quiet_panic_hook();
+    let seed = chaos_seed();
+    let out: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "chaos_trace.jsonl".to_string())
+        .into();
+
+    let sink = Arc::new(JsonlSink::new());
+    let tele = Telemetry::builder()
+        .clock(MockClock::new(1))
+        .sink(Arc::clone(&sink))
+        .build();
+    // One worker: span and event order is then a pure function of the
+    // seed, so the artifact is byte-stable across CI runs.
+    let exec = ParallelExecutor::new(1)
+        .with_supervisor(Supervisor::new(FaultPlan::uniform(seed, 0.03)))
+        .with_telemetry(tele.clone());
+
+    let standard = ChipVqa::standard();
+    let challenge = standard.challenge();
+    let mut rows = Vec::new();
+    for profile in [
+        ModelZoo::gpt4o(),
+        ModelZoo::llava_34b(),
+        ModelZoo::fuyu_8b(),
+    ] {
+        let pipe = VlmPipeline::new(profile);
+        let name = pipe.profile().name.clone();
+        let std_report = exec.evaluate(&pipe, &standard, EvalOptions::default());
+        let chal_report = exec.evaluate(&pipe, &challenge, EvalOptions::default());
+        println!(
+            "{name}: standard {:.3} ({} answered), challenge {:.3} ({} answered)",
+            std_report.overall(),
+            std_report.answered(),
+            chal_report.overall(),
+            chal_report.answered(),
+        );
+        rows.push(ModelRow {
+            standard: std_report,
+            challenge: chal_report,
+        });
+    }
+
+    let table = Table2 { rows };
+    let degraded = table.emit_degraded_events(&tele);
+    println!("\nseed {seed}: {degraded} degraded row(s) re-emitted as run.degraded events");
+
+    sink.write_to(&out).expect("trace written");
+    println!("wrote {} trace records to {}", sink.len(), out.display());
+    println!("\n{}", tele.summary());
+}

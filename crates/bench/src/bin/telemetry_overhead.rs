@@ -1,0 +1,97 @@
+//! CI gate: the disabled-telemetry executor must stay within 5% of the
+//! baseline executor (plus an absolute slack floor so machine noise on
+//! sub-millisecond runs cannot flake the gate).
+//!
+//! Methodology: interleave baseline and no-op runs A/B/A/B… so drift
+//! (thermal, scheduler) hits both arms equally, take the median of each
+//! arm, and compare. The gate retries once before failing, then exits
+//! non-zero so CI marks the regression.
+//!
+//! Also prints a recording-mode summary table, so the artifact shows
+//! what enabled telemetry collects on the same workload.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use chipvqa_core::ChipVqa;
+use chipvqa_eval::harness::EvalOptions;
+use chipvqa_eval::ParallelExecutor;
+use chipvqa_models::{ModelZoo, VlmPipeline};
+use chipvqa_telemetry::{MemorySink, Telemetry};
+
+const ROUNDS: usize = 9;
+const MAX_RELATIVE_OVERHEAD: f64 = 0.05;
+/// Absolute slack: differences below this are machine noise regardless
+/// of the relative threshold.
+const ABSOLUTE_SLACK_MS: f64 = 2.0;
+const ATTEMPTS: usize = 2;
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    samples[samples.len() / 2]
+}
+
+fn time_ms(exec: &ParallelExecutor, pipe: &VlmPipeline, bench: &ChipVqa) -> f64 {
+    let start = Instant::now();
+    let report = exec.evaluate(pipe, bench, EvalOptions::default());
+    let elapsed = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(report.outcomes.len(), bench.len());
+    elapsed
+}
+
+fn measure(pipe: &VlmPipeline, bench: &ChipVqa) -> (f64, f64) {
+    let baseline = ParallelExecutor::new(4);
+    let noop = ParallelExecutor::new(4).with_telemetry(Telemetry::disabled());
+    // warm-up: fault the code paths and caches for both arms
+    time_ms(&baseline, pipe, bench);
+    time_ms(&noop, pipe, bench);
+    let mut base_ms = Vec::with_capacity(ROUNDS);
+    let mut noop_ms = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        base_ms.push(time_ms(&baseline, pipe, bench));
+        noop_ms.push(time_ms(&noop, pipe, bench));
+    }
+    (median(&mut base_ms), median(&mut noop_ms))
+}
+
+fn main() {
+    let bench = ChipVqa::standard();
+    let pipe = VlmPipeline::new(ModelZoo::gpt4o());
+
+    let mut passed = false;
+    for attempt in 1..=ATTEMPTS {
+        let (base, noop) = measure(&pipe, &bench);
+        let overhead = (noop - base) / base;
+        println!(
+            "attempt {attempt}: baseline {base:.3} ms, no-op telemetry {noop:.3} ms, \
+             overhead {:+.2}%",
+            overhead * 100.0
+        );
+        if noop - base <= ABSOLUTE_SLACK_MS || overhead <= MAX_RELATIVE_OVERHEAD {
+            passed = true;
+            break;
+        }
+        println!("  over budget; retrying to rule out noise");
+    }
+
+    // show what an enabled handle records on the same workload
+    let sink = Arc::new(MemorySink::new());
+    let tele = Telemetry::builder().sink(sink.clone()).build();
+    let recording = ParallelExecutor::new(4).with_telemetry(tele.clone());
+    recording.evaluate(&pipe, &bench, EvalOptions::default());
+    println!(
+        "\nrecording mode on the same workload ({} trace records):",
+        sink.len()
+    );
+    println!("{}", tele.summary());
+
+    if !passed {
+        eprintln!(
+            "FAIL: no-op telemetry exceeded {}% overhead (+{} ms slack) on every attempt",
+            MAX_RELATIVE_OVERHEAD * 100.0,
+            ABSOLUTE_SLACK_MS
+        );
+        std::process::exit(1);
+    }
+    println!("PASS: no-op telemetry within budget");
+}

@@ -97,10 +97,39 @@ impl From<&ModelResponse> for CachedAnswer {
     }
 }
 
+/// Point-in-time traffic counters of an [`AnswerCache`] — the public
+/// face of the cache's accounting, surfaced on
+/// [`EvalReport::cache_stats`](crate::harness::EvalReport::cache_stats)
+/// by cache-attached executors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries stored (overwrites count too).
+    pub insertions: u64,
+    /// Entries removed by invalidation or [`AnswerCache::clear`].
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction of all lookups (0 when there were none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// Thread-safe answer cache shared by executor workers.
 ///
-/// Reads take a shared lock; hit/miss counters are lock-free. The cache
-/// is *semantically transparent*: because the pipeline is deterministic
+/// Reads take a shared lock; hit/miss/insert/evict counters are
+/// lock-free and surfaced via [`AnswerCache::stats`]. The cache is
+/// *semantically transparent*: because the pipeline is deterministic
 /// per key, a hit returns exactly what inference would have produced, so
 /// cached and uncached evaluations yield identical reports.
 #[derive(Debug, Default)]
@@ -108,6 +137,8 @@ pub struct AnswerCache {
     entries: RwLock<HashMap<CacheKey, CachedAnswer>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl AnswerCache {
@@ -142,26 +173,41 @@ impl AnswerCache {
             "cache invariant violated: faulted answer for {key:?}: {:?}",
             answer.text
         );
+        self.insertions.fetch_add(1, Ordering::Relaxed);
         write_lock(&self.entries).insert(key, answer);
     }
 
     /// Removes one entry; returns whether it existed.
     pub fn invalidate(&self, key: &CacheKey) -> bool {
-        write_lock(&self.entries).remove(key).is_some()
+        let removed = write_lock(&self.entries).remove(key).is_some();
+        if removed {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        removed
     }
 
     /// Drops every entry for one model fingerprint (e.g. after a
     /// recalibration); returns how many were removed.
     pub fn invalidate_model(&self, model_fingerprint: u64) -> usize {
-        let mut map = write_lock(&self.entries);
-        let before = map.len();
-        map.retain(|k, _| k.model_fingerprint != model_fingerprint);
-        before - map.len()
+        let removed = {
+            let mut map = write_lock(&self.entries);
+            let before = map.len();
+            map.retain(|k, _| k.model_fingerprint != model_fingerprint);
+            before - map.len()
+        };
+        self.evictions.fetch_add(removed as u64, Ordering::Relaxed);
+        removed
     }
 
     /// Drops everything.
     pub fn clear(&self) {
-        write_lock(&self.entries).clear();
+        let removed = {
+            let mut map = write_lock(&self.entries);
+            let before = map.len();
+            map.clear();
+            before
+        };
+        self.evictions.fetch_add(removed as u64, Ordering::Relaxed);
     }
 
     /// Number of cached answers.
@@ -182,6 +228,17 @@ impl AnswerCache {
     /// Misses since construction.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// All traffic counters at once (hits, misses, insertions,
+    /// evictions).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
     }
 
     /// Serialisable snapshot of the current contents, in deterministic
@@ -261,6 +318,29 @@ mod tests {
     }
 
     #[test]
+    fn stats_count_insertions_and_evictions() {
+        let bench = ChipVqa::standard();
+        let pipe = VlmPipeline::new(ModelZoo::gpt4o());
+        let cache = AnswerCache::new();
+        for q in bench.iter().take(3) {
+            let key = CacheKey::new(pipe.fingerprint(), q, 1, 0);
+            cache.insert(key, CachedAnswer::from(&pipe.infer(q, 1, 0)));
+        }
+        let q0 = &bench.questions()[0];
+        let key0 = CacheKey::new(pipe.fingerprint(), q0, 1, 0);
+        assert!(cache.lookup(&key0).is_some());
+        assert!(cache.invalidate(&key0));
+        assert!(!cache.invalidate(&key0), "second invalidate finds nothing");
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!(stats.insertions, 3);
+        assert_eq!(stats.evictions, 3, "one invalidate + two cleared");
+        assert_eq!((stats.hits, stats.misses), (1, 0));
+        assert_eq!(stats.hit_rate(), 1.0);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
     fn prompt_edit_changes_key() {
         let bench = ChipVqa::standard();
         let q = &bench.questions()[5];
@@ -311,7 +391,14 @@ mod tests {
             .expect("some question faults once then recovers");
 
         let answer = sup
-            .infer(&pipe, recovered, 1, 0, Some(&cache))
+            .infer(
+                &pipe,
+                recovered,
+                1,
+                0,
+                Some(&cache),
+                &chipvqa_telemetry::Telemetry::disabled(),
+            )
             .expect("recovers on attempt 1");
         assert_eq!(cache.len(), 1, "only the clean success is cached");
         assert!(!crate::fault::is_corrupted_text(&answer.text));

@@ -25,6 +25,7 @@ use std::fmt;
 
 use chipvqa_core::ChipVqa;
 use chipvqa_models::VlmPipeline;
+use chipvqa_telemetry::{kv, Telemetry};
 use serde::{Deserialize, Serialize};
 
 use crate::cache::prompt_hash;
@@ -162,10 +163,23 @@ impl Checkpoint {
     /// resume re-executes them (after the driver fixed whatever crashed
     /// the workers). Returns how many shards were requeued.
     pub fn requeue_quarantined(&mut self) -> usize {
+        self.requeue_quarantined_with(&Telemetry::disabled())
+    }
+
+    /// [`requeue_quarantined`](Checkpoint::requeue_quarantined),
+    /// additionally emitting a `checkpoint.requeue` event carrying the
+    /// requeued-shard count and bumping the `checkpoint.requeued`
+    /// counter.
+    pub fn requeue_quarantined_with(&mut self, tele: &Telemetry) -> usize {
         let quarantined = std::mem::take(&mut self.quarantined);
         let before = self.completed.len();
         self.completed.retain(|d| !quarantined.contains(&d.key));
-        before - self.completed.len()
+        let requeued = before - self.completed.len();
+        if tele.enabled() {
+            tele.counter("checkpoint.requeued", requeued as u64);
+            tele.event("checkpoint.requeue", vec![kv("shards", requeued)]);
+        }
+        requeued
     }
 
     /// Shards currently quarantined.
@@ -234,6 +248,18 @@ impl ParallelExecutor {
                     && !checkpoint.quarantined.contains(key)
                 {
                     checkpoint.quarantined.push(*key);
+                    let tele = self.telemetry();
+                    if tele.enabled() {
+                        tele.counter("checkpoint.quarantined", 1);
+                        tele.event(
+                            "checkpoint.quarantine",
+                            vec![
+                                kv("model_idx", key.model_idx),
+                                kv("q_start", key.q_start),
+                                kv("q_end", key.q_end),
+                            ],
+                        );
+                    }
                 }
                 checkpoint.completed.push(ShardResult {
                     key: *key,
@@ -248,7 +274,7 @@ impl ParallelExecutor {
                 .iter()
                 .map(|d| (d.key, d.outcomes.clone()))
                 .collect();
-            Ok(Some(merge_from_pairs(pipes, bench, &pairs)))
+            Ok(Some(self.finalize(merge_from_pairs(pipes, bench, &pairs))))
         } else {
             Ok(None)
         }

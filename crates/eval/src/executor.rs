@@ -33,6 +33,7 @@ use chipvqa_core::question::Question;
 use chipvqa_core::ChipVqa;
 use chipvqa_models::backbone::AnswerPath;
 use chipvqa_models::VlmPipeline;
+use chipvqa_telemetry::{kv, Telemetry};
 use serde::{Deserialize, Serialize};
 
 use crate::cache::{AnswerCache, CacheKey, CachedAnswer};
@@ -141,17 +142,20 @@ pub struct ParallelExecutor {
     retry: RetryPolicy,
     cache: Option<Arc<AnswerCache>>,
     supervisor: Option<Arc<Supervisor>>,
+    telemetry: Telemetry,
 }
 
 impl ParallelExecutor {
     /// An executor with `workers` threads (clamped to at least one), no
-    /// cache, single-shot judging, unsupervised execution.
+    /// cache, single-shot judging, unsupervised execution, telemetry
+    /// disabled.
     pub fn new(workers: usize) -> Self {
         ParallelExecutor {
             workers: workers.max(1),
             retry: RetryPolicy::default(),
             cache: None,
             supervisor: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -177,9 +181,24 @@ impl ParallelExecutor {
         self
     }
 
+    /// Attaches a [`Telemetry`] handle; every worker, the supervisor and
+    /// the cache path report through it. The default is
+    /// [`Telemetry::disabled`], which costs one branch per call site.
+    /// Telemetry never influences results: reports stay byte-identical
+    /// whether it is enabled or not.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Worker count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The attached telemetry handle (disabled unless configured).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The attached cache, if any.
@@ -213,7 +232,7 @@ impl ParallelExecutor {
         let pipes = std::slice::from_ref(pipe);
         let shards = plan_shards(1, bench.len());
         let results = self.run_shards(pipes, bench, options, judge, &shards);
-        merge_reports(pipes, bench, results)
+        self.finalize(merge_reports(pipes, bench, results))
             .pop()
             .expect("one model")
     }
@@ -228,7 +247,19 @@ impl ParallelExecutor {
     ) -> Vec<EvalReport> {
         let shards = plan_shards(pipes.len(), bench.len());
         let results = self.run_shards(pipes, bench, options, judge, &shards);
-        merge_reports(pipes, bench, results)
+        self.finalize(merge_reports(pipes, bench, results))
+    }
+
+    /// Stamps run metadata onto finished reports: the cache's traffic
+    /// stats when a cache is attached. Results themselves are untouched.
+    pub(crate) fn finalize(&self, mut reports: Vec<EvalReport>) -> Vec<EvalReport> {
+        if let Some(cache) = &self.cache {
+            let stats = cache.stats();
+            for report in &mut reports {
+                report.cache_stats = Some(stats);
+            }
+        }
+        reports
     }
 
     /// Runs `shards`, returning each shard's outcomes (same order as the
@@ -243,6 +274,20 @@ impl ParallelExecutor {
         shards: &[Shard],
     ) -> Vec<Vec<QuestionOutcome>> {
         let workers = self.workers.min(shards.len()).max(1);
+        let tele = &self.telemetry;
+        let _run_span = if tele.enabled() {
+            tele.counter("executor.shards", shards.len() as u64);
+            tele.span_kv(
+                "executor.run",
+                vec![
+                    kv("models", pipes.len()),
+                    kv("workers", workers),
+                    kv("shards", shards.len()),
+                ],
+            )
+        } else {
+            tele.span("executor.run")
+        };
 
         // Supervised runs obey a precomputed per-model breaker schedule —
         // the sequential-order breaker trajectory, derived purely from
@@ -251,7 +296,7 @@ impl ParallelExecutor {
         let schedules: Option<Vec<BreakerSchedule>> = self.supervisor.as_deref().map(|sup| {
             pipes
                 .iter()
-                .map(|p| sup.breaker_schedule(p.fingerprint(), bench))
+                .map(|p| sup.breaker_schedule_traced(p.fingerprint(), bench, tele))
                 .collect()
         });
 
@@ -279,25 +324,44 @@ impl ParallelExecutor {
                 handles.push(scope.spawn(move || {
                     let mut done: Vec<(usize, Vec<QuestionOutcome>)> = Vec::new();
                     loop {
-                        let next = take_work(deques, me);
+                        let next = take_work(deques, me, tele);
                         let Some((slot, shard)) = next else { break };
                         let pipe = &pipes[shard.model_idx];
+                        let _shard_span = if tele.enabled() {
+                            tele.span_kv(
+                                "executor.shard",
+                                vec![
+                                    kv("model", &pipe.profile().name),
+                                    kv("q_start", shard.q_start),
+                                    kv("q_end", shard.q_end),
+                                ],
+                            )
+                        } else {
+                            tele.span("executor.shard")
+                        };
                         let outcomes = bench.questions()[shard.q_start..shard.q_end]
                             .iter()
                             .enumerate()
-                            .map(|(offset, q)| match (supervisor, schedules) {
-                                (Some(sup), Some(schedules)) => eval_question_isolated(
-                                    pipe,
-                                    q,
-                                    options,
-                                    judge,
-                                    &retry,
-                                    cache,
-                                    sup,
-                                    &schedules[shard.model_idx],
-                                    shard.q_start + offset,
-                                ),
-                                _ => eval_question(pipe, q, options, judge, &retry, cache),
+                            .map(|(offset, q)| {
+                                let _t = tele.timer("executor.question_ns");
+                                let _q_span = tele.span("executor.question");
+                                match (supervisor, schedules) {
+                                    (Some(sup), Some(schedules)) => eval_question_isolated(
+                                        pipe,
+                                        q,
+                                        options,
+                                        judge,
+                                        &retry,
+                                        cache,
+                                        sup,
+                                        &schedules[shard.model_idx],
+                                        shard.q_start + offset,
+                                        tele,
+                                    ),
+                                    _ => {
+                                        eval_question(pipe, q, options, judge, &retry, cache, tele)
+                                    }
+                                }
                             })
                             .collect();
                         done.push((slot, outcomes));
@@ -321,13 +385,19 @@ impl ParallelExecutor {
 
 /// Pops local work, stealing from the busiest-looking victim when the
 /// local deque is empty. Returns `None` when no work is left anywhere.
-fn take_work(deques: &[Mutex<VecDeque<(usize, Shard)>>], me: usize) -> Option<(usize, Shard)> {
+fn take_work(
+    deques: &[Mutex<VecDeque<(usize, Shard)>>],
+    me: usize,
+    tele: &Telemetry,
+) -> Option<(usize, Shard)> {
     if let Some(item) = deques[me].lock().expect("deque lock").pop_front() {
+        tele.counter("executor.queue.local_pop", 1);
         return Some(item);
     }
     for offset in 1..deques.len() {
         let victim = (me + offset) % deques.len();
         if let Some(item) = deques[victim].lock().expect("deque lock").pop_back() {
+            tele.counter("executor.queue.steal", 1);
             return Some(item);
         }
     }
@@ -361,21 +431,27 @@ fn eval_question(
     judge: &dyn Judge,
     retry: &RetryPolicy,
     cache: Option<&AnswerCache>,
+    tele: &Telemetry,
 ) -> QuestionOutcome {
     let mut passed = false;
     let mut first_response = String::new();
     let mut first_path = AnswerPath::Failed;
     for attempt in 0..options.attempts.max(1) {
-        let answer = infer_cached(pipe, q, options.downsample, attempt, cache);
+        let answer = infer_cached(pipe, q, options.downsample, attempt, cache, tele);
         if attempt == 0 {
             first_response = answer.text.clone();
             first_path = answer.path;
         }
-        if retry.judged(judge, q, &answer.text) {
+        let verdict = {
+            let _span = tele.span("judge");
+            retry.judged(judge, q, &answer.text)
+        };
+        if verdict {
             passed = true;
             break;
         }
     }
+    note_verdict(tele, q, passed);
     QuestionOutcome {
         id: q.id.clone(),
         category: q.category,
@@ -384,6 +460,21 @@ fn eval_question(
         path: first_path,
         error: None,
     }
+}
+
+/// Counts one final verdict, bucketed by answer type:
+/// `judge.verdict.{multiple-choice|short-answer}.{pass|fail}`.
+fn note_verdict(tele: &Telemetry, q: &Question, passed: bool) {
+    if !tele.enabled() {
+        return;
+    }
+    let name = match (q.is_multiple_choice(), passed) {
+        (true, true) => "judge.verdict.multiple-choice.pass",
+        (true, false) => "judge.verdict.multiple-choice.fail",
+        (false, true) => "judge.verdict.short-answer.pass",
+        (false, false) => "judge.verdict.short-answer.fail",
+    };
+    tele.counter(name, 1);
 }
 
 /// Supervised per-question evaluation with panic isolation: breaker
@@ -401,14 +492,22 @@ fn eval_question_isolated(
     sup: &Supervisor,
     schedule: &BreakerSchedule,
     question_index: usize,
+    tele: &Telemetry,
 ) -> QuestionOutcome {
     if !schedule.attempts_question(question_index) {
+        tele.counter("breaker.shed", 1);
         return failed_outcome(q, String::new(), EvalError::BreakerOpen);
     }
     std::panic::catch_unwind(AssertUnwindSafe(|| {
-        eval_question_supervised(pipe, q, options, judge, retry, cache, sup)
+        eval_question_supervised(pipe, q, options, judge, retry, cache, sup, tele)
     }))
-    .unwrap_or_else(|_| failed_outcome(q, String::new(), EvalError::WorkerPanic))
+    .unwrap_or_else(|_| {
+        if tele.enabled() {
+            tele.counter("executor.panic_caught", 1);
+            tele.event("worker.panic", vec![kv("question", &q.id)]);
+        }
+        failed_outcome(q, String::new(), EvalError::WorkerPanic)
+    })
 }
 
 /// The supervised mirror of [`eval_question`]: every inference and judge
@@ -416,6 +515,7 @@ fn eval_question_isolated(
 /// first terminal failure at any site aborts the question with a
 /// structured error (degraded truncated/garbled evidence is kept as the
 /// recorded response).
+#[allow(clippy::too_many_arguments)]
 fn eval_question_supervised(
     pipe: &VlmPipeline,
     q: &Question,
@@ -424,6 +524,7 @@ fn eval_question_supervised(
     retry: &RetryPolicy,
     cache: Option<&AnswerCache>,
     sup: &Supervisor,
+    tele: &Telemetry,
 ) -> QuestionOutcome {
     let fingerprint = pipe.fingerprint();
     let mut passed = false;
@@ -431,13 +532,17 @@ fn eval_question_supervised(
     let mut first_path = AnswerPath::Failed;
     let mut error = None;
     'attempts: for attempt in 0..options.attempts.max(1) {
-        match sup.infer(pipe, q, options.downsample, attempt, cache) {
+        match sup.infer(pipe, q, options.downsample, attempt, cache, tele) {
             Ok(answer) => {
                 if attempt == 0 {
                     first_response = answer.text.clone();
                     first_path = answer.path;
                 }
-                match sup.judged(judge, retry, fingerprint, q, &answer.text) {
+                let judged = {
+                    let _span = tele.span("judge");
+                    sup.judged(judge, retry, fingerprint, q, &answer.text, tele)
+                };
+                match judged {
                     Ok(true) => {
                         passed = true;
                         break 'attempts;
@@ -460,10 +565,14 @@ fn eval_question_supervised(
             }
         }
     }
+    let passed = passed && error.is_none();
+    if error.is_none() {
+        note_verdict(tele, q, passed);
+    }
     QuestionOutcome {
         id: q.id.clone(),
         category: q.category,
-        passed: passed && error.is_none(),
+        passed,
         response: first_response,
         path: first_path,
         error,
@@ -487,16 +596,24 @@ pub(crate) fn infer_cached(
     downsample: usize,
     attempt: u64,
     cache: Option<&AnswerCache>,
+    tele: &Telemetry,
 ) -> CachedAnswer {
     let Some(cache) = cache else {
+        let _span = tele.span("inference");
         return CachedAnswer::from(&pipe.infer(q, downsample, attempt));
     };
     let key = CacheKey::new(pipe.fingerprint(), q, downsample, attempt);
     if let Some(hit) = cache.lookup(&key) {
+        tele.counter("cache.hit", 1);
         return hit;
     }
-    let answer = CachedAnswer::from(&pipe.infer(q, downsample, attempt));
+    tele.counter("cache.miss", 1);
+    let answer = {
+        let _span = tele.span("inference");
+        CachedAnswer::from(&pipe.infer(q, downsample, attempt))
+    };
     cache.insert(key, answer.clone());
+    tele.counter("cache.insert", 1);
     answer
 }
 
@@ -526,6 +643,7 @@ fn merge_reports(
                 .into_iter()
                 .map(|s| s.expect("grid fully covered"))
                 .collect(),
+            cache_stats: None,
         })
         .collect()
 }
@@ -603,6 +721,7 @@ pub(crate) mod internal {
                     .into_iter()
                     .map(|s| s.expect("grid fully covered"))
                     .collect(),
+                cache_stats: None,
             })
             .collect()
     }
@@ -822,6 +941,72 @@ mod tests {
         assert!(panics > 0, "panics were injected");
         assert_eq!(report.outcomes.len(), bench.len(), "no question lost");
         assert_eq!(report.failed(), panics);
+    }
+
+    #[test]
+    fn enabled_telemetry_never_changes_reports() {
+        let bench = ChipVqa::standard();
+        let pipe = VlmPipeline::new(ModelZoo::gpt4o());
+        let plain = ParallelExecutor::new(4).evaluate(&pipe, &bench, EvalOptions::default());
+        let tele = Telemetry::recording();
+        let traced = ParallelExecutor::new(4)
+            .with_telemetry(tele.clone())
+            .evaluate(&pipe, &bench, EvalOptions::default());
+        assert_eq!(plain, traced);
+        assert_eq!(
+            serde_json::to_string(&plain).expect("serializes"),
+            serde_json::to_string(&traced).expect("serializes"),
+            "telemetry must be invisible in the serialized report"
+        );
+        let snap = tele.snapshot();
+        assert_eq!(snap.spans["executor.run"].count, 1);
+        assert_eq!(
+            snap.counters["executor.queue.local_pop"] + snap.counters["executor.queue.steal"],
+            snap.counters["executor.shards"],
+            "every shard was popped or stolen exactly once"
+        );
+        let verdicts: u64 = snap
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("judge.verdict."))
+            .map(|(_, n)| n)
+            .sum();
+        assert_eq!(verdicts as usize, bench.len(), "one verdict per question");
+        assert_eq!(
+            snap.histograms["executor.question_ns"].count as usize,
+            bench.len()
+        );
+    }
+
+    #[test]
+    fn cache_traffic_shows_up_in_counters_and_report_stats() {
+        let bench = ChipVqa::standard();
+        let pipe = VlmPipeline::new(ModelZoo::neva_22b());
+        let cache = Arc::new(AnswerCache::new());
+        let tele = Telemetry::recording();
+        let exec = ParallelExecutor::new(2)
+            .with_cache(Arc::clone(&cache))
+            .with_telemetry(tele.clone());
+        let cold = exec.evaluate(&pipe, &bench, EvalOptions::default());
+        let warm = exec.evaluate(&pipe, &bench, EvalOptions::default());
+        let snap = tele.snapshot();
+        assert_eq!(snap.counters["cache.miss"] as usize, bench.len());
+        assert_eq!(snap.counters["cache.insert"] as usize, bench.len());
+        assert_eq!(snap.counters["cache.hit"] as usize, bench.len());
+        // spans are hierarchical: inference nests under the worker's
+        // shard/question spans
+        assert_eq!(
+            snap.spans["executor.shard/executor.question/inference"].count as usize,
+            bench.len()
+        );
+
+        // the report carries the cache's cumulative stats at merge time
+        let cold_stats = cold.cache_stats.expect("cache attached");
+        assert_eq!(cold_stats.hits, 0);
+        assert_eq!(cold_stats.misses as usize, bench.len());
+        let warm_stats = warm.cache_stats.expect("cache attached");
+        assert_eq!(warm_stats.hits as usize, bench.len());
+        assert_eq!(warm_stats, cache.stats());
     }
 
     #[test]

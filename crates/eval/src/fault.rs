@@ -73,6 +73,16 @@ pub enum CallSite {
     Judge,
 }
 
+impl CallSite {
+    /// Stable short label (used in telemetry events).
+    pub fn label(self) -> &'static str {
+        match self {
+            CallSite::Inference => "inference",
+            CallSite::Judge => "judge",
+        }
+    }
+}
+
 /// A seeded, reproducible storm of infrastructure faults.
 ///
 /// Rates are independent per-call probabilities in `[0, 1]`; their sum

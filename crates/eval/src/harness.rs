@@ -60,12 +60,25 @@ impl QuestionOutcome {
 }
 
 /// Aggregated evaluation results for one model on one collection.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EvalReport {
     /// Model name.
     pub model: String,
     /// Per-question outcomes.
     pub outcomes: Vec<QuestionOutcome>,
+    /// Answer-cache traffic over the run, when the executor had a cache
+    /// attached (`None` for cache-less and sequential runs). Run
+    /// metadata, not a result: excluded from equality.
+    pub cache_stats: Option<crate::cache::CacheStats>,
+}
+
+/// Reports compare by *results* (model + outcomes). `cache_stats` is
+/// run metadata — a warm cached run must compare equal to the cold or
+/// sequential run that produced identical outcomes.
+impl PartialEq for EvalReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.model == other.model && self.outcomes == other.outcomes
+    }
 }
 
 impl EvalReport {
@@ -234,6 +247,7 @@ pub fn evaluate_with_judge(
     EvalReport {
         model: pipe.profile().name.clone(),
         outcomes,
+        cache_stats: None,
     }
 }
 

@@ -31,6 +31,14 @@
 //! carry explicit coverage/failure accounting so a degraded report is
 //! visibly degraded rather than silently wrong.
 //!
+//! Every layer is instrumented through `chipvqa-telemetry`: attach a
+//! [`Telemetry`](chipvqa_telemetry::Telemetry) handle via
+//! [`ParallelExecutor::with_telemetry`](executor::ParallelExecutor::with_telemetry)
+//! to collect spans, counters and structured events (cache traffic,
+//! injected faults, breaker transitions, panics, degraded-run
+//! accounting). The default handle is disabled and costs one branch per
+//! call site; telemetry never changes results.
+//!
 //! # Example
 //!
 //! ```
@@ -59,7 +67,7 @@ pub mod report;
 pub mod resolution;
 pub mod supervisor;
 
-pub use cache::{AnswerCache, CacheKey, CacheSnapshot, CachedAnswer};
+pub use cache::{AnswerCache, CacheKey, CacheSnapshot, CacheStats, CachedAnswer};
 pub use checkpoint::{Checkpoint, CheckpointError, ShardResult};
 pub use executor::{ParallelExecutor, RetryPolicy};
 pub use fault::{FaultInjector, FaultKind, FaultPlan};

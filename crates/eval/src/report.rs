@@ -57,6 +57,40 @@ impl Table2 {
             .iter()
             .any(|r| r.standard.is_degraded() || r.challenge.is_degraded())
     }
+
+    /// Emits the table's DEGRADED RUN footer as structured telemetry:
+    /// one `run.degraded` event per degraded (model, set) report,
+    /// carrying the same answered/failed/skipped/coverage accounting the
+    /// rendered footer shows, plus a `run.degraded` counter. Returns how
+    /// many events were emitted (0 for a clean table). Row order matches
+    /// the footer: model order, standard before challenge.
+    pub fn emit_degraded_events(&self, tele: &chipvqa_telemetry::Telemetry) -> usize {
+        if !tele.enabled() {
+            return 0;
+        }
+        let mut emitted = 0;
+        for row in &self.rows {
+            for (set, report) in [("std", &row.standard), ("chal", &row.challenge)] {
+                if !report.is_degraded() {
+                    continue;
+                }
+                tele.counter("run.degraded", 1);
+                tele.event(
+                    "run.degraded",
+                    vec![
+                        chipvqa_telemetry::kv("model", &report.model),
+                        chipvqa_telemetry::kv("set", set),
+                        chipvqa_telemetry::kv("answered", report.answered()),
+                        chipvqa_telemetry::kv("failed", report.failed()),
+                        chipvqa_telemetry::kv("skipped", report.breaker_skipped()),
+                        chipvqa_telemetry::kv("coverage", format!("{:.4}", report.coverage())),
+                    ],
+                );
+                emitted += 1;
+            }
+        }
+        emitted
+    }
 }
 
 impl fmt::Display for Table2 {
@@ -195,6 +229,50 @@ mod tests {
         assert!(s.contains(" chal "));
         // transient failures + breaker sheds show up as cat:failed+skipped
         assert!(s.contains('+'), "per-category failed+skipped tokens: {s}");
+    }
+
+    #[test]
+    fn degraded_footer_doubles_as_structured_events() {
+        use crate::executor::ParallelExecutor;
+        use crate::fault::FaultPlan;
+        use crate::supervisor::Supervisor;
+        use chipvqa_telemetry::{MemorySink, MockClock, Telemetry};
+        use std::sync::Arc;
+
+        let bench = ChipVqa::standard();
+        let challenge = bench.challenge();
+        let pipe = VlmPipeline::new(ModelZoo::fuyu_8b());
+        let broken = FaultPlan::none().with_broken_model(pipe.fingerprint());
+        let exec = ParallelExecutor::new(2).with_supervisor(Supervisor::new(broken));
+        let row = ModelRow {
+            standard: exec.evaluate(&pipe, &bench, EvalOptions::default()),
+            challenge: exec.evaluate(&pipe, &challenge, EvalOptions::default()),
+        };
+        let t = Table2 { rows: vec![row] };
+
+        let sink = Arc::new(MemorySink::new());
+        let tele = Telemetry::builder()
+            .clock(MockClock::new(1))
+            .sink(Arc::clone(&sink))
+            .build();
+        let emitted = t.emit_degraded_events(&tele);
+        assert_eq!(emitted, 2, "std and chal splits are both degraded");
+        let events = sink.named("run.degraded");
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("set"), Some("std"));
+        assert_eq!(events[1].get("set"), Some("chal"));
+        let report = &t.rows[0].standard;
+        assert_eq!(
+            events[0].get("answered"),
+            Some(report.answered().to_string().as_str())
+        );
+        assert_eq!(tele.snapshot().counters["run.degraded"], 2);
+
+        // a clean table emits nothing
+        let clean = tiny_table();
+        assert_eq!(clean.emit_degraded_events(&tele), 0);
+        // and a disabled handle is a no-op even on a degraded table
+        assert_eq!(t.emit_degraded_events(&Telemetry::disabled()), 0);
     }
 
     #[test]

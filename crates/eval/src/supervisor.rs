@@ -27,6 +27,7 @@ use std::panic::panic_any;
 use chipvqa_core::question::Question;
 use chipvqa_core::ChipVqa;
 use chipvqa_models::VlmPipeline;
+use chipvqa_telemetry::{kv, Telemetry};
 use serde::{Deserialize, Serialize};
 
 use crate::cache::{AnswerCache, CachedAnswer};
@@ -155,6 +156,17 @@ pub enum BreakerState {
     Open,
     /// Trial calls probe whether the backend recovered.
     HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable short label (used in telemetry events).
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
 }
 
 /// Per-model three-state circuit breaker (closed → open → half-open).
@@ -384,6 +396,19 @@ impl Supervisor {
     /// Replays the breaker over `bench` in question order for one model,
     /// producing the deterministic shed/attempt schedule workers obey.
     pub fn breaker_schedule(&self, fingerprint: u64, bench: &ChipVqa) -> BreakerSchedule {
+        self.breaker_schedule_traced(fingerprint, bench, &Telemetry::disabled())
+    }
+
+    /// [`breaker_schedule`](Supervisor::breaker_schedule), additionally
+    /// emitting one `breaker.transition` event per state change (with
+    /// the question that drove it) and bumping the
+    /// `breaker.transitions` / `breaker.trips` counters.
+    pub fn breaker_schedule_traced(
+        &self,
+        fingerprint: u64,
+        bench: &ChipVqa,
+        tele: &Telemetry,
+    ) -> BreakerSchedule {
         if self.plan().is_zero() {
             return BreakerSchedule {
                 attempts: vec![true; bench.len()],
@@ -394,14 +419,33 @@ impl Supervisor {
         let mut breaker = CircuitBreaker::new(self.breaker);
         let mut attempts = Vec::with_capacity(bench.len());
         for q in bench.iter() {
-            if !breaker.allow() {
+            let before = breaker.state();
+            let trips_before = breaker.trips();
+            let allowed = breaker.allow();
+            if allowed {
+                attempts.push(true);
+                match self.question_health(fingerprint, &q.id) {
+                    None => breaker.record_success(),
+                    Some(_) => breaker.record_failure(),
+                }
+            } else {
                 attempts.push(false);
-                continue;
             }
-            attempts.push(true);
-            match self.question_health(fingerprint, &q.id) {
-                None => breaker.record_success(),
-                Some(_) => breaker.record_failure(),
+            let after = breaker.state();
+            if tele.enabled() && after != before {
+                tele.counter("breaker.transitions", 1);
+                tele.event(
+                    "breaker.transition",
+                    vec![
+                        kv("model_fingerprint", fingerprint),
+                        kv("question", &q.id),
+                        kv("from", before.label()),
+                        kv("to", after.label()),
+                    ],
+                );
+            }
+            if breaker.trips() > trips_before {
+                tele.counter("breaker.trips", 1);
             }
         }
         BreakerSchedule {
@@ -426,12 +470,14 @@ impl Supervisor {
         downsample: usize,
         attempt: u64,
         cache: Option<&AnswerCache>,
+        tele: &Telemetry,
     ) -> Result<CachedAnswer, (EvalError, Option<String>)> {
         let fingerprint = pipe.fingerprint();
         let mut last: Option<(FaultKind, Option<String>)> = None;
         for recovery in 0..=self.recovery.max_retries {
             if recovery > 0 {
                 self.backoff(&question.id, recovery);
+                tele.counter("supervisor.retry", 1);
             }
             let key = CallKey {
                 fingerprint,
@@ -443,14 +489,18 @@ impl Supervisor {
             match self.injector.draw(key) {
                 None => {
                     return Ok(crate::executor::infer_cached(
-                        pipe, question, downsample, attempt, cache,
+                        pipe, question, downsample, attempt, cache, tele,
                     ));
                 }
-                Some(FaultKind::WorkerPanic) => panic_any(InjectedPanic {
-                    fingerprint,
-                    question_id: question.id.clone(),
-                }),
+                Some(FaultKind::WorkerPanic) => {
+                    self.note_fault(tele, FaultKind::WorkerPanic, key);
+                    panic_any(InjectedPanic {
+                        fingerprint,
+                        question_id: question.id.clone(),
+                    })
+                }
                 Some(kind) => {
+                    self.note_fault(tele, kind, key);
                     // Truncation/garbling corrupt a response that did
                     // arrive; reproduce it (uncached!) so the degraded
                     // evidence is real.
@@ -467,6 +517,32 @@ impl Supervisor {
         Err((self.error_for(kind), degraded))
     }
 
+    /// Records one injected fault: the `fault.injected` counter (plus
+    /// `supervisor.deadline_overrun` for timeouts) and, when a sink is
+    /// attached, a structured `fault.injected` event tagged with the
+    /// plan seed and full call key.
+    fn note_fault(&self, tele: &Telemetry, kind: FaultKind, key: CallKey<'_>) {
+        if !tele.enabled() {
+            return;
+        }
+        tele.counter("fault.injected", 1);
+        if kind == FaultKind::Timeout {
+            tele.counter("supervisor.deadline_overrun", 1);
+        }
+        tele.event(
+            "fault.injected",
+            vec![
+                kv("kind", kind.label()),
+                kv("site", key.site.label()),
+                kv("question", key.question_id),
+                kv("plan_seed", self.plan().seed),
+                kv("model_fingerprint", key.fingerprint),
+                kv("attempt", key.attempt),
+                kv("recovery", key.recovery),
+            ],
+        );
+    }
+
     /// One supervised judge verdict (one voting attempt).
     pub(crate) fn verdict(
         &self,
@@ -475,26 +551,34 @@ impl Supervisor {
         question: &Question,
         response: &str,
         judge_attempt: u64,
+        tele: &Telemetry,
     ) -> Result<bool, EvalError> {
         let mut last = None;
         for recovery in 0..=self.recovery.max_retries {
             if recovery > 0 {
                 self.backoff(&question.id, recovery);
+                tele.counter("supervisor.retry", 1);
             }
-            let drawn = self.injector.draw(CallKey {
+            let key = CallKey {
                 fingerprint,
                 question_id: &question.id,
                 site: CallSite::Judge,
                 attempt: judge_attempt,
                 recovery,
-            });
-            match drawn {
+            };
+            match self.injector.draw(key) {
                 None => return Ok(judge.verdict(question, response, judge_attempt)),
-                Some(FaultKind::WorkerPanic) => panic_any(InjectedPanic {
-                    fingerprint,
-                    question_id: question.id.clone(),
-                }),
-                Some(kind) => last = Some(kind),
+                Some(FaultKind::WorkerPanic) => {
+                    self.note_fault(tele, FaultKind::WorkerPanic, key);
+                    panic_any(InjectedPanic {
+                        fingerprint,
+                        question_id: question.id.clone(),
+                    })
+                }
+                Some(kind) => {
+                    self.note_fault(tele, kind, key);
+                    last = Some(kind);
+                }
             }
         }
         Err(self.error_for(last.expect("at least one recovery attempt ran")))
@@ -509,15 +593,16 @@ impl Supervisor {
         fingerprint: u64,
         question: &Question,
         response: &str,
+        tele: &Telemetry,
     ) -> Result<bool, EvalError> {
-        let first = self.verdict(judge, fingerprint, question, response, 0)?;
+        let first = self.verdict(judge, fingerprint, question, response, 0, tele)?;
         if retry.attempts <= 1 {
             return Ok(first);
         }
         let mut yes = u64::from(first);
         for attempt in 1..retry.attempts {
             retry.sleep_backoff(question, attempt);
-            if self.verdict(judge, fingerprint, question, response, attempt)? {
+            if self.verdict(judge, fingerprint, question, response, attempt, tele)? {
                 yes += 1;
             }
         }
@@ -672,7 +757,9 @@ mod tests {
         let pipe = chipvqa_models::VlmPipeline::new(ModelZoo::gpt4o());
         let sup = Supervisor::new(FaultPlan::none());
         let q = &bench.questions()[0];
-        let supervised = sup.infer(&pipe, q, 1, 0, None).expect("no faults");
+        let supervised = sup
+            .infer(&pipe, q, 1, 0, None, &Telemetry::disabled())
+            .expect("no faults");
         let plain = pipe.infer(q, 1, 0);
         assert_eq!(supervised.text, plain.text);
         assert_eq!(supervised.path, plain.path);
@@ -688,7 +775,9 @@ mod tests {
                 ..RecoveryPolicy::default()
             });
         let q = &bench.questions()[0];
-        let (err, degraded) = sup.infer(&pipe, q, 1, 0, None).unwrap_err();
+        let (err, degraded) = sup
+            .infer(&pipe, q, 1, 0, None, &Telemetry::disabled())
+            .unwrap_err();
         assert_eq!(err, EvalError::Transient);
         assert_eq!(degraded, None, "transient errors leave no evidence");
         // judge calls for the same broken model still work
@@ -699,6 +788,7 @@ mod tests {
                 q,
                 &q.golden_text(),
                 0,
+                &Telemetry::disabled(),
             )
             .expect("judge path unaffected by broken model");
         assert!(ok);
@@ -714,9 +804,75 @@ mod tests {
         })
         .with_deadline_ms(1234);
         let q = &bench.questions()[3];
-        let (err, _) = sup.infer(&pipe, q, 1, 0, None).unwrap_err();
+        let (err, _) = sup
+            .infer(&pipe, q, 1, 0, None, &Telemetry::disabled())
+            .unwrap_err();
         assert_eq!(err, EvalError::Timeout { deadline_ms: 1234 });
         assert_eq!(err.label(), "timeout");
+    }
+
+    #[test]
+    fn traced_schedule_matches_untraced_and_emits_transitions() {
+        use chipvqa_telemetry::{MemorySink, MockClock};
+        use std::sync::Arc;
+
+        let bench = ChipVqa::standard();
+        let fp = 0xfeed_beef;
+        let sup = Supervisor::new(FaultPlan::none().with_broken_model(fp));
+        let sink = Arc::new(MemorySink::new());
+        let tele = chipvqa_telemetry::Telemetry::builder()
+            .clock(MockClock::new(1))
+            .sink(Arc::clone(&sink))
+            .build();
+        let traced = sup.breaker_schedule_traced(fp, &bench, &tele);
+        assert_eq!(traced, sup.breaker_schedule(fp, &bench));
+        let snap = tele.snapshot();
+        assert!(snap.counters["breaker.trips"] >= 1);
+        assert_eq!(
+            snap.counters["breaker.trips"],
+            u64::from(traced.trips()),
+            "counter matches the schedule's trip count"
+        );
+        let transitions = sink.named("breaker.transition");
+        assert!(!transitions.is_empty());
+        assert_eq!(transitions[0].get("from"), Some("closed"));
+        assert_eq!(transitions[0].get("to"), Some("open"));
+    }
+
+    #[test]
+    fn injected_faults_are_recorded_as_events() {
+        use chipvqa_telemetry::{MemorySink, MockClock};
+        use std::sync::Arc;
+
+        let bench = ChipVqa::standard();
+        let pipe = chipvqa_models::VlmPipeline::new(ModelZoo::gpt4o());
+        let sup = Supervisor::new(FaultPlan {
+            timeout_rate: 1.0,
+            seed: 9,
+            ..FaultPlan::none()
+        })
+        .with_recovery(RecoveryPolicy {
+            max_retries: 1,
+            ..RecoveryPolicy::default()
+        });
+        let sink = Arc::new(MemorySink::new());
+        let tele = chipvqa_telemetry::Telemetry::builder()
+            .clock(MockClock::new(1))
+            .sink(Arc::clone(&sink))
+            .build();
+        let q = &bench.questions()[0];
+        let (err, _) = sup.infer(&pipe, q, 1, 0, None, &tele).unwrap_err();
+        assert!(matches!(err, EvalError::Timeout { .. }));
+        let snap = tele.snapshot();
+        assert_eq!(snap.counters["fault.injected"], 2, "two recovery draws");
+        assert_eq!(snap.counters["supervisor.deadline_overrun"], 2);
+        assert_eq!(snap.counters["supervisor.retry"], 1);
+        let events = sink.named("fault.injected");
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("kind"), Some("timeout"));
+        assert_eq!(events[0].get("site"), Some("inference"));
+        assert_eq!(events[0].get("plan_seed"), Some("9"));
+        assert_eq!(events[0].get("question"), Some(q.id.as_str()));
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! The time seam: telemetry never reads wall-clock time directly.
+//!
+//! Every timestamp flows through a [`Clock`] owned by the
+//! [`Telemetry`](crate::Telemetry) handle. Production uses
+//! [`MonotonicClock`]; tests use [`MockClock`], whose "time" is a pure
+//! function of how many observations were made — which is what makes
+//! trace files byte-stable under fixed seeds (see the crate docs).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Source of monotonically non-decreasing nanosecond timestamps.
+///
+/// Implementations must be cheap (called twice per span) and
+/// thread-safe (workers record concurrently).
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since the clock's origin.
+    fn now_ns(&self) -> u64;
+}
+
+/// Real time: nanoseconds since the clock was constructed.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        let ns = self.origin.elapsed().as_nanos();
+        u64::try_from(ns).unwrap_or(u64::MAX)
+    }
+}
+
+/// Deterministic test clock: every observation returns the previous
+/// tick count × `tick_ns`, then advances by one tick.
+///
+/// Because "time" depends only on the *number* of observations, two
+/// runs that make the same sequence of telemetry calls see identical
+/// timestamps — the property the byte-stable-trace tests rely on.
+/// Clones share state (an [`Arc`]), so a test can keep a handle for
+/// inspection while the telemetry pipeline owns another.
+#[derive(Debug, Clone)]
+pub struct MockClock {
+    ticks: Arc<AtomicU64>,
+    tick_ns: u64,
+}
+
+impl MockClock {
+    /// A clock starting at 0 that advances `tick_ns` per observation.
+    pub fn new(tick_ns: u64) -> Self {
+        MockClock {
+            ticks: Arc::new(AtomicU64::new(0)),
+            tick_ns,
+        }
+    }
+
+    /// How many observations have been made.
+    pub fn observations(&self) -> u64 {
+        self.ticks.load(Ordering::SeqCst)
+    }
+
+    /// Advances the clock by `n` extra ticks without observing it.
+    pub fn advance(&self, n: u64) {
+        self.ticks.fetch_add(n, Ordering::SeqCst);
+    }
+}
+
+impl Clock for MockClock {
+    fn now_ns(&self) -> u64 {
+        self.ticks.fetch_add(1, Ordering::SeqCst) * self.tick_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_never_goes_backwards() {
+        let clock = MonotonicClock::new();
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn mock_clock_is_a_pure_function_of_observation_count() {
+        let clock = MockClock::new(100);
+        assert_eq!(clock.now_ns(), 0);
+        assert_eq!(clock.now_ns(), 100);
+        assert_eq!(clock.now_ns(), 200);
+        assert_eq!(clock.observations(), 3);
+
+        let again = MockClock::new(100);
+        assert_eq!(again.now_ns(), 0);
+        assert_eq!(again.now_ns(), 100);
+    }
+
+    #[test]
+    fn mock_clock_clones_share_state() {
+        let a = MockClock::new(10);
+        let b = a.clone();
+        assert_eq!(a.now_ns(), 0);
+        assert_eq!(b.now_ns(), 10);
+        b.advance(5);
+        assert_eq!(a.now_ns(), 70);
+    }
+}

@@ -1,0 +1,348 @@
+//! Sharded counters, gauges and fixed-bucket histograms.
+//!
+//! Recording goes to one of a small fixed number of shards (thread →
+//! shard by hashing the thread id), so executor workers almost never
+//! contend on the same mutex; [`MetricsRegistry::snapshot`] merges the
+//! shards into deterministic (sorted) maps at scrape time.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use serde::{Deserialize, Serialize};
+
+/// Shards in the registry. More than any realistic worker count in this
+/// workspace; collisions only cost a little lock contention.
+const SHARDS: usize = 16;
+
+/// Histogram buckets: bucket `b` holds values whose bit-length is `b`
+/// (i.e. `[2^(b-1), 2^b)` for `b >= 1`; bucket 0 holds exactly 0).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of histogram bucket `b`, used when reporting
+/// quantiles.
+pub fn bucket_upper_bound(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+#[derive(Default)]
+struct ShardData {
+    counters: HashMap<String, u64>,
+    // gauge value tagged with a global write sequence so "last write
+    // wins" is well-defined across shards
+    gauges: HashMap<String, (u64, f64)>,
+    histograms: HashMap<String, HistData>,
+    spans: HashMap<String, SpanStat>,
+}
+
+#[derive(Clone)]
+struct HistData {
+    count: u64,
+    sum: u64,
+    buckets: Vec<u64>,
+}
+
+impl Default for HistData {
+    fn default() -> Self {
+        HistData {
+            count: 0,
+            sum: 0,
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+/// Aggregate timing of all spans sharing one hierarchy path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SpanStat {
+    /// Completed spans on this path.
+    pub count: u64,
+    /// Total wall time across them, ns.
+    pub total_ns: u64,
+    /// Total time *not* attributed to child spans, ns.
+    pub self_ns: u64,
+}
+
+/// Merged, deterministic point-in-time view of the registry.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Latest gauge value by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Span aggregates by hierarchy path.
+    pub spans: BTreeMap<String, SpanStat>,
+}
+
+/// One merged histogram.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Per-bucket observation counts (see [`bucket_upper_bound`]).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Upper bound of the bucket containing quantile `q` in `[0, 1]` —
+    /// a conservative (over-) estimate with power-of-two resolution.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(b);
+            }
+        }
+        bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// The sharded metrics store behind a [`Telemetry`](crate::Telemetry)
+/// handle.
+pub struct MetricsRegistry {
+    shards: Vec<Mutex<ShardData>>,
+    gauge_seq: AtomicU64,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+/// Poison-tolerant lock: the supervised executor catches injected
+/// panics with `catch_unwind`, and a record made after such a panic must
+/// still succeed. Every shard mutation is a single map operation, so
+/// recovering the guard is sound.
+fn shard_lock(shard: &Mutex<ShardData>) -> MutexGuard<'_, ShardData> {
+    shard
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(ShardData::default()))
+                .collect(),
+            gauge_seq: AtomicU64::new(0),
+        }
+    }
+
+    fn my_shard(&self) -> &Mutex<ShardData> {
+        thread_local! {
+            static SHARD: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+        }
+        let idx = SHARD.with(|s| {
+            let mut idx = s.get();
+            if idx == usize::MAX {
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                std::thread::current().id().hash(&mut h);
+                idx = (h.finish() as usize) % SHARDS;
+                s.set(idx);
+            }
+            idx
+        });
+        &self.shards[idx]
+    }
+
+    /// Adds `delta` to counter `name`.
+    pub fn counter(&self, name: &str, delta: u64) {
+        let mut shard = shard_lock(self.my_shard());
+        match shard.counters.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                shard.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Sets gauge `name` (last write wins, globally sequenced).
+    pub fn gauge(&self, name: &str, value: f64) {
+        let seq = self.gauge_seq.fetch_add(1, Ordering::Relaxed);
+        shard_lock(self.my_shard())
+            .gauges
+            .insert(name.to_string(), (seq, value));
+    }
+
+    /// Records one observation into histogram `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        let mut shard = shard_lock(self.my_shard());
+        let hist = shard.histograms.entry(name.to_string()).or_default();
+        hist.count += 1;
+        hist.sum = hist.sum.saturating_add(value);
+        hist.buckets[bucket_index(value)] += 1;
+    }
+
+    /// Folds one completed span into the per-path aggregate.
+    pub fn record_span(&self, path: &str, dur_ns: u64, self_ns: u64) {
+        let mut shard = shard_lock(self.my_shard());
+        let stat = shard.spans.entry(path.to_string()).or_default();
+        stat.count += 1;
+        stat.total_ns = stat.total_ns.saturating_add(dur_ns);
+        stat.self_ns = stat.self_ns.saturating_add(self_ns);
+    }
+
+    /// Merges every shard into a deterministic snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        let mut gauge_seqs: BTreeMap<String, u64> = BTreeMap::new();
+        for shard in &self.shards {
+            let shard = shard_lock(shard);
+            for (name, &v) in &shard.counters {
+                *out.counters.entry(name.clone()).or_insert(0) += v;
+            }
+            for (name, &(seq, value)) in &shard.gauges {
+                let newest = gauge_seqs.get(name).is_none_or(|&s| seq >= s);
+                if newest {
+                    gauge_seqs.insert(name.clone(), seq);
+                    out.gauges.insert(name.clone(), value);
+                }
+            }
+            for (name, hist) in &shard.histograms {
+                let merged =
+                    out.histograms
+                        .entry(name.clone())
+                        .or_insert_with(|| HistogramSnapshot {
+                            count: 0,
+                            sum: 0,
+                            buckets: vec![0; HISTOGRAM_BUCKETS],
+                        });
+                merged.count += hist.count;
+                merged.sum = merged.sum.saturating_add(hist.sum);
+                for (b, &n) in hist.buckets.iter().enumerate() {
+                    merged.buckets[b] += n;
+                }
+            }
+            for (path, stat) in &shard.spans {
+                let merged = out.spans.entry(path.clone()).or_default();
+                merged.count += stat.count;
+                merged.total_ns = merged.total_ns.saturating_add(stat.total_ns);
+                merged.self_ns = merged.self_ns.saturating_add(stat.self_ns);
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_across_threads() {
+        let reg = MetricsRegistry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        reg.counter("hits", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.snapshot().counters["hits"], 400);
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("coverage", 0.5);
+        reg.gauge("coverage", 0.9);
+        assert_eq!(reg.snapshot().gauges["coverage"], 0.9);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let reg = MetricsRegistry::new();
+        for v in [0u64, 1, 2, 3, 100, 1000, 1_000_000] {
+            reg.observe("lat", v);
+        }
+        let snap = reg.snapshot();
+        let hist = &snap.histograms["lat"];
+        assert_eq!(hist.count, 7);
+        assert_eq!(hist.sum, 1_001_106);
+        // p50 falls in the bucket containing 3 (values 0,1,2,3 below it)
+        assert!(hist.quantile(0.5) >= 3);
+        assert!(hist.quantile(1.0) >= 1_000_000);
+        assert_eq!(hist.quantile(0.0), 0);
+        assert!(hist.mean() > 0);
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotone() {
+        let mut prev = 0;
+        for b in 0..HISTOGRAM_BUCKETS {
+            let upper = bucket_upper_bound(b);
+            assert!(upper >= prev);
+            prev = upper;
+        }
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(4), 15);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn span_aggregates_merge() {
+        let reg = MetricsRegistry::new();
+        reg.record_span("run/shard", 100, 40);
+        reg.record_span("run/shard", 300, 100);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.spans["run/shard"],
+            SpanStat {
+                count: 2,
+                total_ns: 400,
+                self_ns: 140
+            }
+        );
+    }
+
+    #[test]
+    fn snapshot_serde_roundtrip() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a", 3);
+        reg.gauge("g", 1.25);
+        reg.observe("h", 7);
+        reg.record_span("p", 10, 10);
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).expect("serializes");
+        let back: MetricsSnapshot = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, snap);
+    }
+}

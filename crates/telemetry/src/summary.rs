@@ -1,0 +1,247 @@
+//! The human-readable run summary.
+//!
+//! [`TelemetrySummary`] condenses a [`MetricsSnapshot`] into the table
+//! appended to reports: spans ranked by total time (with self time and
+//! call counts), counters ranked by value, gauges, and histogram
+//! quantiles. Ordering is deterministic (ties break on name), so the
+//! rendered table is stable across runs with identical metrics.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::MetricsSnapshot;
+
+/// One span path in the summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRow {
+    /// Hierarchy path.
+    pub path: String,
+    /// Completed spans on the path.
+    pub count: u64,
+    /// Total wall time, ns.
+    pub total_ns: u64,
+    /// Time not attributed to children, ns.
+    pub self_ns: u64,
+}
+
+/// One histogram in the summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramRow {
+    /// Histogram name.
+    pub name: String,
+    /// Observations.
+    pub count: u64,
+    /// Mean observation, ns.
+    pub mean_ns: u64,
+    /// Median (bucket upper bound), ns.
+    pub p50_ns: u64,
+    /// 90th percentile (bucket upper bound), ns.
+    pub p90_ns: u64,
+    /// 99th percentile (bucket upper bound), ns.
+    pub p99_ns: u64,
+}
+
+/// Deterministic, serialisable digest of one run's telemetry.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TelemetrySummary {
+    /// Span paths, ranked by total time (descending), ties by path.
+    pub spans: Vec<SpanRow>,
+    /// Counters, ranked by value (descending), ties by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramRow>,
+}
+
+impl TelemetrySummary {
+    /// Builds the summary from a merged snapshot.
+    pub fn from_snapshot(snapshot: &MetricsSnapshot) -> Self {
+        let mut spans: Vec<SpanRow> = snapshot
+            .spans
+            .iter()
+            .map(|(path, stat)| SpanRow {
+                path: path.clone(),
+                count: stat.count,
+                total_ns: stat.total_ns,
+                self_ns: stat.self_ns,
+            })
+            .collect();
+        spans.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.path.cmp(&b.path)));
+
+        let mut counters: Vec<(String, u64)> = snapshot
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect();
+        counters.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+        let gauges: Vec<(String, f64)> = snapshot
+            .gauges
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect();
+
+        let histograms: Vec<HistogramRow> = snapshot
+            .histograms
+            .iter()
+            .map(|(name, hist)| HistogramRow {
+                name: name.clone(),
+                count: hist.count,
+                mean_ns: hist.mean(),
+                p50_ns: hist.quantile(0.50),
+                p90_ns: hist.quantile(0.90),
+                p99_ns: hist.quantile(0.99),
+            })
+            .collect();
+
+        TelemetrySummary {
+            spans,
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Whether there is nothing to show.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+    }
+}
+
+/// Renders nanoseconds with a readable unit (ASCII only).
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+impl fmt::Display for TelemetrySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "TELEMETRY SUMMARY")?;
+        if self.is_empty() {
+            return writeln!(f, "  (no telemetry recorded)");
+        }
+        if !self.spans.is_empty() {
+            writeln!(
+                f,
+                "  {:<44} {:>8} {:>10} {:>10}",
+                "span path", "count", "total", "self"
+            )?;
+            for row in &self.spans {
+                writeln!(
+                    f,
+                    "  {:<44} {:>8} {:>10} {:>10}",
+                    row.path,
+                    row.count,
+                    fmt_ns(row.total_ns),
+                    fmt_ns(row.self_ns)
+                )?;
+            }
+        }
+        if !self.counters.is_empty() {
+            writeln!(f, "  {:<44} {:>8}", "counter", "value")?;
+            for (name, value) in &self.counters {
+                writeln!(f, "  {name:<44} {value:>8}")?;
+            }
+        }
+        if !self.gauges.is_empty() {
+            writeln!(f, "  {:<44} {:>8}", "gauge", "value")?;
+            for (name, value) in &self.gauges {
+                writeln!(f, "  {name:<44} {value:>8.3}")?;
+            }
+        }
+        if !self.histograms.is_empty() {
+            writeln!(
+                f,
+                "  {:<28} {:>8} {:>9} {:>9} {:>9} {:>9}",
+                "histogram", "count", "mean", "p50", "p90", "p99"
+            )?;
+            for row in &self.histograms {
+                writeln!(
+                    f,
+                    "  {:<28} {:>8} {:>9} {:>9} {:>9} {:>9}",
+                    row.name,
+                    row.count,
+                    fmt_ns(row.mean_ns),
+                    fmt_ns(row.p50_ns),
+                    fmt_ns(row.p90_ns),
+                    fmt_ns(row.p99_ns)
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn sample_summary() -> TelemetrySummary {
+        let reg = MetricsRegistry::new();
+        reg.counter("cache.hit", 120);
+        reg.counter("cache.miss", 22);
+        reg.gauge("coverage", 0.97);
+        for v in [900u64, 1100, 4000] {
+            reg.observe("question_ns", v);
+        }
+        reg.record_span("run", 5000, 1000);
+        reg.record_span("run/shard", 4000, 4000);
+        TelemetrySummary::from_snapshot(&reg.snapshot())
+    }
+
+    #[test]
+    fn ranking_is_deterministic() {
+        let s = sample_summary();
+        assert_eq!(s.spans[0].path, "run", "largest total first");
+        assert_eq!(s.counters[0].0, "cache.hit", "largest counter first");
+        assert_eq!(s.histograms.len(), 1);
+        assert!(s.histograms[0].p99_ns >= s.histograms[0].p50_ns);
+    }
+
+    #[test]
+    fn renders_all_sections() {
+        let text = sample_summary().to_string();
+        assert!(text.contains("TELEMETRY SUMMARY"));
+        assert!(text.contains("span path"));
+        assert!(text.contains("run/shard"));
+        assert!(text.contains("cache.hit"));
+        assert!(text.contains("coverage"));
+        assert!(text.contains("question_ns"));
+    }
+
+    #[test]
+    fn empty_summary_says_so() {
+        let s = TelemetrySummary::default();
+        assert!(s.is_empty());
+        assert!(s.to_string().contains("no telemetry recorded"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = sample_summary();
+        let json = serde_json::to_string(&s).expect("serializes");
+        let back: TelemetrySummary = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(17), "17ns");
+        assert_eq!(fmt_ns(1_500), "1.5us");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

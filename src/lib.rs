@@ -51,3 +51,5 @@ pub use chipvqa_models as models;
 pub use chipvqa_physd as physd;
 /// The raster substrate (pixmaps, rendering, legibility metrics).
 pub use chipvqa_raster as raster;
+/// Deterministic observability (spans, metrics, trace sinks).
+pub use chipvqa_telemetry as telemetry;

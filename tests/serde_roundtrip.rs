@@ -133,6 +133,77 @@ fn cached_answer_preserves_path_variants() {
 }
 
 #[test]
+fn eval_report_roundtrips_with_and_without_cache_stats() {
+    use chipvqa::eval::harness::EvalReport;
+    use std::sync::Arc;
+
+    let bench = ChipVqa::standard();
+    let pipe = VlmPipeline::new(ModelZoo::llava_13b());
+
+    // Cache-less run: `cache_stats` serializes as null and survives.
+    let plain = ParallelExecutor::new(2).evaluate(&pipe, &bench, EvalOptions::default());
+    let json = serde_json::to_string(&plain).expect("serializes");
+    assert!(json.contains("\"cache_stats\":null"));
+    let back: EvalReport = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, plain);
+    assert_eq!(back.cache_stats, None);
+
+    // Cached run: the stats block round-trips field-for-field. Equality
+    // on EvalReport ignores run metadata, so compare the stats directly.
+    let cache = Arc::new(AnswerCache::new());
+    let exec = ParallelExecutor::new(2).with_cache(Arc::clone(&cache));
+    let cached = exec.evaluate(&pipe, &bench, EvalOptions::default());
+    let stats = cached.cache_stats.expect("cached run records stats");
+    assert_eq!(stats, cache.stats());
+    let json = serde_json::to_string(&cached).expect("serializes");
+    let back: EvalReport = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, cached);
+    assert_eq!(back.cache_stats, Some(stats));
+}
+
+#[test]
+fn telemetry_summary_roundtrip() {
+    use chipvqa::telemetry::{Telemetry, TelemetrySummary};
+
+    let bench = ChipVqa::standard();
+    let tele = Telemetry::recording();
+    let exec = ParallelExecutor::new(2).with_telemetry(tele.clone());
+    exec.evaluate(
+        &VlmPipeline::new(ModelZoo::paligemma()),
+        &bench,
+        EvalOptions::default(),
+    );
+    let summary = tele.summary();
+    assert!(!summary.is_empty(), "instrumented run produces a summary");
+    let json = serde_json::to_string(&summary).expect("serializes");
+    let back: TelemetrySummary = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, summary);
+}
+
+#[test]
+fn jsonl_trace_roundtrip() {
+    use chipvqa::telemetry::{parse_jsonl, JsonlSink, MockClock, Telemetry};
+    use std::sync::Arc;
+
+    let bench = ChipVqa::standard();
+    let sink = Arc::new(JsonlSink::new());
+    let tele = Telemetry::builder()
+        .clock(MockClock::new(1))
+        .sink(Arc::clone(&sink))
+        .build();
+    let exec = ParallelExecutor::new(1).with_telemetry(tele);
+    exec.evaluate(
+        &VlmPipeline::new(ModelZoo::kosmos_2()),
+        &bench,
+        EvalOptions::default(),
+    );
+    let text = sink.to_jsonl();
+    let records = parse_jsonl(&text).expect("every line parses back");
+    assert_eq!(records.len(), sink.len());
+    assert!(records.iter().any(|r| r.name() == "executor.run"));
+}
+
+#[test]
 fn question_metadata_roundtrip_skips_pixels() {
     let bench = ChipVqa::standard();
     let q = bench.questions().first().expect("nonempty");
