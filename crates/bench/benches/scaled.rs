@@ -1,0 +1,62 @@
+//! Scaled-dataset benches: materialised generation vs shard-streamed
+//! generation, and batch evaluation of a pre-built scaled collection vs
+//! the streaming intake that overlaps generation with inference.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use chipvqa_core::{DatasetSpec, BASE_SIZE};
+use chipvqa_eval::harness::EvalOptions;
+use chipvqa_eval::ParallelExecutor;
+use chipvqa_models::{ModelZoo, VlmPipeline};
+
+fn bench_scaled_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaled_generation");
+    group.sample_size(10);
+
+    for scale in [1usize, 4] {
+        let spec = DatasetSpec::scaled(scale);
+        group.bench_with_input(BenchmarkId::new("build", scale), &spec, |b, spec| {
+            b.iter(|| black_box(spec.build()))
+        });
+        group.bench_with_input(BenchmarkId::new("stream", scale), &spec, |b, spec| {
+            b.iter(|| {
+                let mut n = 0usize;
+                for shard in spec.stream(BASE_SIZE) {
+                    n += black_box(shard).len();
+                }
+                black_box(n)
+            })
+        });
+    }
+
+    group.finish();
+}
+
+fn bench_scaled_eval(c: &mut Criterion) {
+    let pipe = VlmPipeline::new(ModelZoo::gpt4o());
+    let mut group = c.benchmark_group("scaled_eval");
+    group.sample_size(10);
+
+    for scale in [1usize, 4] {
+        let spec = DatasetSpec::scaled(scale);
+        let built = spec.build();
+        let exec = ParallelExecutor::new(4);
+        group.bench_with_input(
+            BenchmarkId::new("batch_prebuilt", scale),
+            &built,
+            |b, built| b.iter(|| black_box(exec.evaluate(&pipe, built, EvalOptions::default()))),
+        );
+        group.bench_with_input(BenchmarkId::new("streamed", scale), &spec, |b, spec| {
+            b.iter(|| {
+                black_box(exec.evaluate_spec_stream(&pipe, spec, BASE_SIZE, EvalOptions::default()))
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaled_generation, bench_scaled_eval);
+criterion_main!(benches);

@@ -1,10 +1,54 @@
 //! Regenerates Table II: zero-shot pass@1 of all twelve models on the
 //! standard (with-choice) and challenge (no-choice) collections.
+//!
+//! `--scale N` runs the same grid on an N×-scaled [`DatasetSpec`]
+//! collection, streamed shard-by-shard through the parallel executor
+//! (`--workers W`, default 4). The paper-reference comparison applies
+//! only at scale 1, where the collection is the paper's.
 
-use chipvqa_bench::{paper_reference, run_table2};
-use chipvqa_core::ChipVqa;
+use chipvqa_bench::{paper_reference, run_table2, run_table2_scaled};
+use chipvqa_core::{ChipVqa, DatasetSpec};
 
 fn main() {
+    let mut scale = 1usize;
+    let mut workers = 4usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .expect("--scale takes a positive integer");
+            }
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .expect("--workers takes a positive integer");
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (usage: table2 [--scale N] [--workers W])");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if scale > 1 {
+        let spec = DatasetSpec::scaled(scale);
+        println!(
+            "scaled run: {} questions per column ({}x), {} workers, streamed\n",
+            spec.total(),
+            scale,
+            workers
+        );
+        let table = run_table2_scaled(scale, workers);
+        println!("{table}");
+        return;
+    }
+
     let bench = ChipVqa::standard();
     let table = run_table2(&bench);
     println!("{table}");

@@ -3,9 +3,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use chipvqa_core::ChipVqa;
+use chipvqa_core::{ChipVqa, DatasetSpec, BASE_SIZE};
 use chipvqa_eval::harness::{evaluate, EvalOptions};
 use chipvqa_eval::report::{ModelRow, Table2};
+use chipvqa_eval::ParallelExecutor;
 use chipvqa_models::{ModelZoo, VlmPipeline};
 
 /// Runs the full Table-II evaluation: every zoo model on the standard and
@@ -19,6 +20,32 @@ pub fn run_table2(bench: &ChipVqa) -> Table2 {
             ModelRow {
                 standard: evaluate(&pipe, bench, EvalOptions::default()),
                 challenge: evaluate(&pipe, &challenge, EvalOptions::default()),
+            }
+        })
+        .collect();
+    Table2 { rows }
+}
+
+/// Runs the Table-II evaluation on an N×-scaled collection: every zoo
+/// model on [`DatasetSpec::scaled`]`(scale)` (with-choice column) and
+/// the same spec at `mc_sa_ratio` 0 (no-choice column). Questions are
+/// streamed shard-by-shard through the executor — generation overlapped
+/// with inference — so the collection is never materialised whole.
+pub fn run_table2_scaled(scale: usize, workers: usize) -> Table2 {
+    let standard = DatasetSpec::scaled(scale);
+    let challenge = standard.clone().with_mc_sa_ratio(0.0);
+    let exec = ParallelExecutor::new(workers);
+    let rows = ModelZoo::all()
+        .into_iter()
+        .map(|profile| {
+            let pipe = VlmPipeline::new(profile);
+            let (std_report, _) =
+                exec.evaluate_spec_stream(&pipe, &standard, BASE_SIZE, EvalOptions::default());
+            let (chal_report, _) =
+                exec.evaluate_spec_stream(&pipe, &challenge, BASE_SIZE, EvalOptions::default());
+            ModelRow {
+                standard: std_report,
+                challenge: chal_report,
             }
         })
         .collect();

@@ -50,6 +50,12 @@ impl ChipVqa {
         ChipVqa::extended_with_seed(DEFAULT_SEED)
     }
 
+    /// Assembles a collection from pre-generated questions (the
+    /// [`DatasetSpec`](crate::spec::DatasetSpec) engine's constructor).
+    pub(crate) fn from_parts(questions: Vec<Question>, seed: u64) -> Self {
+        ChipVqa { questions, seed }
+    }
+
     /// The seed this collection was generated from.
     pub fn seed(&self) -> u64 {
         self.seed

@@ -14,6 +14,16 @@ use crate::question::{
     trim_float, AnswerSpec, Category, Difficulty, Question, QuestionKind, VisualKind,
 };
 
+/// Questions per replica block (Table I's Digital count).
+pub const BLOCK_SIZE: usize = 35;
+
+/// Replica block `replica` for the scale engine: the same family
+/// sequence under the replica-mixed seed, ids renumbered past the
+/// preceding blocks. Replica 0 is [`generate`] verbatim.
+pub fn generate_replica(seed: u64, replica: usize) -> Vec<Question> {
+    super::replica_block(generate, seed, replica, "digital")
+}
+
 /// Generates the 35-question Digital Design set (all multiple choice).
 pub fn generate(seed: u64) -> Vec<Question> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xD161);

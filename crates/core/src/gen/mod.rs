@@ -13,12 +13,34 @@ pub mod digital;
 pub mod extension;
 pub mod manufacturing;
 pub mod physical;
+pub mod verify;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
 use crate::question::trim_float;
+
+/// Produces replica block `replica` of a category: the generator re-run
+/// with the replica-mixed seed, ids renumbered past the preceding
+/// replicas (`{prefix}-{replica·block + i}`). Replica 0 is the base
+/// output verbatim — the identity anchor of the scale engine.
+pub(crate) fn replica_block(
+    generate: fn(u64) -> Vec<crate::question::Question>,
+    seed: u64,
+    replica: usize,
+    prefix: &str,
+) -> Vec<crate::question::Question> {
+    if replica == 0 {
+        return generate(seed);
+    }
+    let mut block = generate(crate::spec::replica_seed(seed, replica));
+    let size = block.len();
+    for (i, q) in block.iter_mut().enumerate() {
+        q.id = format!("{prefix}-{:03}", replica * size + i);
+    }
+    block
+}
 
 /// Builds a shuffled four-option MC answer set from the gold text and
 /// three distractors, returning `(choices, correct_index)`.

@@ -33,8 +33,10 @@ pub mod compare;
 pub mod dataset;
 pub mod gen;
 pub mod question;
+pub mod spec;
 pub mod stats;
 pub mod tokens;
 
 pub use dataset::ChipVqa;
 pub use question::{AnswerSpec, Category, Difficulty, Question, QuestionKind, VisualKind};
+pub use spec::{DatasetSpec, ShardStream, BASE_SIZE, RESIDENT_SLACK, TABLE1_WEIGHTS};

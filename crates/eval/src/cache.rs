@@ -54,12 +54,32 @@ pub struct CacheKey {
     pub downsample: usize,
     /// pass@k attempt index.
     pub attempt: u64,
+    /// Fingerprint of the [`DatasetSpec`](chipvqa_core::spec::DatasetSpec)
+    /// the question came from (`0` for the canonical collections).
+    /// Scaled replicas reuse id shapes across specs, so the spec
+    /// fingerprint keeps their answers from ever crossing specs.
+    #[serde(default)]
+    pub dataset_fingerprint: u64,
 }
 
 impl CacheKey {
-    /// Key for one inference call.
+    /// Key for one inference call against a canonical (non-spec)
+    /// collection.
     pub fn new(
         model_fingerprint: u64,
+        question: &Question,
+        downsample: usize,
+        attempt: u64,
+    ) -> Self {
+        CacheKey::for_dataset(model_fingerprint, 0, question, downsample, attempt)
+    }
+
+    /// Key for one inference call against a spec-generated collection;
+    /// `dataset_fingerprint` is
+    /// [`DatasetSpec::fingerprint`](chipvqa_core::spec::DatasetSpec::fingerprint).
+    pub fn for_dataset(
+        model_fingerprint: u64,
+        dataset_fingerprint: u64,
         question: &Question,
         downsample: usize,
         attempt: u64,
@@ -70,6 +90,7 @@ impl CacheKey {
             prompt_hash: prompt_hash(question),
             downsample,
             attempt,
+            dataset_fingerprint,
         }
     }
 }

@@ -23,6 +23,7 @@
 
 use std::fmt;
 
+use chipvqa_core::spec::DatasetSpec;
 use chipvqa_core::ChipVqa;
 use chipvqa_models::VlmPipeline;
 use chipvqa_telemetry::{kv, Telemetry};
@@ -58,6 +59,12 @@ pub struct Checkpoint {
     /// Shards whose worker caught a panic (their outcomes are recorded,
     /// degraded). Candidates for [`Checkpoint::requeue_quarantined`].
     pub quarantined: Vec<ShardKey>,
+    /// Fingerprint of the [`DatasetSpec`] the bench was built from, when
+    /// the run evaluates a scaled collection (see
+    /// [`Checkpoint::for_spec`]). `None` for canonical collections — and
+    /// for checkpoints serialized before the scale engine existed.
+    #[serde(default)]
+    pub spec_fingerprint: Option<u64>,
 }
 
 /// Why a checkpoint cannot drive a resume.
@@ -71,6 +78,9 @@ pub enum CheckpointError {
     OptionsMismatch,
     /// A recorded shard is not part of the canonical plan (corruption).
     UnknownShard(ShardKey),
+    /// The checkpoint was taken against a different [`DatasetSpec`] (or
+    /// against none).
+    SpecMismatch,
 }
 
 impl fmt::Display for CheckpointError {
@@ -93,6 +103,9 @@ impl fmt::Display for CheckpointError {
                 "checkpoint contains a shard outside the plan: model {} questions {}..{}",
                 k.model_idx, k.q_start, k.q_end
             ),
+            CheckpointError::SpecMismatch => {
+                write!(f, "checkpoint was taken against a different dataset spec")
+            }
         }
     }
 }
@@ -125,7 +138,39 @@ impl Checkpoint {
             options,
             completed: Vec::new(),
             quarantined: Vec::new(),
+            spec_fingerprint: None,
         }
+    }
+
+    /// A fresh checkpoint for a grid run over a scaled collection,
+    /// binding the checkpoint to the [`DatasetSpec`]'s fingerprint as
+    /// well as the bench content. `bench` should be `spec.build()` (or
+    /// an equivalent materialization).
+    pub fn for_spec(
+        pipes: &[VlmPipeline],
+        bench: &ChipVqa,
+        options: EvalOptions,
+        spec: &DatasetSpec,
+    ) -> Self {
+        Checkpoint {
+            spec_fingerprint: Some(spec.fingerprint()),
+            ..Checkpoint::new(pipes, bench, options)
+        }
+    }
+
+    /// [`validate`](Checkpoint::validate), additionally requiring the
+    /// checkpoint to be bound to exactly `spec`.
+    pub fn validate_for_spec(
+        &self,
+        pipes: &[VlmPipeline],
+        bench: &ChipVqa,
+        options: EvalOptions,
+        spec: &DatasetSpec,
+    ) -> Result<(), CheckpointError> {
+        if self.spec_fingerprint != Some(spec.fingerprint()) {
+            return Err(CheckpointError::SpecMismatch);
+        }
+        self.validate(pipes, bench, options)
     }
 
     /// Whether this checkpoint belongs to exactly this run.
@@ -414,6 +459,45 @@ mod tests {
             .evaluate_grid_resumable(&pipes, &bench, options, &RuleJudge::new(), &mut bad, None)
             .unwrap_err();
         assert_eq!(err, CheckpointError::ModelMismatch);
+    }
+
+    #[test]
+    fn spec_bound_checkpoints_reject_foreign_specs() {
+        use chipvqa_core::spec::DatasetSpec;
+        let spec = DatasetSpec::default();
+        let bench = spec.build();
+        let pipes = pipes();
+        let options = EvalOptions::default();
+        let ckpt = Checkpoint::for_spec(&pipes, &bench, options, &spec);
+        assert_eq!(ckpt.spec_fingerprint, Some(spec.fingerprint()));
+        assert_eq!(
+            ckpt.validate_for_spec(&pipes, &bench, options, &spec),
+            Ok(())
+        );
+
+        // a different spec is refused even though the bench bytes match
+        let other = spec.clone().with_mc_sa_ratio(0.5);
+        assert_eq!(
+            ckpt.validate_for_spec(&pipes, &bench, options, &other),
+            Err(CheckpointError::SpecMismatch)
+        );
+        // an unbound checkpoint is refused for spec-bound resumes
+        let unbound = Checkpoint::new(&pipes, &bench, options);
+        assert_eq!(
+            unbound.validate_for_spec(&pipes, &bench, options, &spec),
+            Err(CheckpointError::SpecMismatch)
+        );
+        // legacy JSON (no spec field) deserializes as unbound
+        let legacy: Checkpoint = serde_json::from_str(
+            &ckpt
+                .to_json()
+                .expect("serializes")
+                .replace(&format!(",\"spec_fingerprint\":{}", spec.fingerprint()), ""),
+        )
+        .expect("legacy json parses");
+        assert_eq!(legacy.spec_fingerprint, None);
+        // plain validate still accepts either
+        assert_eq!(ckpt.validate(&pipes, &bench, options), Ok(()));
     }
 
     #[test]

@@ -27,9 +27,11 @@
 
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 
 use chipvqa_core::question::Question;
+use chipvqa_core::spec::DatasetSpec;
 use chipvqa_core::ChipVqa;
 use chipvqa_models::backbone::AnswerPath;
 use chipvqa_models::VlmPipeline;
@@ -358,9 +360,9 @@ impl ParallelExecutor {
                                         shard.q_start + offset,
                                         tele,
                                     ),
-                                    _ => {
-                                        eval_question(pipe, q, options, judge, &retry, cache, tele)
-                                    }
+                                    _ => eval_question(
+                                        pipe, q, options, judge, &retry, cache, tele, 0,
+                                    ),
                                 }
                             })
                             .collect();
@@ -381,6 +383,229 @@ impl ParallelExecutor {
             .map(|s| s.expect("every shard completed"))
             .collect()
     }
+
+    /// Evaluates one model on a *streamed* question sequence: shards are
+    /// consumed as the iterator produces them, so generation overlaps
+    /// inference and the whole collection is never materialized. The
+    /// report is byte-identical across worker counts (per-question
+    /// evaluation is deterministic and the merge is positional by shard
+    /// index). Judged by the default [`RuleJudge`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when a [`Supervisor`] is attached — supervised execution
+    /// derives its breaker schedule from the full bench, which a stream
+    /// does not have. Materialize with
+    /// [`DatasetSpec::build`](chipvqa_core::spec::DatasetSpec::build)
+    /// and use the checkpointed grid path instead.
+    pub fn evaluate_stream<I>(
+        &self,
+        pipe: &VlmPipeline,
+        shards: I,
+        options: EvalOptions,
+    ) -> (EvalReport, StreamStats)
+    where
+        I: IntoIterator<Item = Vec<Question>>,
+    {
+        self.evaluate_stream_with_judge(pipe, shards, options, &RuleJudge::new())
+    }
+
+    /// [`evaluate_stream`](ParallelExecutor::evaluate_stream) with a
+    /// caller-supplied judge.
+    pub fn evaluate_stream_with_judge<I>(
+        &self,
+        pipe: &VlmPipeline,
+        shards: I,
+        options: EvalOptions,
+        judge: &dyn Judge,
+    ) -> (EvalReport, StreamStats)
+    where
+        I: IntoIterator<Item = Vec<Question>>,
+    {
+        let mut iter = shards.into_iter();
+        let (report, stats) = self.run_stream(pipe, &mut iter, options, judge, 0);
+        (report, stats)
+    }
+
+    /// Streaming evaluation of a [`DatasetSpec`]: generation runs
+    /// shard-by-shard on the calling thread, overlapped with inference
+    /// on the worker pool, with answer-cache keys bound to the spec's
+    /// fingerprint. Returns the report plus [`StreamStats`] whose
+    /// `generator_peak_resident` records the [`ShardStream`]'s
+    /// high-water mark
+    /// ([`ShardStream::peak_resident`](chipvqa_core::spec::ShardStream::peak_resident)).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a [`Supervisor`] is attached (see
+    /// [`evaluate_stream`](ParallelExecutor::evaluate_stream)), when
+    /// `shard_len` is zero, or when the spec is invalid.
+    pub fn evaluate_spec_stream(
+        &self,
+        pipe: &VlmPipeline,
+        spec: &DatasetSpec,
+        shard_len: usize,
+        options: EvalOptions,
+    ) -> (EvalReport, StreamStats) {
+        self.evaluate_spec_stream_with_judge(pipe, spec, shard_len, options, &RuleJudge::new())
+    }
+
+    /// [`evaluate_spec_stream`](ParallelExecutor::evaluate_spec_stream)
+    /// with a caller-supplied judge.
+    pub fn evaluate_spec_stream_with_judge(
+        &self,
+        pipe: &VlmPipeline,
+        spec: &DatasetSpec,
+        shard_len: usize,
+        options: EvalOptions,
+        judge: &dyn Judge,
+    ) -> (EvalReport, StreamStats) {
+        let mut stream = spec.stream(shard_len);
+        let (report, mut stats) =
+            self.run_stream(pipe, &mut stream, options, judge, spec.fingerprint());
+        stats.generator_peak_resident = Some(stream.peak_resident());
+        (report, stats)
+    }
+
+    /// The streaming engine: a bounded channel between the generating
+    /// (calling) thread and the worker pool. In-flight questions —
+    /// queued in the channel plus held by workers — are tracked so the
+    /// memory bound is observable, not aspirational: the peak never
+    /// exceeds `(workers + channel capacity + 1) × shard_len` =
+    /// `(2·workers + 1) × shard_len`.
+    fn run_stream(
+        &self,
+        pipe: &VlmPipeline,
+        shards: &mut dyn Iterator<Item = Vec<Question>>,
+        options: EvalOptions,
+        judge: &dyn Judge,
+        dataset_fp: u64,
+    ) -> (EvalReport, StreamStats) {
+        assert!(
+            self.supervisor.is_none(),
+            "streaming intake does not support supervised execution: breaker \
+             schedules are derived from the full bench. Materialize the spec \
+             with DatasetSpec::build and use the checkpointed grid path."
+        );
+        let workers = self.workers;
+        let tele = &self.telemetry;
+        let _run_span = if tele.enabled() {
+            tele.span_kv("executor.stream", vec![kv("workers", workers)])
+        } else {
+            tele.span("executor.stream")
+        };
+
+        let (tx, rx) = mpsc::sync_channel::<(usize, Vec<Question>)>(workers);
+        let rx = Mutex::new(rx);
+        let in_flight = AtomicUsize::new(0);
+        let peak_in_flight = AtomicUsize::new(0);
+        let results: Mutex<Vec<(usize, Vec<QuestionOutcome>)>> = Mutex::new(Vec::new());
+        let cache = self.cache.as_deref();
+        let retry = self.retry;
+        let mut shard_count = 0usize;
+        let mut question_count = 0usize;
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let rx = &rx;
+                let results = &results;
+                let in_flight = &in_flight;
+                scope.spawn(move || loop {
+                    let received = rx.lock().expect("stream receiver lock").recv();
+                    let Ok((idx, shard)) = received else { break };
+                    let _shard_span = tele.span("stream.shard");
+                    let outcomes: Vec<QuestionOutcome> = shard
+                        .iter()
+                        .map(|q| {
+                            let _t = tele.timer("executor.question_ns");
+                            let _q_span = tele.span("executor.question");
+                            std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                eval_question(
+                                    pipe, q, options, judge, &retry, cache, tele, dataset_fp,
+                                )
+                            }))
+                            .unwrap_or_else(|_| {
+                                if tele.enabled() {
+                                    tele.counter("executor.panic_caught", 1);
+                                    tele.event("worker.panic", vec![kv("question", &q.id)]);
+                                }
+                                failed_outcome(q, String::new(), EvalError::WorkerPanic)
+                            })
+                        })
+                        .collect();
+                    in_flight.fetch_sub(shard.len(), Ordering::Relaxed);
+                    tele.counter("stream.shard_evaluated", 1);
+                    results
+                        .lock()
+                        .expect("stream results lock")
+                        .push((idx, outcomes));
+                });
+            }
+
+            // the calling thread is the producer: generation overlaps
+            // the workers' inference
+            let mut idx = 0usize;
+            loop {
+                let shard = {
+                    let _t = tele.timer("stream.generate_ns");
+                    let _g_span = tele.span("stream.generate");
+                    shards.next()
+                };
+                let Some(shard) = shard else { break };
+                shard_count += 1;
+                question_count += shard.len();
+                let now = in_flight.fetch_add(shard.len(), Ordering::Relaxed) + shard.len();
+                peak_in_flight.fetch_max(now, Ordering::Relaxed);
+                if tele.enabled() {
+                    tele.counter("stream.shard_generated", 1);
+                    tele.counter("stream.questions", shard.len() as u64);
+                }
+                if tx.send((idx, shard)).is_err() {
+                    break; // all workers gone (cannot happen unpanicked)
+                }
+                idx += 1;
+            }
+            drop(tx); // closes the channel; workers drain and exit
+        });
+
+        let mut pairs = results.into_inner().expect("stream results lock");
+        pairs.sort_by_key(|&(idx, _)| idx);
+        let report = EvalReport {
+            model: pipe.profile().name.clone(),
+            outcomes: pairs.into_iter().flat_map(|(_, o)| o).collect(),
+            cache_stats: None,
+        };
+        let report = self
+            .finalize(vec![report])
+            .pop()
+            .expect("one streamed report");
+        let stats = StreamStats {
+            shards: shard_count,
+            questions: question_count,
+            peak_in_flight: peak_in_flight.load(Ordering::Relaxed),
+            generator_peak_resident: None,
+        };
+        (report, stats)
+    }
+}
+
+/// Observability of one streaming run: how much was generated and the
+/// high-water marks that certify the memory bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamStats {
+    /// Shards generated (and evaluated).
+    pub shards: usize,
+    /// Questions generated (and evaluated).
+    pub questions: usize,
+    /// Peak questions in flight inside the executor: queued in the
+    /// bounded channel plus held by workers. Bounded by
+    /// `(2·workers + 1) × shard_len`.
+    pub peak_in_flight: usize,
+    /// The generator-side high-water mark
+    /// ([`ShardStream::peak_resident`](chipvqa_core::spec::ShardStream::peak_resident)),
+    /// recorded by the spec-streaming entry points; `None` for generic
+    /// iterator streams.
+    pub generator_peak_resident: Option<usize>,
 }
 
 /// Pops local work, stealing from the busiest-looking victim when the
@@ -424,6 +649,8 @@ fn plan_shards(models: usize, questions: usize) -> Vec<Shard> {
 
 /// Exactly the sequential harness's per-question loop, with the cache
 /// interposed before inference and the retry policy around the judge.
+/// `dataset_fp` keys the cache to a [`DatasetSpec`] (0 = canonical).
+#[allow(clippy::too_many_arguments)]
 fn eval_question(
     pipe: &VlmPipeline,
     q: &Question,
@@ -432,12 +659,21 @@ fn eval_question(
     retry: &RetryPolicy,
     cache: Option<&AnswerCache>,
     tele: &Telemetry,
+    dataset_fp: u64,
 ) -> QuestionOutcome {
     let mut passed = false;
     let mut first_response = String::new();
     let mut first_path = AnswerPath::Failed;
     for attempt in 0..options.attempts.max(1) {
-        let answer = infer_cached(pipe, q, options.downsample, attempt, cache, tele);
+        let answer = infer_cached_for(
+            pipe,
+            q,
+            options.downsample,
+            attempt,
+            cache,
+            tele,
+            dataset_fp,
+        );
         if attempt == 0 {
             first_response = answer.text.clone();
             first_path = answer.path;
@@ -598,11 +834,25 @@ pub(crate) fn infer_cached(
     cache: Option<&AnswerCache>,
     tele: &Telemetry,
 ) -> CachedAnswer {
+    infer_cached_for(pipe, q, downsample, attempt, cache, tele, 0)
+}
+
+/// [`infer_cached`] with the cache keyed to a spec fingerprint, so
+/// answers for spec-generated collections never cross specs.
+pub(crate) fn infer_cached_for(
+    pipe: &VlmPipeline,
+    q: &Question,
+    downsample: usize,
+    attempt: u64,
+    cache: Option<&AnswerCache>,
+    tele: &Telemetry,
+    dataset_fp: u64,
+) -> CachedAnswer {
     let Some(cache) = cache else {
         let _span = tele.span("inference");
         return CachedAnswer::from(&pipe.infer(q, downsample, attempt));
     };
-    let key = CacheKey::new(pipe.fingerprint(), q, downsample, attempt);
+    let key = CacheKey::for_dataset(pipe.fingerprint(), dataset_fp, q, downsample, attempt);
     if let Some(hit) = cache.lookup(&key) {
         tele.counter("cache.hit", 1);
         return hit;
@@ -1007,6 +1257,62 @@ mod tests {
         let warm_stats = warm.cache_stats.expect("cache attached");
         assert_eq!(warm_stats.hits as usize, bench.len());
         assert_eq!(warm_stats, cache.stats());
+    }
+
+    #[test]
+    fn streamed_standard_bench_matches_batch_evaluation() {
+        let bench = ChipVqa::standard();
+        let pipe = VlmPipeline::new(ModelZoo::gpt4o());
+        let batch = crate::harness::evaluate(&pipe, &bench, EvalOptions::default());
+        for workers in [1usize, 4] {
+            let shards: Vec<Vec<Question>> = bench
+                .questions()
+                .chunks(SHARD_SIZE)
+                .map(<[Question]>::to_vec)
+                .collect();
+            let (streamed, stats) = ParallelExecutor::new(workers).evaluate_stream(
+                &pipe,
+                shards,
+                EvalOptions::default(),
+            );
+            assert_eq!(batch, streamed, "workers = {workers}");
+            assert_eq!(stats.questions, bench.len());
+            assert_eq!(stats.shards, bench.len().div_ceil(SHARD_SIZE));
+            assert!(stats.peak_in_flight <= (2 * workers + 1) * SHARD_SIZE);
+        }
+    }
+
+    #[test]
+    fn spec_stream_keys_cache_on_spec_fingerprint() {
+        use chipvqa_core::spec::DatasetSpec;
+        let pipe = VlmPipeline::new(ModelZoo::llava_7b());
+        let cache = Arc::new(AnswerCache::new());
+        let exec = ParallelExecutor::new(2).with_cache(Arc::clone(&cache));
+        let spec = DatasetSpec::default();
+        let (_, _) = exec.evaluate_spec_stream(&pipe, &spec, 16, EvalOptions::default());
+        let snapshot = cache.snapshot();
+        assert!(!snapshot.entries.is_empty());
+        assert!(
+            snapshot
+                .entries
+                .iter()
+                .all(|(k, _)| k.dataset_fingerprint == spec.fingerprint()),
+            "streamed entries are bound to the spec"
+        );
+        // the canonical batch path uses fingerprint 0, so the same
+        // questions miss rather than crossing specs
+        let before = cache.len();
+        exec.evaluate(&pipe, &ChipVqa::standard(), EvalOptions::default());
+        assert_eq!(cache.len(), 2 * before, "no cross-spec hits");
+    }
+
+    #[test]
+    #[should_panic(expected = "streaming intake does not support supervised execution")]
+    fn supervised_streaming_is_rejected() {
+        use crate::fault::FaultPlan;
+        let pipe = VlmPipeline::new(ModelZoo::gpt4o());
+        let exec = ParallelExecutor::new(2).with_supervisor(Supervisor::new(FaultPlan::none()));
+        let _ = exec.evaluate_stream(&pipe, Vec::new(), EvalOptions::default());
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub mod supervisor;
 
 pub use cache::{AnswerCache, CacheKey, CacheSnapshot, CacheStats, CachedAnswer};
 pub use checkpoint::{Checkpoint, CheckpointError, ShardResult};
-pub use executor::{ParallelExecutor, RetryPolicy};
+pub use executor::{ParallelExecutor, RetryPolicy, StreamStats};
 pub use fault::{FaultInjector, FaultKind, FaultPlan};
 pub use harness::{evaluate, EvalOptions, EvalReport};
 pub use judge::{Judge, RuleJudge};

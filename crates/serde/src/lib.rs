@@ -3,9 +3,10 @@
 //! The real serde could not be fetched (no registry access), so this
 //! crate provides the same *spelling* — `serde::Serialize`,
 //! `serde::Deserialize`, `#[derive(Serialize, Deserialize)]`,
-//! `#[serde(skip)]` — over a much smaller core: every serializable type
-//! converts to and from a JSON-shaped [`Value`] tree. `serde_json` in
-//! this workspace renders that tree to text and parses it back.
+//! `#[serde(skip)]`, `#[serde(default)]` — over a much smaller core:
+//! every serializable type converts to and from a JSON-shaped [`Value`]
+//! tree. `serde_json` in this workspace renders that tree to text and
+//! parses it back.
 //!
 //! Representation choices mirror serde's JSON conventions so existing
 //! expectations (externally-tagged enums, newtype transparency, maps as

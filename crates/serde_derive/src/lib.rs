@@ -3,15 +3,25 @@
 //! Implemented directly on `proc_macro::TokenTree` (no syn/quote — the
 //! build is offline). Supports the shapes this workspace uses: unit /
 //! named / tuple structs, enums with unit / tuple / struct variants,
-//! simple unbounded type parameters, and the `#[serde(skip)]` field
-//! attribute (skipped on write, defaulted on read).
+//! simple unbounded type parameters, and two field attributes:
+//! `#[serde(skip)]` (skipped on write, defaulted on read) and
+//! `#[serde(default)]` (written normally, defaulted when absent on
+//! read — the forward-compatibility attribute for fields added after
+//! data was serialized).
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[derive(Debug, Clone)]
 struct Field {
     name: Option<String>,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct FieldAttrs {
     skip: bool,
+    /// `#[serde(default)]`: absent-on-read falls back to `Default`.
+    default: bool,
 }
 
 #[derive(Debug)]
@@ -72,20 +82,23 @@ fn ident_text(t: &TokenTree) -> Option<String> {
     }
 }
 
-/// Consumes leading attributes; returns whether any was `#[serde(skip)]`.
-fn eat_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
-    let mut skip = false;
+/// Consumes leading attributes; returns the recognised `#[serde(...)]`
+/// field flags (`skip`, `default`).
+fn eat_attrs(tokens: &[TokenTree], i: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
     while *i < tokens.len() && is_punct(&tokens[*i], '#') {
         *i += 1;
         if let TokenTree::Group(g) = &tokens[*i] {
             let inner: Vec<TokenTree> = g.stream().into_iter().collect();
             if inner.first().and_then(ident_text).as_deref() == Some("serde") {
                 if let Some(TokenTree::Group(args)) = inner.get(1) {
-                    let has_skip = args
-                        .stream()
-                        .into_iter()
-                        .any(|t| ident_text(&t).as_deref() == Some("skip"));
-                    skip |= has_skip;
+                    for t in args.stream() {
+                        match ident_text(&t).as_deref() {
+                            Some("skip") => attrs.skip = true,
+                            Some("default") => attrs.default = true,
+                            _ => {}
+                        }
+                    }
                 }
             }
             *i += 1;
@@ -93,7 +106,7 @@ fn eat_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
             panic!("serde_derive: malformed attribute");
         }
     }
-    skip
+    attrs
 }
 
 fn eat_visibility(tokens: &[TokenTree], i: &mut usize) {
@@ -144,12 +157,12 @@ fn parse_named_fields(group: &TokenStream) -> Vec<Field> {
         .into_iter()
         .map(|seg| {
             let mut i = 0;
-            let skip = eat_attrs(&seg, &mut i);
+            let attrs = eat_attrs(&seg, &mut i);
             eat_visibility(&seg, &mut i);
             let name = ident_text(&seg[i]).expect("field name");
             Field {
                 name: Some(name),
-                skip,
+                attrs,
             }
         })
         .collect()
@@ -161,9 +174,9 @@ fn parse_tuple_fields(group: &TokenStream) -> Vec<Field> {
         .into_iter()
         .map(|seg| {
             let mut i = 0;
-            let skip = eat_attrs(&seg, &mut i);
+            let attrs = eat_attrs(&seg, &mut i);
             eat_visibility(&seg, &mut i);
-            Field { name: None, skip }
+            Field { name: None, attrs }
         })
         .collect()
 }
@@ -289,7 +302,7 @@ fn ser_named(fields: &[Field], accessor: impl Fn(&str) -> String) -> String {
     let mut s = String::from("{ let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n");
     for f in fields {
         let name = f.name.as_deref().expect("named field");
-        if f.skip {
+        if f.attrs.skip {
             continue;
         }
         s.push_str(&format!(
@@ -305,8 +318,12 @@ fn de_named(fields: &[Field], ctor: &str, ctx: &str) -> String {
     let mut s = format!("{ctor} {{\n");
     for f in fields {
         let name = f.name.as_deref().expect("named field");
-        if f.skip {
+        if f.attrs.skip {
             s.push_str(&format!("{name}: ::std::default::Default::default(),\n"));
+        } else if f.attrs.default {
+            s.push_str(&format!(
+                "{name}: match __v.get(\"{name}\") {{ Some(__x) => ::serde::Deserialize::from_value(__x)?, None => ::std::default::Default::default() }},\n"
+            ));
         } else {
             s.push_str(&format!(
                 "{name}: match __v.get(\"{name}\") {{ Some(__x) => ::serde::Deserialize::from_value(__x)?, None => return Err(::serde::DeError::missing(\"{name}\", \"{ctx}\")) }},\n"

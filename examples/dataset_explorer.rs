@@ -4,13 +4,32 @@
 //! ```text
 //! cargo run --release --example dataset_explorer -- physical-000
 //! cargo run --release --example dataset_explorer -- digital-000 --pgm /tmp/q.pgm
+//! cargo run --release --example dataset_explorer -- digital-035 --scale 3
 //! ```
+//!
+//! `--scale N` explores the N×-scaled collection (`DatasetSpec`), whose
+//! replica ids continue past the standard block (digital-035, …).
 
 use chipvqa::core::stats::DatasetStats;
-use chipvqa::core::ChipVqa;
+use chipvqa::core::{ChipVqa, DatasetSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let bench = ChipVqa::standard();
+    let args: Vec<String> = std::env::args().collect();
+    let scale: usize = match args.iter().position(|a| a == "--scale") {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n >= 1)
+            .expect("--scale takes a positive integer"),
+        None => 1,
+    };
+    let bench = if scale > 1 {
+        let spec = DatasetSpec::scaled(scale);
+        println!("scaled {scale}x: {} questions\n", spec.total());
+        spec.build()
+    } else {
+        ChipVqa::standard()
+    };
     println!("{}", DatasetStats::compute(&bench));
 
     // JSON round-trip (images regenerate from the recorded seed).

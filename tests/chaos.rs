@@ -9,13 +9,14 @@
 //!    workers (fault draws are keyed on call identity, never on
 //!    scheduling);
 //! 3. coverage accounting always closes: answered + failed +
-//!    breaker-skipped = 142 for every model.
+//!    breaker-skipped = N for every model, at the standard N = 142 and
+//!    on [`DatasetSpec`]-scaled collections.
 //!
 //! `CHIPVQA_CHAOS_SEED` (used by the CI chaos matrix) perturbs the
 //! injected plans without touching the proptest case generator, so each
 //! CI seed explores a different storm while staying reproducible.
 
-use chipvqa::core::ChipVqa;
+use chipvqa::core::{ChipVqa, DatasetSpec};
 use chipvqa::eval::fault::install_quiet_panic_hook;
 use chipvqa::eval::harness::{evaluate, EvalOptions};
 use chipvqa::eval::supervisor::EvalError;
@@ -84,15 +85,18 @@ proptest! {
     }
 
     /// Property 3: accounting closes under heavier storms, including a
-    /// fully broken backend, per model *and* per category.
+    /// fully broken backend, per model *and* per category. The
+    /// invariant is sum-to-N, not sum-to-142: a scaled collection must
+    /// account for every one of its questions the same way.
     #[test]
-    fn accounting_always_sums_to_142(
+    fn accounting_always_sums_to_bench_len(
         seed in 0u64..1_000_000,
         rate in 0.02f64..0.12,
+        scale in 1usize..3,
     ) {
         install_quiet_panic_hook();
-        let bench = ChipVqa::standard();
-        prop_assert_eq!(bench.len(), 142);
+        let bench = DatasetSpec::scaled(scale).build();
+        prop_assert_eq!(bench.len(), scale * 142);
         let pipes: Vec<VlmPipeline> = [ModelZoo::phi3_vision(), ModelZoo::paligemma()]
             .into_iter()
             .map(VlmPipeline::new)
@@ -104,13 +108,13 @@ proptest! {
         for report in &reports {
             prop_assert_eq!(
                 report.answered() + report.failed() + report.breaker_skipped(),
-                142,
+                bench.len(),
                 "{} does not account for every question",
                 report.model
             );
             let by_cat = report.category_accounting();
             let total: usize = by_cat.values().map(|(a, f, s)| a + f + s).sum();
-            prop_assert_eq!(total, 142, "{} category accounting leaks", report.model);
+            prop_assert_eq!(total, bench.len(), "{} category accounting leaks", report.model);
         }
         // the broken model is shed, not silently scored
         prop_assert!(reports[1].breaker_skipped() > 0);
@@ -155,5 +159,68 @@ fn panic_quarantine_then_requeue_resumes_to_a_clean_report() {
         .expect("compatible checkpoint")
         .expect("runs to completion");
     assert_eq!(recovered[0], clean, "requeued shards heal the report");
+    assert!(!recovered[0].is_degraded());
+}
+
+#[test]
+fn scaled_quarantine_and_requeue_heal_a_1420_question_storm() {
+    // The quarantine/requeue cycle must work at scale, not just on the
+    // 142-question standard bench: a panic storm over a 10×-scaled
+    // collection is quarantined shard-by-shard, and a calm resume from
+    // the spec-bound checkpoint heals to the clean report exactly.
+    install_quiet_panic_hook();
+    let spec = DatasetSpec::scaled(10);
+    let bench = spec.build();
+    assert_eq!(bench.len(), 1420);
+    let pipes = vec![VlmPipeline::new(ModelZoo::neva_22b())];
+    let options = EvalOptions::default();
+    let clean = ParallelExecutor::new(4).evaluate(&pipes[0], &bench, options);
+
+    let plan = FaultPlan {
+        panic_rate: 0.02,
+        ..FaultPlan::none()
+    };
+    let stormy = ParallelExecutor::new(4).with_supervisor(Supervisor::new(plan));
+    let mut ckpt = Checkpoint::for_spec(&pipes, &bench, options, &spec);
+    ckpt.validate_for_spec(&pipes, &bench, options, &spec)
+        .expect("freshly taken checkpoint matches its own spec");
+    let degraded = stormy
+        .evaluate_grid_resumable(&pipes, &bench, options, &RuleJudge::new(), &mut ckpt, None)
+        .expect("compatible checkpoint")
+        .expect("no budget, runs to completion");
+    let panicked = degraded[0]
+        .outcomes
+        .iter()
+        .filter(|o| o.error == Some(EvalError::WorkerPanic))
+        .count();
+    assert!(panicked > 0, "the storm must hit something at N = 1420");
+    assert!(ckpt.quarantined_shards() > 0, "panicked shards quarantined");
+    assert_eq!(
+        degraded[0].answered() + degraded[0].failed() + degraded[0].breaker_skipped(),
+        bench.len(),
+        "degraded accounting closes at scale"
+    );
+
+    // a checkpoint taken for this spec refuses to resume another one
+    assert!(ckpt
+        .validate_for_spec(
+            &pipes,
+            &bench,
+            options,
+            &spec.clone().with_seed(spec.seed + 1)
+        )
+        .is_err());
+
+    let requeued = ckpt.requeue_quarantined();
+    assert!(requeued > 0);
+    assert_eq!(ckpt.quarantined_shards(), 0);
+    let recovered = ParallelExecutor::new(4)
+        .evaluate_grid_resumable(&pipes, &bench, options, &RuleJudge::new(), &mut ckpt, None)
+        .expect("compatible checkpoint")
+        .expect("runs to completion");
+    assert_eq!(
+        recovered[0], clean,
+        "requeued shards heal the scaled report"
+    );
     assert!(!recovered[0].is_degraded());
 }

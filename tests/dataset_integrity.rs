@@ -187,3 +187,84 @@ fn different_seed_same_structure_different_content() {
         "content must vary with the seed: {differing}"
     );
 }
+
+#[test]
+fn extended_golden_stats_and_ids_are_frozen() {
+    // Mirror of `golden_stats_and_ids_are_frozen` for the extension
+    // set: cache keys and checkpoints taken over `extended()` must stay
+    // valid across regenerations, so its identity is frozen too.
+    let ext = ChipVqa::extended();
+    let stats = DatasetStats::compute(&ext);
+    assert_eq!(
+        (stats.total, stats.multiple_choice, stats.short_answer),
+        (160, 99, 61)
+    );
+    assert_eq!(
+        stats.by_category,
+        vec![
+            (Category::Digital, 38),
+            (Category::Analog, 50),
+            (Category::Architecture, 23),
+            (Category::Manufacture, 21),
+            (Category::Physical, 28),
+        ]
+    );
+
+    // the standard collection is a verbatim prefix, and the extension
+    // ids continue from 100 in a frozen order
+    let std = ChipVqa::standard();
+    for (a, b) in std.iter().zip(ext.iter()) {
+        assert_eq!(a, b);
+    }
+    let ext_ids: Vec<&str> = ext.iter().skip(std.len()).map(|q| q.id.as_str()).collect();
+    assert_eq!(
+        ext_ids,
+        vec![
+            "digital-100",
+            "digital-101",
+            "digital-102",
+            "analog-100",
+            "analog-101",
+            "analog-102",
+            "analog-110",
+            "analog-111",
+            "analog-120",
+            "arch-100",
+            "arch-101",
+            "arch-102",
+            "physical-100",
+            "physical-101",
+            "physical-102",
+            "physical-110",
+            "physical-111",
+            "manuf-100",
+        ]
+    );
+
+    // regeneration is id- and prompt-hash-stable
+    use chipvqa::eval::cache::prompt_hash;
+    let again = ChipVqa::extended();
+    for (a, b) in ext.iter().zip(again.iter()) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(prompt_hash(a), prompt_hash(b), "{}", a.id);
+    }
+}
+
+#[test]
+fn dataset_spec_at_scale_one_is_the_standard_collection() {
+    // The scale engine's identity anchor: the default spec reproduces
+    // `standard()` exactly — same 142 questions, same ids, same order —
+    // so spec-keyed cache entries and canonical ones describe the same
+    // dataset at scale 1.
+    use chipvqa::core::DatasetSpec;
+    let spec = DatasetSpec::default();
+    let built = spec.build();
+    let std = ChipVqa::standard();
+    assert_eq!(built.len(), 142);
+    let built_ids: Vec<&String> = built.iter().map(|q| &q.id).collect();
+    let std_ids: Vec<&String> = std.iter().map(|q| &q.id).collect();
+    assert_eq!(built_ids, std_ids);
+    for (a, b) in built.iter().zip(std.iter()) {
+        assert_eq!(a, b, "{}", a.id);
+    }
+}
