@@ -5,13 +5,24 @@
 //! collection, streamed shard-by-shard through the parallel executor
 //! (`--workers W`, default 4). The paper-reference comparison applies
 //! only at scale 1, where the collection is the paper's.
+//!
+//! `--store DIR` (scaled runs) backs the answer cache with a persistent
+//! [`AnswerStore`](chipvqa_eval::AnswerStore) at DIR: the first run
+//! populates it, every later run warm-starts from it — byte-identical
+//! table, no inference. `--trace FILE` exports the run's telemetry
+//! (including `store.*` traffic) as JSON lines to FILE.
 
-use chipvqa_bench::{paper_reference, run_table2, run_table2_scaled};
+use std::sync::Arc;
+
+use chipvqa_bench::{paper_reference, run_table2, run_table2_scaled, run_table2_scaled_with_store};
 use chipvqa_core::{ChipVqa, DatasetSpec};
+use chipvqa_telemetry::{JsonlSink, Telemetry};
 
 fn main() {
     let mut scale = 1usize;
     let mut workers = 4usize;
+    let mut store_dir: Option<std::path::PathBuf> = None;
+    let mut trace_file: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -29,12 +40,27 @@ fn main() {
                     .filter(|&n| n >= 1)
                     .expect("--workers takes a positive integer");
             }
+            "--store" => {
+                store_dir = Some(args.next().expect("--store takes a directory").into());
+            }
+            "--trace" => {
+                trace_file = Some(args.next().expect("--trace takes a file path").into());
+            }
             other => {
-                eprintln!("unknown argument `{other}` (usage: table2 [--scale N] [--workers W])");
+                eprintln!(
+                    "unknown argument `{other}` \
+                     (usage: table2 [--scale N] [--workers W] [--store DIR] [--trace FILE])"
+                );
                 std::process::exit(2);
             }
         }
     }
+
+    let sink = trace_file.as_ref().map(|_| Arc::new(JsonlSink::new()));
+    let telemetry = match &sink {
+        Some(sink) => Telemetry::builder().sink(Arc::clone(sink)).build(),
+        None => Telemetry::disabled(),
+    };
 
     if scale > 1 {
         let spec = DatasetSpec::scaled(scale);
@@ -44,8 +70,32 @@ fn main() {
             scale,
             workers
         );
-        let table = run_table2_scaled(scale, workers);
+        let table = match &store_dir {
+            Some(dir) => {
+                let started = std::time::Instant::now();
+                let (table, stats) =
+                    run_table2_scaled_with_store(scale, workers, dir, telemetry.clone())
+                        .unwrap_or_else(|e| {
+                            eprintln!("answer store at {} failed: {e}", dir.display());
+                            std::process::exit(1);
+                        });
+                println!(
+                    "store: {} · wall {:.3}s · warm hit-rate {:.3} ({} disk hits / {} lookups) \
+                     · lifetime {} hits / {} misses",
+                    dir.display(),
+                    started.elapsed().as_secs_f64(),
+                    stats.warm_hit_rate(),
+                    stats.store_hits,
+                    stats.hits + stats.misses,
+                    stats.lifetime_hits,
+                    stats.lifetime_misses,
+                );
+                table
+            }
+            None => run_table2_scaled(scale, workers),
+        };
         println!("{table}");
+        write_trace(trace_file, sink);
         return;
     }
 
@@ -74,4 +124,16 @@ fn main() {
         "\nGPT-4o lead over open-source mean: {:.2} (paper: ~0.20)",
         gpt.standard.overall() - table.open_source_mean("GPT4o")
     );
+    write_trace(trace_file, sink);
+}
+
+/// Writes the captured telemetry trace (if any was requested) to disk.
+fn write_trace(path: Option<std::path::PathBuf>, sink: Option<Arc<JsonlSink>>) {
+    if let (Some(path), Some(sink)) = (path, sink) {
+        if let Err(e) = std::fs::write(&path, sink.to_jsonl()) {
+            eprintln!("failed to write trace {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("trace: {} lines -> {}", sink.lines().len(), path.display());
+    }
 }

@@ -177,6 +177,12 @@ impl DatasetSpec {
     /// A stable content fingerprint of the spec (FNV-1a over every
     /// field). Used to key answer caches and checkpoints so results from
     /// one spec can never be served to another.
+    ///
+    /// This value is also part of the *persistent* content address: the
+    /// on-disk answer store embeds it in every record's `CacheKey`, so
+    /// it must stay stable across releases for existing stores to keep
+    /// their meaning (the encoding is frozen by the golden test in
+    /// `tests/cache_consistency.rs`).
     pub fn fingerprint(&self) -> u64 {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         let mut eat = |bytes: &[u8]| {

@@ -10,6 +10,11 @@
 //! Like real criterion, a bench binary run without `--bench` (as
 //! `cargo test` does for `harness = false` bench targets) executes each
 //! routine once as a smoke test instead of sampling.
+//!
+//! When the `CRITERION_JSON` environment variable names a file, every
+//! sampled measurement is additionally **appended** to it as one JSON
+//! line `{"label":…,"mean_ns":…,"median_ns":…}` — the machine-readable
+//! summary CI jobs commit as `BENCH_*.json` trend points.
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -200,9 +205,35 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, sampling: bool, samples: usize, 
         match (b.last_mean, b.last_median) {
             (Some(mean), Some(median)) => {
                 println!("{label:<48} mean {:>12?}  median {:>12?}", mean, median);
+                export_json_line(label, mean, median);
             }
             _ => println!("{label:<48} (no measurement)"),
         }
+    }
+}
+
+/// Appends one measurement as a JSON line to `$CRITERION_JSON`, when
+/// set. Failures are reported but never fail the bench run.
+fn export_json_line(label: &str, mean: Duration, median: Duration) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let escaped = label.replace('\\', "\\\\").replace('"', "\\\"");
+    let line = format!(
+        "{{\"label\":\"{escaped}\",\"mean_ns\":{},\"median_ns\":{}}}\n",
+        mean.as_nanos(),
+        median.as_nanos()
+    );
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    if let Err(e) = appended {
+        eprintln!("CRITERION_JSON export to {path} failed: {e}");
     }
 }
 

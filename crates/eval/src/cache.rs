@@ -20,10 +20,18 @@
 //! fault-free draw, and [`AnswerCache::insert`] debug-asserts that the
 //! text carries no corruption markers (see
 //! [`fault::is_corrupted_text`](crate::fault::is_corrupted_text)).
+//! The persistent tier re-checks the invariant in release builds — see
+//! [`AnswerStore::insert`](crate::store::AnswerStore::insert).
+//!
+//! **Persistent tier.** [`AnswerCache::with_store`] attaches an
+//! [`AnswerStore`](crate::store::AnswerStore) as a read-through /
+//! write-behind tier: memory misses fall through to disk (hits are
+//! promoted back into memory), and every clean insert is appended to
+//! the store, so the next process warm-starts from the same answers.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 
 use chipvqa_core::question::Question;
 use chipvqa_models::backbone::AnswerPath;
@@ -93,6 +101,31 @@ impl CacheKey {
             dataset_fingerprint,
         }
     }
+
+    /// Canonical byte encoding of the key: every numeric component in
+    /// little-endian order, then the question id raw, each field
+    /// preceded by its byte length so no two distinct keys share an
+    /// encoding. This is the store's content address — the golden test
+    /// in `tests/cache_consistency.rs` freezes it, so any change here
+    /// is a *format break*, not a refactor.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let id = self.question_id.as_bytes();
+        let mut out = Vec::with_capacity(8 * 5 + 8 + id.len());
+        out.extend_from_slice(&self.model_fingerprint.to_le_bytes());
+        out.extend_from_slice(&self.prompt_hash.to_le_bytes());
+        out.extend_from_slice(&(self.downsample as u64).to_le_bytes());
+        out.extend_from_slice(&self.attempt.to_le_bytes());
+        out.extend_from_slice(&self.dataset_fingerprint.to_le_bytes());
+        out.extend_from_slice(&(id.len() as u64).to_le_bytes());
+        out.extend_from_slice(id);
+        out
+    }
+
+    /// FNV-1a 64 over [`canonical_bytes`](CacheKey::canonical_bytes) —
+    /// the content hash stored in every persisted record's framing.
+    pub fn content_hash(&self) -> u64 {
+        crate::store::fnv1a64(&self.canonical_bytes())
+    }
 }
 
 /// The memoised part of a [`ModelResponse`] — enough to rebuild a
@@ -132,16 +165,46 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Entries removed by invalidation or [`AnswerCache::clear`].
     pub evictions: u64,
+    /// Memory misses served from the persistent store this run (a
+    /// warm start shows up here: disk answers instead of inference).
+    #[serde(default)]
+    pub store_hits: u64,
+    /// Memory misses the store could not serve either.
+    #[serde(default)]
+    pub store_misses: u64,
+    /// Run-spanning store hits, persisted across processes in the
+    /// store's `meta.json` — the counter that used to reset between
+    /// runs. 0 when no store is attached.
+    #[serde(default)]
+    pub lifetime_hits: u64,
+    /// Run-spanning store misses; see
+    /// [`lifetime_hits`](CacheStats::lifetime_hits).
+    #[serde(default)]
+    pub lifetime_misses: u64,
 }
 
 impl CacheStats {
-    /// Hit fraction of all lookups (0 when there were none).
+    /// Hit fraction of all lookups (0 when there were none). Counts a
+    /// store-served lookup as a hit: it avoided inference, which is
+    /// what the rate measures.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
             0.0
         } else {
             self.hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of this run's lookups served by the *persistent* tier —
+    /// 1.0 on a perfectly warm restart, 0.0 on a cold run or without a
+    /// store.
+    pub fn warm_hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.store_hits as f64 / total as f64
         }
     }
 }
@@ -156,10 +219,13 @@ impl CacheStats {
 #[derive(Debug, Default)]
 pub struct AnswerCache {
     entries: RwLock<HashMap<CacheKey, CachedAnswer>>,
+    store: Option<Arc<crate::store::AnswerStore>>,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
 }
 
 impl AnswerCache {
@@ -168,7 +234,33 @@ impl AnswerCache {
         AnswerCache::default()
     }
 
-    /// Looks up an answer, counting a hit or miss.
+    /// Attaches a persistent [`AnswerStore`](crate::store::AnswerStore)
+    /// as the read-through / write-behind tier beneath this cache.
+    pub fn with_store(mut self, store: Arc<crate::store::AnswerStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// The attached persistent store, if any.
+    pub fn store(&self) -> Option<&Arc<crate::store::AnswerStore>> {
+        self.store.as_ref()
+    }
+
+    /// Flushes the attached store's buffered appends and meta counters
+    /// to disk; a no-op without a store. Executors call this when a run
+    /// finalizes so a clean exit is always durable.
+    pub fn flush_store(&self) -> std::io::Result<()> {
+        match &self.store {
+            Some(store) => store.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// Looks up an answer, counting a hit or miss. A memory miss falls
+    /// through to the persistent store when one is attached; a disk hit
+    /// is promoted into memory (without counting as an insertion) and
+    /// counted as both a hit and a store hit — it avoided inference,
+    /// which is what the counters measure.
     pub fn lookup(&self, key: &CacheKey) -> Option<CachedAnswer> {
         let found = read_lock(&self.entries).get(key).cloned();
         match found {
@@ -177,6 +269,15 @@ impl AnswerCache {
                 Some(a)
             }
             None => {
+                if let Some(store) = &self.store {
+                    if let Some(answer) = store.lookup(key) {
+                        write_lock(&self.entries).insert(key.clone(), answer.clone());
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.store_hits.fetch_add(1, Ordering::Relaxed);
+                        return Some(answer);
+                    }
+                    self.store_misses.fetch_add(1, Ordering::Relaxed);
+                }
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -184,10 +285,13 @@ impl AnswerCache {
     }
 
     /// Stores an answer (last write wins; all writers compute identical
-    /// values for a key, so races are benign).
+    /// values for a key, so races are benign). With a store attached,
+    /// the answer is also appended to disk (write-behind: durable after
+    /// [`flush_store`](AnswerCache::flush_store)).
     ///
     /// Callers must only insert *clean* (non-faulted) answers — see the
-    /// module-level invariant. Debug builds assert it.
+    /// module-level invariant. Debug builds assert it here; the store
+    /// refuses faulted text in release builds too.
     pub fn insert(&self, key: CacheKey, answer: CachedAnswer) {
         debug_assert!(
             !crate::fault::is_corrupted_text(&answer.text),
@@ -195,6 +299,9 @@ impl AnswerCache {
             answer.text
         );
         self.insertions.fetch_add(1, Ordering::Relaxed);
+        if let Some(store) = &self.store {
+            store.insert(key.clone(), answer.clone());
+        }
         write_lock(&self.entries).insert(key, answer);
     }
 
@@ -251,14 +358,27 @@ impl AnswerCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// All traffic counters at once (hits, misses, insertions,
-    /// evictions).
+    /// All traffic counters at once. The `lifetime_*` fields come from
+    /// the attached store's persisted meta counters, so they span every
+    /// process that ever used the store — this is the counter that used
+    /// to reset between runs.
     pub fn stats(&self) -> CacheStats {
+        let (lifetime_hits, lifetime_misses) = match &self.store {
+            Some(store) => {
+                let s = store.stats();
+                (s.lifetime_hits, s.lifetime_misses)
+            }
+            None => (0, 0),
+        };
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
+            store_misses: self.store_misses.load(Ordering::Relaxed),
+            lifetime_hits,
+            lifetime_misses,
         }
     }
 

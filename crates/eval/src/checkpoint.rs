@@ -65,6 +65,16 @@ pub struct Checkpoint {
     /// for checkpoints serialized before the scale engine existed.
     #[serde(default)]
     pub spec_fingerprint: Option<u64>,
+    /// Eviction generation of the persistent
+    /// [`AnswerStore`](crate::store::AnswerStore) this run warms from
+    /// (see [`Checkpoint::bind_store_generation`]). A checkpoint whose
+    /// stamped generation predates an eviction belongs to a cache epoch
+    /// whose answers may be gone — [`Checkpoint::validate_store`]
+    /// rejects the pair instead of silently re-inferring part of a
+    /// "resumed" run. `None` when the run had no store (or predates the
+    /// store tier).
+    #[serde(default)]
+    pub store_generation: Option<u64>,
 }
 
 /// Why a checkpoint cannot drive a resume.
@@ -81,6 +91,16 @@ pub enum CheckpointError {
     /// The checkpoint was taken against a different [`DatasetSpec`] (or
     /// against none).
     SpecMismatch,
+    /// The checkpoint's cache epoch predates the store's current
+    /// eviction generation: answers it assumes cached may have been
+    /// evicted since.
+    StoreGenerationMismatch {
+        /// The generation stamped on the checkpoint (`None`: the
+        /// checkpoint was never bound to a store).
+        stamped: Option<u64>,
+        /// The store's current generation.
+        current: u64,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -106,6 +126,19 @@ impl fmt::Display for CheckpointError {
             CheckpointError::SpecMismatch => {
                 write!(f, "checkpoint was taken against a different dataset spec")
             }
+            CheckpointError::StoreGenerationMismatch { stamped, current } => match stamped {
+                Some(stamped) => write!(
+                    f,
+                    "checkpoint cache epoch (store generation {stamped}) predates the \
+                     store's current generation {current}: cached answers it assumes \
+                     present may have been evicted"
+                ),
+                None => write!(
+                    f,
+                    "checkpoint is not bound to an answer store but the resume uses one \
+                     at generation {current}"
+                ),
+            },
         }
     }
 }
@@ -139,6 +172,7 @@ impl Checkpoint {
             completed: Vec::new(),
             quarantined: Vec::new(),
             spec_fingerprint: None,
+            store_generation: None,
         }
     }
 
@@ -156,6 +190,46 @@ impl Checkpoint {
             spec_fingerprint: Some(spec.fingerprint()),
             ..Checkpoint::new(pipes, bench, options)
         }
+    }
+
+    /// Stamps the current eviction generation of `store` onto the
+    /// checkpoint, binding it to the store's cache epoch. Call after
+    /// taking (or updating) a checkpoint during a store-backed run; a
+    /// later [`validate_store`](Checkpoint::validate_store) then
+    /// detects eviction in between.
+    pub fn bind_store_generation(&mut self, store: &crate::store::AnswerStore) {
+        self.store_generation = Some(store.generation());
+    }
+
+    /// Whether this checkpoint's cache epoch is still current for
+    /// `store`. Fails with
+    /// [`StoreGenerationMismatch`](CheckpointError::StoreGenerationMismatch)
+    /// when the store has evicted since the checkpoint was stamped (or
+    /// the checkpoint was never stamped at all).
+    pub fn validate_store(&self, store: &crate::store::AnswerStore) -> Result<(), CheckpointError> {
+        let current = store.generation();
+        if self.store_generation != Some(current) {
+            return Err(CheckpointError::StoreGenerationMismatch {
+                stamped: self.store_generation,
+                current,
+            });
+        }
+        Ok(())
+    }
+
+    /// [`validate_for_spec`](Checkpoint::validate_for_spec) plus
+    /// [`validate_store`](Checkpoint::validate_store) — the full check
+    /// for resuming a spec-bound, store-backed run.
+    pub fn validate_for_spec_with_store(
+        &self,
+        pipes: &[VlmPipeline],
+        bench: &ChipVqa,
+        options: EvalOptions,
+        spec: &DatasetSpec,
+        store: &crate::store::AnswerStore,
+    ) -> Result<(), CheckpointError> {
+        self.validate_store(store)?;
+        self.validate_for_spec(pipes, bench, options, spec)
     }
 
     /// [`validate`](Checkpoint::validate), additionally requiring the
@@ -498,6 +572,77 @@ mod tests {
         assert_eq!(legacy.spec_fingerprint, None);
         // plain validate still accepts either
         assert_eq!(ckpt.validate(&pipes, &bench, options), Ok(()));
+    }
+
+    #[test]
+    fn stale_store_generation_is_rejected() {
+        use crate::cache::{CacheKey, CachedAnswer};
+        use crate::store::{AnswerStore, StoreConfig};
+        use chipvqa_models::backbone::AnswerPath;
+
+        let dir = std::env::temp_dir().join(format!(
+            "chipvqa-ckpt-store-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let bench = ChipVqa::standard();
+        let pipes = pipes();
+        let options = EvalOptions::default();
+
+        // tiny budget so inserts can force an eviction later
+        let store = AnswerStore::open_with(
+            &dir,
+            StoreConfig {
+                segment_max_bytes: 256,
+                max_bytes: 768,
+                ..StoreConfig::default()
+            },
+        )
+        .expect("store opens");
+
+        let mut ckpt = Checkpoint::new(&pipes, &bench, options);
+        assert_eq!(
+            ckpt.validate_store(&store),
+            Err(CheckpointError::StoreGenerationMismatch {
+                stamped: None,
+                current: 0
+            }),
+            "an unbound checkpoint is refused for store-backed resumes"
+        );
+        ckpt.bind_store_generation(&store);
+        assert_eq!(ckpt.validate_store(&store), Ok(()));
+
+        // overflow the store so LRU eviction bumps the generation …
+        for (i, q) in bench.iter().take(60).enumerate() {
+            store.insert(
+                CacheKey::new(7, q, 1, 0),
+                CachedAnswer {
+                    text: format!("a{i}"),
+                    path: AnswerPath::Solved,
+                    solve_probability: 0.5,
+                },
+            );
+        }
+        assert!(store.generation() > 0, "eviction must have happened");
+
+        // … and the stamped checkpoint's cache epoch is now stale
+        let err = ckpt.validate_store(&store).unwrap_err();
+        assert!(matches!(
+            err,
+            CheckpointError::StoreGenerationMismatch {
+                stamped: Some(0),
+                ..
+            }
+        ));
+        // re-binding heals it
+        ckpt.bind_store_generation(&store);
+        assert_eq!(ckpt.validate_store(&store), Ok(()));
+        // the stamp survives serialization
+        let restored = Checkpoint::from_json(&ckpt.to_json().expect("serializes")).expect("parses");
+        assert_eq!(restored.store_generation, ckpt.store_generation);
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -254,8 +254,16 @@ impl ParallelExecutor {
 
     /// Stamps run metadata onto finished reports: the cache's traffic
     /// stats when a cache is attached. Results themselves are untouched.
+    /// Also flushes the cache's persistent store (if one is attached),
+    /// so a run that completes normally is durable on disk — the stats
+    /// are read *after* the flush so `lifetime_*` counters include this
+    /// run.
     pub(crate) fn finalize(&self, mut reports: Vec<EvalReport>) -> Vec<EvalReport> {
         if let Some(cache) = &self.cache {
+            if let Err(e) = cache.flush_store() {
+                self.telemetry
+                    .event("store.flush_error", vec![kv("error", e.to_string())]);
+            }
             let stats = cache.stats();
             for report in &mut reports {
                 report.cache_stats = Some(stats);

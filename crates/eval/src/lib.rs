@@ -19,7 +19,10 @@
 //! [`ParallelExecutor`] whose reports are identical to the sequential
 //! harness for any worker count, with an optional answer [`cache`]
 //! (hits skip inference) and judge retry with majority vote;
-//! [`checkpoint`] adds kill/resume for grid evaluations.
+//! [`checkpoint`] adds kill/resume for grid evaluations. The cache can
+//! be backed by a persistent content-addressed [`store`] — an
+//! append-only, checksummed, crash-recoverable on-disk tier — so reruns
+//! warm-start across process restarts.
 //!
 //! For *in-run* resilience, [`fault`] provides a deterministic, seeded
 //! fault-injection harness (timeouts, truncated/garbled responses,
@@ -65,6 +68,7 @@ pub mod noisy;
 pub mod normalize;
 pub mod report;
 pub mod resolution;
+pub mod store;
 pub mod supervisor;
 
 pub use cache::{AnswerCache, CacheKey, CacheSnapshot, CacheStats, CachedAnswer};
@@ -74,6 +78,7 @@ pub use fault::{FaultInjector, FaultKind, FaultPlan};
 pub use harness::{evaluate, EvalOptions, EvalReport};
 pub use judge::{Judge, RuleJudge};
 pub use noisy::{HybridJudge, NoisyJudge};
+pub use store::{AnswerStore, StoreConfig, StoreStats};
 pub use supervisor::{
     BreakerConfig, BreakerState, CircuitBreaker, EvalError, RecoveryPolicy, Supervisor,
 };

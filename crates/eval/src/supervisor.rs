@@ -459,7 +459,12 @@ impl Supervisor {
     /// On success returns the *clean* answer (and only clean answers are
     /// ever inserted into the cache); on terminal failure returns the
     /// error plus any degraded response text (truncated/garbled evidence)
-    /// for the report.
+    /// for the report. The cached path is the only insertion route, so a
+    /// cache backed by a persistent
+    /// [`AnswerStore`](crate::store::AnswerStore) can never persist a
+    /// faulted answer either — and the store independently re-checks
+    /// the corruption markers in release builds as a second line of
+    /// defence.
     ///
     /// An injected [`FaultKind::WorkerPanic`] genuinely panics — the
     /// executor isolates it with `catch_unwind`.

@@ -3,12 +3,20 @@
 //! a stale answer: whatever comes back was inserted under *exactly* the
 //! queried key (same model fingerprint, same prompt hash), and presence
 //! always agrees with a reference model.
+//!
+//! Also home to the **golden fingerprint freeze**: the byte encoding of
+//! [`CacheKey`] is the persistent store's content address, so its exact
+//! bytes (and the FNV-1a constants beneath every fingerprint in the
+//! workspace) are pinned against literal expected values. A failure
+//! here is an on-disk **format break** — existing stores would silently
+//! change meaning — not a refactor.
 
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
 use chipvqa::core::ChipVqa;
 use chipvqa::eval::cache::{prompt_hash, AnswerCache, CacheKey, CachedAnswer};
+use chipvqa::eval::store::{encode_record, fnv1a64, RECORD_HEADER_BYTES, RECORD_MAGIC};
 use chipvqa::models::backbone::AnswerPath;
 use proptest::prelude::*;
 
@@ -48,6 +56,69 @@ fn key_universe() -> Vec<CacheKey> {
         }
     }
     keys
+}
+
+/// The frozen cache-key encoding. These literals were computed once
+/// from the shipped implementation and must never change: they are the
+/// content addresses of every record in every existing on-disk store.
+#[test]
+fn golden_cache_key_fingerprint_bytes_are_frozen() {
+    // the FNV-1a 64 constants every fingerprint in the workspace uses
+    assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+    assert_eq!(fnv1a64(b"chipvqa"), 0x651f_4f1c_3757_c02d);
+
+    let key = CacheKey {
+        model_fingerprint: 0x1122_3344_5566_7788,
+        question_id: "digital-042".to_string(),
+        prompt_hash: 0xCAFE_BABE_1234_5678,
+        downsample: 3,
+        attempt: 2,
+        dataset_fingerprint: 0x0F0F_0F0F_0F0F_0F0F,
+    };
+
+    // canonical_bytes: five LE u64 fields, the id length, the raw id
+    let expected_hex = "887766554433221178563412bebafeca0300000000000000\
+                        02000000000000000f0f0f0f0f0f0f0f0b00000000000000\
+                        6469676974616c2d303432";
+    let expected: Vec<u8> = (0..expected_hex.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&expected_hex[i..i + 2], 16).expect("hex"))
+        .collect();
+    let bytes = key.canonical_bytes();
+    assert_eq!(bytes.len(), 59);
+    assert_eq!(bytes, expected, "CacheKey canonical byte layout moved");
+    assert_eq!(
+        key.content_hash(),
+        0xbf32_1e1d_8886_b57a,
+        "CacheKey content hash moved"
+    );
+
+    // prompt_hash is the same FNV over the full prompt — pinned by
+    // relation so a divergence between the two hashers is caught
+    let bench = ChipVqa::standard();
+    for q in bench.iter().take(5) {
+        assert_eq!(prompt_hash(q), fnv1a64(q.full_prompt().as_bytes()));
+    }
+
+    // record framing: magic, payload length, key hash, payload hash
+    let answer = CachedAnswer {
+        text: "the mux selects d1 when sel is high".to_string(),
+        path: AnswerPath::Solved,
+        solve_probability: 0.25,
+    };
+    let record = encode_record(&key, &answer);
+    assert_eq!(RECORD_HEADER_BYTES, 24);
+    assert_eq!(&record[0..4], &RECORD_MAGIC.to_le_bytes());
+    assert_eq!(RECORD_MAGIC, 0xC51A_D0C5, "record magic moved");
+    let payload = &record[RECORD_HEADER_BYTES..];
+    let len = u32::from_le_bytes(record[4..8].try_into().expect("4 bytes")) as usize;
+    assert_eq!(len, payload.len());
+    assert_eq!(
+        &record[8..16],
+        &key.content_hash().to_le_bytes(),
+        "framing key hash must be the frozen content hash"
+    );
+    assert_eq!(&record[16..24], &fnv1a64(payload).to_le_bytes());
 }
 
 proptest! {

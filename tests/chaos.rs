@@ -17,12 +17,14 @@
 //! CI seed explores a different storm while staying reproducible.
 
 use chipvqa::core::{ChipVqa, DatasetSpec};
-use chipvqa::eval::fault::install_quiet_panic_hook;
+use chipvqa::eval::fault::{install_quiet_panic_hook, is_corrupted_text};
 use chipvqa::eval::harness::{evaluate, EvalOptions};
+use chipvqa::eval::store::{decode_segment, AnswerStore};
 use chipvqa::eval::supervisor::EvalError;
-use chipvqa::eval::{Checkpoint, FaultPlan, ParallelExecutor, RuleJudge, Supervisor};
+use chipvqa::eval::{AnswerCache, Checkpoint, FaultPlan, ParallelExecutor, RuleJudge, Supervisor};
 use chipvqa::models::{ModelZoo, VlmPipeline};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// CI chaos-matrix seed; defaults to a fixed value locally.
 fn chaos_seed() -> u64 {
@@ -120,6 +122,78 @@ proptest! {
         prop_assert!(reports[1].breaker_skipped() > 0);
         prop_assert_eq!(reports[1].answered(), 0);
     }
+}
+
+#[test]
+fn store_backed_storm_heals_and_never_persists_faulted_answers() {
+    // The persistent tier under chaos: a supervised storm writing
+    // through to an on-disk store must (1) keep every segment free of
+    // corrupted answers — the fault markers must never reach disk —
+    // and (2) heal: a calm warm-started run over the same store
+    // converges to the clean report byte-for-byte, with the storm's
+    // clean answers served from disk instead of re-inferred.
+    install_quiet_panic_hook();
+    let dir = std::env::temp_dir().join(format!(
+        "chipvqa-chaos-store-{}-{}",
+        std::process::id(),
+        chaos_seed()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let bench = ChipVqa::standard();
+    let pipe = VlmPipeline::new(ModelZoo::neva_22b());
+    let clean = evaluate(&pipe, &bench, EvalOptions::default());
+
+    // storm pass, write-behind to the store
+    let plan = FaultPlan::uniform(chaos_seed(), 0.08);
+    {
+        let store = Arc::new(AnswerStore::open(&dir).expect("store opens"));
+        let cache = Arc::new(AnswerCache::new().with_store(store));
+        let stormy = ParallelExecutor::new(4)
+            .with_supervisor(Supervisor::new(plan.clone()))
+            .with_cache(cache);
+        let degraded = stormy.evaluate(&pipe, &bench, EvalOptions::default());
+        assert!(
+            degraded.failed() + degraded.breaker_skipped() > 0 || degraded == clean,
+            "either the storm hit something or the run is already clean"
+        );
+    }
+
+    // every record of every segment carries a clean answer
+    let reader = AnswerStore::open_read_only(&dir).expect("reader opens");
+    let mut records = 0usize;
+    for seg in reader.segment_paths() {
+        let (decoded, _) = decode_segment(&seg).expect("segment decodes");
+        for record in decoded {
+            records += 1;
+            assert!(
+                !is_corrupted_text(&record.answer.text),
+                "faulted answer persisted in {}: {:?}",
+                seg.display(),
+                record.answer.text
+            );
+        }
+    }
+    assert!(records > 0, "the storm still persisted its clean answers");
+    drop(reader);
+
+    // calm warm start over the same store heals to the clean report
+    let store = Arc::new(AnswerStore::open(&dir).expect("store reopens"));
+    let cache = Arc::new(AnswerCache::new().with_store(store));
+    let calm = ParallelExecutor::new(4).with_cache(Arc::clone(&cache));
+    let mut healed = calm.evaluate(&pipe, &bench, EvalOptions::default());
+    assert_eq!(healed, clean, "persistence plus a calm pass heals");
+    assert!(!healed.is_degraded());
+    let stats = healed.cache_stats.take().expect("cache attached");
+    assert!(
+        stats.store_hits > 0,
+        "the storm's clean answers warm-start the healing run"
+    );
+    assert_eq!(
+        serde_json::to_string(&healed).expect("serialize"),
+        serde_json::to_string(&clean).expect("serialize"),
+        "healed report serializes byte-identically (modulo run metadata)"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
