@@ -11,19 +11,49 @@
 //! populates it, every later run warm-starts from it — byte-identical
 //! table, no inference. `--trace FILE` exports the run's telemetry
 //! (including `store.*` traffic) as JSON lines to FILE.
+//!
+//! `--fleet DIR` joins (or starts) a crash-tolerant multi-process fleet
+//! at DIR: any number of `table2 --scale N --fleet DIR` processes share
+//! the shard grid through lease files and one shared answer store,
+//! stealing the leases of killed workers and healing their quarantined
+//! shards. When every shard is committed, `table2 merge --fleet DIR
+//! --scale N` folds the records into the canonical table — byte-identical
+//! to a single-process run — refusing mismatched spec fingerprints and
+//! store generations. `--report-json FILE` writes the table (with the
+//! run-metadata `cache_stats` nulled) as JSON for byte comparison.
+//!
+//! Exit codes: 0 ok · 1 store/trace/report i/o failure · 2 usage ·
+//! 3 table printed with a DEGRADED RUN footer · 4 fleet merge refused.
 
 use std::sync::Arc;
 
-use chipvqa_bench::{paper_reference, run_table2, run_table2_scaled, run_table2_scaled_with_store};
+use chipvqa_bench::{
+    paper_reference, run_table2, run_table2_fleet_merge, run_table2_fleet_worker,
+    run_table2_scaled, run_table2_scaled_with_store,
+};
 use chipvqa_core::{ChipVqa, DatasetSpec};
+use chipvqa_eval::fleet::FleetConfig;
+use chipvqa_eval::report::Table2;
 use chipvqa_telemetry::{JsonlSink, Telemetry};
 
+/// Exit code for a run that ends with a DEGRADED RUN footer.
+const EXIT_DEGRADED: i32 = 3;
+/// Exit code for a refused fleet merge (mismatched identity, incomplete).
+const EXIT_MERGE_REFUSED: i32 = 4;
+
 fn main() {
+    let mut merge_mode = false;
     let mut scale = 1usize;
     let mut workers = 4usize;
     let mut store_dir: Option<std::path::PathBuf> = None;
+    let mut fleet_dir: Option<std::path::PathBuf> = None;
     let mut trace_file: Option<std::path::PathBuf> = None;
-    let mut args = std::env::args().skip(1);
+    let mut report_json: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("merge") {
+        merge_mode = true;
+        args.next();
+    }
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => {
@@ -43,17 +73,28 @@ fn main() {
             "--store" => {
                 store_dir = Some(args.next().expect("--store takes a directory").into());
             }
+            "--fleet" => {
+                fleet_dir = Some(args.next().expect("--fleet takes a directory").into());
+            }
             "--trace" => {
                 trace_file = Some(args.next().expect("--trace takes a file path").into());
+            }
+            "--report-json" => {
+                report_json = Some(args.next().expect("--report-json takes a file path").into());
             }
             other => {
                 eprintln!(
                     "unknown argument `{other}` \
-                     (usage: table2 [--scale N] [--workers W] [--store DIR] [--trace FILE])"
+                     (usage: table2 [merge] [--scale N] [--workers W] [--store DIR] \
+                     [--fleet DIR] [--trace FILE] [--report-json FILE])"
                 );
                 std::process::exit(2);
             }
         }
+    }
+    if merge_mode && fleet_dir.is_none() {
+        eprintln!("table2 merge requires --fleet DIR");
+        std::process::exit(2);
     }
 
     let sink = trace_file.as_ref().map(|_| Arc::new(JsonlSink::new()));
@@ -61,6 +102,49 @@ fn main() {
         Some(sink) => Telemetry::builder().sink(Arc::clone(sink)).build(),
         None => Telemetry::disabled(),
     };
+
+    if let Some(dir) = &fleet_dir {
+        if merge_mode {
+            let table = run_table2_fleet_merge(dir, scale, &telemetry).unwrap_or_else(|e| {
+                eprintln!("fleet merge refused: {e}");
+                std::process::exit(EXIT_MERGE_REFUSED);
+            });
+            println!("fleet merge: {} · scale {}\n", dir.display(), scale);
+            println!("{table}");
+            write_report_json(report_json, &table);
+            write_trace(trace_file, sink);
+            if table.is_degraded() {
+                std::process::exit(EXIT_DEGRADED);
+            }
+            return;
+        }
+        let started = std::time::Instant::now();
+        let outcome =
+            run_table2_fleet_worker(dir, scale, workers, &FleetConfig::default(), telemetry)
+                .unwrap_or_else(|e| {
+                    eprintln!("fleet worker failed: {e}");
+                    std::process::exit(1);
+                });
+        println!(
+            "fleet worker pid {} done in {:.3}s: {} shards evaluated ({} healed), \
+             {} quarantined, {} leases stolen ({} lost), {} duplicate commits",
+            std::process::id(),
+            started.elapsed().as_secs_f64(),
+            outcome.shards_evaluated,
+            outcome.shards_healed,
+            outcome.shards_quarantined,
+            outcome.leases_stolen,
+            outcome.steals_lost,
+            outcome.duplicate_commits,
+        );
+        println!(
+            "merge with: table2 merge --fleet {} --scale {}",
+            dir.display(),
+            scale
+        );
+        write_trace(trace_file, sink);
+        return;
+    }
 
     if scale > 1 {
         let spec = DatasetSpec::scaled(scale);
@@ -95,7 +179,11 @@ fn main() {
             None => run_table2_scaled(scale, workers),
         };
         println!("{table}");
+        write_report_json(report_json, &table);
         write_trace(trace_file, sink);
+        if table.is_degraded() {
+            std::process::exit(EXIT_DEGRADED);
+        }
         return;
     }
 
@@ -124,7 +212,29 @@ fn main() {
         "\nGPT-4o lead over open-source mean: {:.2} (paper: ~0.20)",
         gpt.standard.overall() - table.open_source_mean("GPT4o")
     );
+    write_report_json(report_json, &table);
     write_trace(trace_file, sink);
+    if table.is_degraded() {
+        std::process::exit(EXIT_DEGRADED);
+    }
+}
+
+/// Writes the table as JSON with the run-metadata `cache_stats` nulled,
+/// so two runs with identical results (one warm, one cold; one fleet,
+/// one single-process) produce byte-identical files.
+fn write_report_json(path: Option<std::path::PathBuf>, table: &Table2) {
+    let Some(path) = path else { return };
+    let mut canonical = table.clone();
+    for row in &mut canonical.rows {
+        row.standard.cache_stats = None;
+        row.challenge.cache_stats = None;
+    }
+    let json = serde_json::to_string(&canonical).expect("table serializes");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("failed to write report {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("report: {}", path.display());
 }
 
 /// Writes the captured telemetry trace (if any was requested) to disk.

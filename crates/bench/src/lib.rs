@@ -7,7 +7,9 @@ use std::path::Path;
 use std::sync::Arc;
 
 use chipvqa_core::{ChipVqa, DatasetSpec, BASE_SIZE};
+use chipvqa_eval::fleet::{self, FleetConfig, FleetError, FleetJob, FleetOutcome};
 use chipvqa_eval::harness::{evaluate, EvalOptions};
+use chipvqa_eval::judge::RuleJudge;
 use chipvqa_eval::report::{ModelRow, Table2};
 use chipvqa_eval::{AnswerCache, AnswerStore, CacheStats, ParallelExecutor};
 use chipvqa_models::{ModelZoo, VlmPipeline};
@@ -102,6 +104,131 @@ pub fn run_table2_scaled_with_store(
         .collect();
     cache.flush_store()?;
     Ok((Table2 { rows }, cache.stats()))
+}
+
+/// The pieces every fleet participant (worker or merge) derives from
+/// `--scale N`: the two materialised collections, the model grid, and
+/// the per-column [`FleetJob`] identities.
+struct FleetPlan {
+    standard: ChipVqa,
+    challenge: ChipVqa,
+    pipes: Vec<VlmPipeline>,
+    standard_fp: u64,
+    challenge_fp: u64,
+}
+
+impl FleetPlan {
+    fn new(scale: usize) -> FleetPlan {
+        let standard_spec = DatasetSpec::scaled(scale);
+        let challenge_spec = standard_spec.clone().with_mc_sa_ratio(0.0);
+        FleetPlan {
+            standard: standard_spec.build(),
+            challenge: challenge_spec.build(),
+            pipes: ModelZoo::all().into_iter().map(VlmPipeline::new).collect(),
+            standard_fp: standard_spec.fingerprint(),
+            challenge_fp: challenge_spec.fingerprint(),
+        }
+    }
+
+    fn job<'a>(&'a self, bench: &'a ChipVqa, spec_fp: u64, store_gen: Option<u64>) -> FleetJob<'a> {
+        FleetJob {
+            pipes: &self.pipes,
+            bench,
+            options: EvalOptions::default(),
+            spec_fingerprint: Some(spec_fp),
+            store_generation: store_gen,
+        }
+    }
+}
+
+/// Runs one fleet worker over the Table-II grid at `--scale N`: the
+/// standard column as a sub-fleet at `DIR/std`, the challenge column at
+/// `DIR/chal`, both sharing one answer store at `DIR/store` opened in
+/// cooperative shared mode — every process that calls this on the same
+/// `dir` joins the same run. Returns the combined contribution of this
+/// worker across both columns. Safe to invoke any number of times, from
+/// any number of processes, in any kill order: shards already committed
+/// are skipped, stale leases are stolen, quarantined shards are healed.
+pub fn run_table2_fleet_worker(
+    dir: &Path,
+    scale: usize,
+    workers: usize,
+    config: &FleetConfig,
+    telemetry: Telemetry,
+) -> Result<FleetOutcome, FleetError> {
+    let plan = FleetPlan::new(scale);
+    let store = Arc::new(AnswerStore::open_shared(
+        dir.join("store"),
+        chipvqa_eval::StoreConfig::default(),
+        telemetry.clone(),
+    )?);
+    let store_gen = Some(store.generation());
+    let cache = Arc::new(AnswerCache::new().with_store(store));
+    let exec = ParallelExecutor::new(workers)
+        .with_cache(cache)
+        .with_telemetry(telemetry);
+    let judge = RuleJudge::new();
+    let std_out = fleet::run_worker(
+        &dir.join("std"),
+        &exec,
+        &plan.job(&plan.standard, plan.standard_fp, store_gen),
+        &judge,
+        config,
+    )?;
+    let chal_out = fleet::run_worker(
+        &dir.join("chal"),
+        &exec,
+        &plan.job(&plan.challenge, plan.challenge_fp, store_gen),
+        &judge,
+        config,
+    )?;
+    Ok(FleetOutcome {
+        shards_evaluated: std_out.shards_evaluated + chal_out.shards_evaluated,
+        shards_healed: std_out.shards_healed + chal_out.shards_healed,
+        shards_quarantined: std_out.shards_quarantined + chal_out.shards_quarantined,
+        leases_stolen: std_out.leases_stolen + chal_out.leases_stolen,
+        steals_lost: std_out.steals_lost + chal_out.steals_lost,
+        duplicate_commits: std_out.duplicate_commits + chal_out.duplicate_commits,
+    })
+}
+
+/// Folds a completed fleet directory into the canonical Table II.
+/// Validates both sub-fleet manifests against the `--scale`-derived
+/// spec fingerprints and the shared store's *current* generation, so a
+/// merge against the wrong scale or a since-compacted store is a
+/// structured refusal ([`FleetError::SpecFingerprintMismatch`] /
+/// [`FleetError::StoreGenerationMismatch`]) rather than a silently
+/// wrong table.
+pub fn run_table2_fleet_merge(
+    dir: &Path,
+    scale: usize,
+    telemetry: &Telemetry,
+) -> Result<Table2, FleetError> {
+    let plan = FleetPlan::new(scale);
+    let store_gen = match AnswerStore::open_read_only(dir.join("store")) {
+        Ok(store) => Some(store.generation()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => return Err(e.into()),
+    };
+    let std_reports = fleet::merge(
+        &dir.join("std"),
+        &plan.job(&plan.standard, plan.standard_fp, store_gen),
+        telemetry,
+    )?;
+    let chal_reports = fleet::merge(
+        &dir.join("chal"),
+        &plan.job(&plan.challenge, plan.challenge_fp, store_gen),
+        telemetry,
+    )?;
+    let rows = std_reports
+        .into_iter()
+        .zip(chal_reports)
+        .map(|(standard, challenge)| ModelRow {
+            standard,
+            challenge,
+        })
+        .collect();
+    Ok(Table2 { rows })
 }
 
 /// The paper's Table II reference numbers `(standard all, challenge all)`

@@ -182,7 +182,10 @@ impl DatasetSpec {
     /// on-disk answer store embeds it in every record's `CacheKey`, so
     /// it must stay stable across releases for existing stores to keep
     /// their meaning (the encoding is frozen by the golden test in
-    /// `tests/cache_consistency.rs`).
+    /// `tests/cache_consistency.rs`). Fleet execution pins it too: it
+    /// enters the `FleetManifest` fingerprint stamped on every lease
+    /// and shard record, so `table2 merge` refuses to fold shards
+    /// evaluated against a different spec.
     pub fn fingerprint(&self) -> u64 {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         let mut eat = |bytes: &[u8]| {

@@ -20,6 +20,13 @@
 //! checkpoint so a driver can call
 //! [`Checkpoint::requeue_quarantined`] after fixing the environment and
 //! resume: only the poisoned shards re-run.
+//!
+//! The multi-process analogue lives in [`crate::fleet`]: a fleet
+//! worker that panics inside a shard commits a *quarantine* record to
+//! the lease directory, and any later worker heals it — re-claims the
+//! shard and re-runs it unsupervised — with the same semantics as a
+//! `requeue_quarantined` + resume cycle (`tests/fleet_chaos.rs`
+//! proves the two paths produce identical reports).
 
 use std::fmt;
 

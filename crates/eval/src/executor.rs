@@ -129,6 +129,34 @@ pub(crate) fn seeded_jitter_ms(seed: u64, question_id: &str, attempt: u64, base:
     }
 }
 
+/// Structured rejection of a streaming-evaluation request — what the
+/// `try_*` streaming entry points return instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StreamError {
+    /// A [`Supervisor`] (i.e. a [`FaultPlan`](crate::fault::FaultPlan))
+    /// was combined with streaming intake. Breaker schedules are
+    /// derived from the *full* bench, which a stream never holds;
+    /// supervised runs must materialize the spec and take the
+    /// checkpointed grid path.
+    StreamingUnsupervised,
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::StreamingUnsupervised => write!(
+                f,
+                "streaming intake does not support supervised execution: breaker \
+                 schedules are derived from the full bench. Materialize the spec \
+                 with DatasetSpec::build and use the checkpointed grid path."
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
 /// One unit of parallel work: a contiguous question range of one model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Shard {
@@ -211,6 +239,19 @@ impl ParallelExecutor {
     /// The attached supervisor, if any.
     pub fn supervisor(&self) -> Option<&Arc<Supervisor>> {
         self.supervisor.as_ref()
+    }
+
+    /// A copy of this executor with the supervisor detached (cache,
+    /// retry policy and telemetry are kept). The calm twin of a
+    /// supervised executor: used by fleet healing to re-run a
+    /// quarantined shard without fault injection, matching
+    /// [`requeue_quarantined`](crate::checkpoint::Checkpoint::requeue_quarantined)
+    /// semantics.
+    pub fn unsupervised(&self) -> ParallelExecutor {
+        ParallelExecutor {
+            supervisor: None,
+            ..self.clone()
+        }
     }
 
     /// Evaluates one model with the default rule judge.
@@ -458,6 +499,43 @@ impl ParallelExecutor {
         self.evaluate_spec_stream_with_judge(pipe, spec, shard_len, options, &RuleJudge::new())
     }
 
+    /// Non-panicking [`evaluate_stream`](ParallelExecutor::evaluate_stream):
+    /// returns [`StreamError::StreamingUnsupervised`] instead of
+    /// panicking when a [`Supervisor`] is attached.
+    pub fn try_evaluate_stream<I>(
+        &self,
+        pipe: &VlmPipeline,
+        shards: I,
+        options: EvalOptions,
+    ) -> Result<(EvalReport, StreamStats), StreamError>
+    where
+        I: IntoIterator<Item = Vec<Question>>,
+    {
+        if self.supervisor.is_some() {
+            return Err(StreamError::StreamingUnsupervised);
+        }
+        Ok(self.evaluate_stream(pipe, shards, options))
+    }
+
+    /// Non-panicking
+    /// [`evaluate_spec_stream`](ParallelExecutor::evaluate_spec_stream):
+    /// returns [`StreamError::StreamingUnsupervised`] instead of
+    /// panicking when a [`Supervisor`] (a `FaultPlan`) is attached.
+    /// Still panics on `shard_len == 0` or an invalid spec — those are
+    /// caller bugs, not run configurations.
+    pub fn try_evaluate_spec_stream(
+        &self,
+        pipe: &VlmPipeline,
+        spec: &DatasetSpec,
+        shard_len: usize,
+        options: EvalOptions,
+    ) -> Result<(EvalReport, StreamStats), StreamError> {
+        if self.supervisor.is_some() {
+            return Err(StreamError::StreamingUnsupervised);
+        }
+        Ok(self.evaluate_spec_stream(pipe, spec, shard_len, options))
+    }
+
     /// [`evaluate_spec_stream`](ParallelExecutor::evaluate_spec_stream)
     /// with a caller-supplied judge.
     pub fn evaluate_spec_stream_with_judge(
@@ -489,11 +567,12 @@ impl ParallelExecutor {
         judge: &dyn Judge,
         dataset_fp: u64,
     ) -> (EvalReport, StreamStats) {
+        // the panicking entry points surface the same structured error
+        // the try_* variants return, so the message is pinned once
         assert!(
             self.supervisor.is_none(),
-            "streaming intake does not support supervised execution: breaker \
-             schedules are derived from the full bench. Materialize the spec \
-             with DatasetSpec::build and use the checkpointed grid path."
+            "{}",
+            StreamError::StreamingUnsupervised
         );
         let workers = self.workers;
         let tele = &self.telemetry;
@@ -1321,6 +1400,38 @@ mod tests {
         let pipe = VlmPipeline::new(ModelZoo::gpt4o());
         let exec = ParallelExecutor::new(2).with_supervisor(Supervisor::new(FaultPlan::none()));
         let _ = exec.evaluate_stream(&pipe, Vec::new(), EvalOptions::default());
+    }
+
+    #[test]
+    fn supervised_streaming_yields_structured_error_with_pinned_message() {
+        use crate::fault::FaultPlan;
+        let pipe = VlmPipeline::new(ModelZoo::gpt4o());
+        let spec = DatasetSpec::scaled(1);
+        let supervised =
+            ParallelExecutor::new(2).with_supervisor(Supervisor::new(FaultPlan::none()));
+        let err = supervised
+            .try_evaluate_spec_stream(&pipe, &spec, SHARD_SIZE, EvalOptions::default())
+            .expect_err("FaultPlan + streaming is refused");
+        assert_eq!(err, StreamError::StreamingUnsupervised);
+        // the message is API: the panic path formats this same error,
+        // and callers (fleet orchestration, CI) match on its prefix
+        assert_eq!(
+            err.to_string(),
+            "streaming intake does not support supervised execution: breaker \
+             schedules are derived from the full bench. Materialize the spec \
+             with DatasetSpec::build and use the checkpointed grid path."
+        );
+        let err2 = supervised
+            .try_evaluate_stream(&pipe, Vec::new(), EvalOptions::default())
+            .expect_err("shard-iterator streaming is refused too");
+        assert_eq!(err2, StreamError::StreamingUnsupervised);
+        // detaching the supervisor (the fleet healing path) streams fine
+        let calm = supervised.unsupervised();
+        assert!(calm.supervisor().is_none());
+        let (report, _) = calm
+            .try_evaluate_spec_stream(&pipe, &spec, SHARD_SIZE, EvalOptions::default())
+            .expect("unsupervised streaming works");
+        assert_eq!(report.outcomes.len(), spec.total());
     }
 
     #[test]

@@ -34,6 +34,15 @@
 //! carry explicit coverage/failure accounting so a degraded report is
 //! visibly degraded rather than silently wrong.
 //!
+//! For horizontal scale-out, [`fleet`] turns N independent processes
+//! into one cooperative run: workers claim shards through atomically
+//! created lease files, share one [`store`] (opened shared) as the
+//! common answer plane, steal the leases of dead, recycled, or stalled
+//! workers, heal their quarantined shards, and commit per-shard records
+//! that [`fleet::merge`] folds — after validating spec fingerprints and
+//! store generations — into reports byte-identical to a single-process
+//! run under any kill schedule.
+//!
 //! Every layer is instrumented through `chipvqa-telemetry`: attach a
 //! [`Telemetry`](chipvqa_telemetry::Telemetry) handle via
 //! [`ParallelExecutor::with_telemetry`](executor::ParallelExecutor::with_telemetry)
@@ -62,6 +71,7 @@ pub mod cache;
 pub mod checkpoint;
 pub mod executor;
 pub mod fault;
+pub mod fleet;
 pub mod harness;
 pub mod judge;
 pub mod noisy;
@@ -73,12 +83,13 @@ pub mod supervisor;
 
 pub use cache::{AnswerCache, CacheKey, CacheSnapshot, CacheStats, CachedAnswer};
 pub use checkpoint::{Checkpoint, CheckpointError, ShardResult};
-pub use executor::{ParallelExecutor, RetryPolicy, StreamStats};
+pub use executor::{ParallelExecutor, RetryPolicy, StreamError, StreamStats};
 pub use fault::{FaultInjector, FaultKind, FaultPlan};
+pub use fleet::{FleetConfig, FleetError, FleetJob, FleetManifest, FleetOutcome};
 pub use harness::{evaluate, EvalOptions, EvalReport};
 pub use judge::{Judge, RuleJudge};
 pub use noisy::{HybridJudge, NoisyJudge};
-pub use store::{AnswerStore, StoreConfig, StoreStats};
+pub use store::{AnswerStore, StoreConfig, StoreMode, StoreStats};
 pub use supervisor::{
     BreakerConfig, BreakerState, CircuitBreaker, EvalError, RecoveryPolicy, Supervisor,
 };

@@ -10,11 +10,12 @@
 use std::fmt;
 
 use chipvqa_core::question::Category;
+use serde::{Deserialize, Serialize};
 
 use crate::harness::EvalReport;
 
 /// One model's standard + challenge results.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModelRow {
     /// Results on the standard (with-choice) collection.
     pub standard: EvalReport,
@@ -23,7 +24,7 @@ pub struct ModelRow {
 }
 
 /// The full Table II.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Table2 {
     /// One row per model, paper order.
     pub rows: Vec<ModelRow>,

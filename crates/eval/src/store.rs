@@ -64,11 +64,29 @@
 //!
 //! # Concurrency
 //!
-//! One writer, any number of readers. Writers take `store.lock`
-//! (containing their pid; a lock left by a dead — or crashed
-//! same-process — writer is broken automatically). Readers skip the
-//! lock entirely: segments are append-only and every record is
-//! checksummed, so a reader racing a writer sees a clean prefix.
+//! One *exclusive* writer, any number of readers. Writers take
+//! `store.lock`, stamped `pid start-token` — the start token is the
+//! kernel's process start time, so a lock whose pid was recycled by an
+//! unrelated newer process is recognised as stale and broken instead of
+//! blocking forever. A lock left by a dead (or crashed same-process)
+//! writer is broken automatically. Readers skip the lock entirely:
+//! segments are append-only and every record is checksummed, so a
+//! reader racing a writer sees a clean prefix; a reader racing a
+//! writer's [`compact`](AnswerStore::compact) restarts its replay from
+//! a fresh directory listing whenever a listed segment vanishes
+//! mid-replay — compaction writes the survivors before deleting the
+//! old segments, so the re-list always finds them and the reader never
+//! observes a torn segment set.
+//!
+//! [`AnswerStore::open_shared`] adds a cooperative *multi-writer* mode
+//! for fleet execution (see [`fleet`](crate::fleet)): each shared
+//! writer claims its own fresh segment sequence numbers atomically
+//! (`create_new`), takes a per-handle `store.lock.*` marker instead of
+//! the exclusive lock, and never truncates, compacts or evicts —
+//! another writer's unflushed tail is pending data, not damage.
+//! Inference is deterministic per key, so two shared writers racing on
+//! the same key append byte-identical answers; last-write-wins replay
+//! makes the duplicate benign.
 //!
 //! # Invariant: only clean answers are persisted
 //!
@@ -224,6 +242,22 @@ impl Default for StoreConfig {
     }
 }
 
+/// How a handle opened the store — see the module docs' *Concurrency*
+/// section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreMode {
+    /// Sole writer (`store.lock`): may truncate torn tails, compact,
+    /// evict, and persist `meta.json`.
+    Exclusive,
+    /// No lock, no modification: recovery stops at corruption instead
+    /// of truncating; inserts are refused.
+    ReadOnly,
+    /// Cooperative multi-writer (fleet): appends into its own freshly
+    /// claimed segments; never truncates, compacts, evicts, or writes
+    /// `meta.json`.
+    Shared,
+}
+
 /// Durable store metadata, written atomically (tmp + rename) on flush.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 struct StoreMeta {
@@ -302,10 +336,12 @@ fn live_locks() -> &'static Mutex<std::collections::HashSet<PathBuf>> {
     LIVE.get_or_init(|| Mutex::new(std::collections::HashSet::new()))
 }
 
-/// Exclusive writer lock: a `store.lock` file holding the owner's pid.
+/// Exclusive writer lock: a `store.lock` file holding the owner's
+/// `pid start-token` stamp.
 ///
 /// Dropping the guard removes the file. A lock whose holder is dead —
-/// a vanished pid, or our own pid with no live in-process guard — is
+/// a vanished pid, a recycled pid (live pid whose start token differs
+/// from the stamp), or our own pid with no live in-process guard — is
 /// broken and re-taken.
 #[derive(Debug)]
 struct StoreLock {
@@ -315,7 +351,32 @@ struct StoreLock {
 
 impl StoreLock {
     fn acquire(dir: &Path) -> io::Result<StoreLock> {
-        let path = fs::canonicalize(dir)?.join("store.lock");
+        let dir = fs::canonicalize(dir)?;
+        // shared (fleet) writers exclude an exclusive open — it would
+        // truncate/compact/evict under them. Dead markers are swept.
+        for marker in shared_markers(&dir)? {
+            let live = match marker.holder {
+                // own pid: live only while the handle actually exists
+                // in this process (a simulated-crash marker is stale)
+                Some((pid, _)) if pid == std::process::id() => {
+                    lock_inner(live_locks()).contains(&marker.path)
+                }
+                Some((pid, token)) => !holder_dead(pid, Some(token)),
+                None => false,
+            };
+            if live {
+                return Err(io::Error::new(
+                    io::ErrorKind::WouldBlock,
+                    format!(
+                        "answer store {} has a live shared writer (pid {})",
+                        dir.display(),
+                        marker.holder.map(|(pid, _)| pid).unwrap_or(0)
+                    ),
+                ));
+            }
+            let _ = fs::remove_file(&marker.path);
+        }
+        let path = dir.join("store.lock");
         loop {
             let already_ours = lock_inner(live_locks()).contains(&path);
             if already_ours {
@@ -329,14 +390,15 @@ impl StoreLock {
             }
             match OpenOptions::new().write(true).create_new(true).open(&path) {
                 Ok(mut f) => {
-                    let _ = write!(f, "{}", std::process::id());
+                    let _ = write!(f, "{}", lock_stamp());
                     lock_inner(live_locks()).insert(path.clone());
                     return Ok(StoreLock { path, armed: true });
                 }
                 Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
-                    let holder: Option<u32> = fs::read_to_string(&path)
+                    let holder = fs::read_to_string(&path)
                         .ok()
-                        .and_then(|s| s.trim().parse().ok());
+                        .as_deref()
+                        .and_then(parse_lock_stamp);
                     let stale = match holder {
                         // unreadable/corrupt lock: break it
                         None => true,
@@ -344,10 +406,10 @@ impl StoreLock {
                         // this process (re-checked here — a racing
                         // thread may have won create_new since the
                         // check above)
-                        Some(pid) if pid == std::process::id() => {
+                        Some((pid, _)) if pid == std::process::id() => {
                             !lock_inner(live_locks()).contains(&path)
                         }
-                        Some(pid) => !pid_alive(pid),
+                        Some((pid, token)) => holder_dead(pid, token),
                     };
                     if stale {
                         // break the stale lock and retry; a concurrent
@@ -360,7 +422,7 @@ impl StoreLock {
                         format!(
                             "answer store {} is locked by live pid {}",
                             path.display(),
-                            holder.unwrap_or(0)
+                            holder.map(|(pid, _)| pid).unwrap_or(0)
                         ),
                     ));
                 }
@@ -386,16 +448,194 @@ impl Drop for StoreLock {
     }
 }
 
+/// Per-handle marker of a *shared* (cooperative multi-writer) open: a
+/// `store.lock.<pid>-<token>-<n>` file. Shared writers never conflict
+/// with each other; the markers exist so an exclusive open can refuse
+/// to truncate/compact under live shared writers, and so dead shared
+/// markers can be swept.
+#[derive(Debug)]
+struct SharedLock {
+    path: PathBuf,
+    armed: bool,
+}
+
+impl SharedLock {
+    fn acquire(dir: &Path) -> io::Result<SharedLock> {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = fs::canonicalize(dir)?;
+        // an exclusive writer excludes shared ones (it may truncate,
+        // compact or evict under us); a stale exclusive lock is broken
+        let exclusive = dir.join("store.lock");
+        match fs::read_to_string(&exclusive) {
+            Ok(stamp) => {
+                let holder = parse_lock_stamp(&stamp);
+                let live = match holder {
+                    None => false,
+                    Some((pid, _)) if pid == std::process::id() => {
+                        lock_inner(live_locks()).contains(&exclusive)
+                    }
+                    Some((pid, token)) => !holder_dead(pid, token),
+                };
+                if live {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WouldBlock,
+                        format!(
+                            "answer store {} is exclusively locked by live pid {}",
+                            dir.display(),
+                            holder.map(|(pid, _)| pid).unwrap_or(0)
+                        ),
+                    ));
+                }
+                let _ = fs::remove_file(&exclusive);
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!(
+            "store.lock.{}-{}-{n}",
+            std::process::id(),
+            own_start_token()
+        ));
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        let _ = write!(f, "{}", lock_stamp());
+        lock_inner(live_locks()).insert(path.clone());
+        Ok(SharedLock { path, armed: true })
+    }
+
+    /// Leaves the marker behind — test hook for crashed shared writers.
+    fn abandon(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for SharedLock {
+    fn drop(&mut self) {
+        // as with StoreLock: an abandoned marker must look breakable
+        lock_inner(live_locks()).remove(&self.path);
+        if self.armed {
+            let _ = fs::remove_file(&self.path);
+        }
+    }
+}
+
+/// One `store.lock.<pid>-<token>-<n>` marker found on disk.
+struct SharedMarker {
+    path: PathBuf,
+    holder: Option<(u32, u64)>,
+}
+
+/// Every shared-writer marker in `dir`, with the holder parsed from
+/// the filename.
+fn shared_markers(dir: &Path) -> io::Result<Vec<SharedMarker>> {
+    let mut markers = Vec::new();
+    if !dir.is_dir() {
+        return Ok(markers);
+    }
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let Some(suffix) = name.strip_prefix("store.lock.") else {
+            continue;
+        };
+        let holder = (|| {
+            let mut parts = suffix.split('-');
+            let pid = parts.next()?.parse().ok()?;
+            let token = parts.next()?.parse().ok()?;
+            Some((pid, token))
+        })();
+        markers.push(SharedMarker {
+            path: entry.path(),
+            holder,
+        });
+    }
+    Ok(markers)
+}
+
+/// Either lock flavour a writable handle holds.
+#[derive(Debug)]
+enum HeldLock {
+    Exclusive(StoreLock),
+    Shared(SharedLock),
+}
+
+impl HeldLock {
+    fn abandon(self) {
+        match self {
+            HeldLock::Exclusive(lock) => lock.abandon(),
+            HeldLock::Shared(lock) => lock.abandon(),
+        }
+    }
+}
+
+/// `"pid token"` — what a lock file (and a fleet lease) stamps to
+/// identify its holder against pid reuse.
+fn lock_stamp() -> String {
+    format!("{} {}", std::process::id(), own_start_token())
+}
+
+/// Parses a lock stamp. Legacy bare-pid locks parse with no token (and
+/// keep the pure liveness check).
+fn parse_lock_stamp(s: &str) -> Option<(u32, Option<u64>)> {
+    let mut parts = s.split_whitespace();
+    let pid = parts.next()?.parse().ok()?;
+    Some((pid, parts.next().and_then(|t| t.parse().ok())))
+}
+
+/// Whether the stamped holder is gone: pid vanished, or — the pid-reuse
+/// case — the pid is alive but its start token no longer matches the
+/// stamp, so it is an unrelated newer process. A stamp without a token
+/// (legacy) falls back to pid liveness alone.
+pub(crate) fn holder_dead(pid: u32, token: Option<u64>) -> bool {
+    if !pid_alive(pid) {
+        return true;
+    }
+    match (token, process_start_token(pid)) {
+        (Some(stamped), Some(current)) => stamped != current,
+        _ => false,
+    }
+}
+
 #[cfg(target_os = "linux")]
-fn pid_alive(pid: u32) -> bool {
+pub(crate) fn pid_alive(pid: u32) -> bool {
     Path::new(&format!("/proc/{pid}")).exists()
 }
 
 #[cfg(not(target_os = "linux"))]
-fn pid_alive(_pid: u32) -> bool {
+pub(crate) fn pid_alive(_pid: u32) -> bool {
     // without a portable liveness probe, assume the holder is alive;
     // operators break genuinely stale locks by deleting store.lock
     true
+}
+
+/// The kernel's start time of `pid` (clock ticks since boot) — a token
+/// that distinguishes a process from a later one that recycled its pid.
+/// `/proc/<pid>/stat` field 22; the command name can contain spaces and
+/// parentheses, so parsing anchors on the *last* `)`.
+#[cfg(target_os = "linux")]
+pub(crate) fn process_start_token(pid: u32) -> Option<u64> {
+    let stat = fs::read_to_string(format!("/proc/{pid}/stat")).ok()?;
+    let after_comm = &stat[stat.rfind(')')? + 1..];
+    // after_comm starts at field 3 (state); starttime is field 22
+    after_comm.split_whitespace().nth(19)?.parse().ok()
+}
+
+#[cfg(not(target_os = "linux"))]
+pub(crate) fn process_start_token(_pid: u32) -> Option<u64> {
+    None
+}
+
+/// This process's own start token (0 when the platform offers none —
+/// the stamp then degrades to the legacy pure-pid check on readers
+/// that cannot resolve tokens either). Public because fleet tooling
+/// stamps it into lease files alongside the pid.
+pub fn own_start_token() -> u64 {
+    static TOKEN: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *TOKEN.get_or_init(|| process_start_token(std::process::id()).unwrap_or(0))
 }
 
 /// Where one live entry currently resides.
@@ -436,8 +676,8 @@ struct Inner {
 pub struct AnswerStore {
     dir: PathBuf,
     config: StoreConfig,
-    read_only: bool,
-    lock: Mutex<Option<StoreLock>>,
+    mode: StoreMode,
+    lock: Mutex<Option<HeldLock>>,
     inner: Mutex<Inner>,
     telemetry: Telemetry,
     generation: AtomicU64,
@@ -457,7 +697,7 @@ impl fmt::Debug for AnswerStore {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("AnswerStore")
             .field("dir", &self.dir)
-            .field("read_only", &self.read_only)
+            .field("mode", &self.mode)
             .field("generation", &self.generation.load(Ordering::Relaxed))
             .finish_non_exhaustive()
     }
@@ -471,7 +711,12 @@ impl AnswerStore {
 
     /// Opens (creating if absent) a writable store with explicit tuning.
     pub fn open_with(dir: impl AsRef<Path>, config: StoreConfig) -> io::Result<AnswerStore> {
-        AnswerStore::open_impl(dir.as_ref(), config, false, Telemetry::disabled())
+        AnswerStore::open_impl(
+            dir.as_ref(),
+            config,
+            StoreMode::Exclusive,
+            Telemetry::disabled(),
+        )
     }
 
     /// [`open_with`](AnswerStore::open_with) with a telemetry handle
@@ -484,7 +729,7 @@ impl AnswerStore {
         config: StoreConfig,
         telemetry: Telemetry,
     ) -> io::Result<AnswerStore> {
-        AnswerStore::open_impl(dir.as_ref(), config, false, telemetry)
+        AnswerStore::open_impl(dir.as_ref(), config, StoreMode::Exclusive, telemetry)
     }
 
     /// Opens an existing store for reading only: no lock is taken and
@@ -495,24 +740,43 @@ impl AnswerStore {
         AnswerStore::open_impl(
             dir.as_ref(),
             StoreConfig::default(),
-            true,
+            StoreMode::ReadOnly,
             Telemetry::disabled(),
         )
+    }
+
+    /// Opens (creating if absent) a *shared* cooperative-multi-writer
+    /// handle — the fleet answer plane (see [`fleet`](crate::fleet)).
+    ///
+    /// Any number of shared handles (across processes) coexist: each
+    /// appends into its own freshly claimed segments and takes a
+    /// per-handle `store.lock.*` marker instead of the exclusive lock.
+    /// A shared handle never truncates, compacts, evicts, or writes
+    /// `meta.json` — another writer's unflushed tail is pending data,
+    /// not damage, and the generation must stay frozen while a fleet
+    /// runs. Refused ([`WouldBlock`](io::ErrorKind::WouldBlock)) while
+    /// a live exclusive writer holds the store, and vice versa.
+    pub fn open_shared(
+        dir: impl AsRef<Path>,
+        config: StoreConfig,
+        telemetry: Telemetry,
+    ) -> io::Result<AnswerStore> {
+        AnswerStore::open_impl(dir.as_ref(), config, StoreMode::Shared, telemetry)
     }
 
     fn open_impl(
         dir: &Path,
         config: StoreConfig,
-        read_only: bool,
+        mode: StoreMode,
         telemetry: Telemetry,
     ) -> io::Result<AnswerStore> {
-        if !read_only {
+        if mode != StoreMode::ReadOnly {
             fs::create_dir_all(dir)?;
         }
-        let lock = if read_only {
-            None
-        } else {
-            Some(StoreLock::acquire(dir)?)
+        let lock = match mode {
+            StoreMode::ReadOnly => None,
+            StoreMode::Exclusive => Some(HeldLock::Exclusive(StoreLock::acquire(dir)?)),
+            StoreMode::Shared => Some(HeldLock::Shared(SharedLock::acquire(dir)?)),
         };
 
         let meta = read_meta(dir)?;
@@ -529,7 +793,7 @@ impl AnswerStore {
         let store = AnswerStore {
             dir: dir.to_path_buf(),
             config,
-            read_only,
+            mode,
             lock: Mutex::new(lock),
             inner: Mutex::new(Inner::default()),
             telemetry,
@@ -546,7 +810,7 @@ impl AnswerStore {
             lifetime_inserts: AtomicU64::new(meta.lifetime_inserts),
         };
         store.replay_segments()?;
-        if !read_only {
+        if mode == StoreMode::Exclusive {
             let dead = store.dead_ratio();
             if dead > store.config.compact_dead_ratio {
                 store.compact()?;
@@ -569,76 +833,134 @@ impl AnswerStore {
 
     /// Rebuilds the in-memory index by replaying every segment in
     /// sequence order, repairing truncated tails on writable opens.
+    ///
+    /// A non-exclusive open can race an exclusive writer's `compact()`:
+    /// a listed segment may vanish before we read it. Skipping it would
+    /// tear the view — its live records were rewritten into segments
+    /// created *after* our directory listing, which we would never
+    /// visit. Compaction writes its replacement segments before it
+    /// deletes the old ones, so a fresh listing always contains the
+    /// survivors: on any vanished segment we discard the partial replay
+    /// and re-list, which converges once no deletion interleaves.
     fn replay_segments(&self) -> io::Result<()> {
+        // each retry is caused by a deletion that interleaved with the
+        // previous listing; this many consecutive lost races means the
+        // writer is compacting pathologically faster than we can list
+        const MAX_RELISTS: usize = 64;
         let mut inner = lock_inner(&self.inner);
-        let mut seqs: Vec<u64> = Vec::new();
-        if self.dir.is_dir() {
-            for entry in fs::read_dir(&self.dir)? {
-                let name = entry?.file_name();
-                if let Some(seq) = segment_seq(&name.to_string_lossy()) {
-                    seqs.push(seq);
-                }
-            }
-        }
-        seqs.sort_unstable();
-
-        for &seq in &seqs {
-            let path = self.segment_path(seq);
-            let (records, scan) = decode_segment(&path)?;
-            if scan.dropped_bytes > 0 {
-                if !self.read_only {
-                    let f = OpenOptions::new().write(true).open(&path)?;
-                    f.set_len(scan.good_bytes)?;
-                }
-                self.recovered_segments.fetch_add(1, Ordering::Relaxed);
-                self.recovered_bytes
-                    .fetch_add(scan.dropped_bytes, Ordering::Relaxed);
-                self.telemetry.counter("store.recovered", 1);
-                self.telemetry.event(
-                    "store.recovery",
-                    vec![
-                        kv("segment", seq),
-                        kv("good_bytes", scan.good_bytes),
-                        kv("dropped_bytes", scan.dropped_bytes),
-                    ],
-                );
-            }
-            let mut info = SegmentInfo {
-                bytes: scan.good_bytes,
-                live: 0,
-                total: scan.records,
-                last_touch: 0,
-            };
-            inner.segments.insert(seq, info);
-            for record in records {
-                if let Some(old) = inner.index.insert(
-                    record.key,
-                    IndexEntry {
-                        answer: record.answer,
-                        segment: seq,
-                    },
-                ) {
-                    if let Some(prev) = inner.segments.get_mut(&old.segment) {
-                        prev.live = prev.live.saturating_sub(1);
+        let mut recovered: Vec<(u64, SegmentScan)> = Vec::new();
+        for attempt in 0.. {
+            inner.index.clear();
+            inner.segments.clear();
+            recovered.clear();
+            let mut seqs: Vec<u64> = Vec::new();
+            if self.dir.is_dir() {
+                for entry in fs::read_dir(&self.dir)? {
+                    let name = entry?.file_name();
+                    if let Some(seq) = segment_seq(&name.to_string_lossy()) {
+                        seqs.push(seq);
                     }
                 }
-                info.live += 1;
+            }
+            seqs.sort_unstable();
+
+            let mut relist = false;
+            for &seq in &seqs {
+                let path = self.segment_path(seq);
+                let (records, scan) = match decode_segment(&path) {
+                    Ok(decoded) => decoded,
+                    Err(e)
+                        if e.kind() == io::ErrorKind::NotFound
+                            && self.mode != StoreMode::Exclusive =>
+                    {
+                        relist = true;
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                };
+                if scan.dropped_bytes > 0 {
+                    if self.mode == StoreMode::Exclusive {
+                        let f = OpenOptions::new().write(true).open(&path)?;
+                        f.set_len(scan.good_bytes)?;
+                    }
+                    recovered.push((seq, scan.clone()));
+                }
+                let mut info = SegmentInfo {
+                    bytes: scan.good_bytes,
+                    live: 0,
+                    total: scan.records,
+                    last_touch: 0,
+                };
                 inner.segments.insert(seq, info);
+                for record in records {
+                    if let Some(old) = inner.index.insert(
+                        record.key,
+                        IndexEntry {
+                            answer: record.answer,
+                            segment: seq,
+                        },
+                    ) {
+                        if let Some(prev) = inner.segments.get_mut(&old.segment) {
+                            prev.live = prev.live.saturating_sub(1);
+                        }
+                    }
+                    info.live += 1;
+                    inner.segments.insert(seq, info);
+                }
+            }
+            if !relist {
+                break;
+            }
+            if attempt + 1 >= MAX_RELISTS {
+                return Err(io::Error::new(
+                    io::ErrorKind::WouldBlock,
+                    format!(
+                        "answer store {} kept compacting away listed segments across \
+                         {MAX_RELISTS} replay attempts",
+                        self.dir.display()
+                    ),
+                ));
             }
         }
+        // recovery accounting is committed only for the listing that
+        // won — discarded partial replays must not double-count
+        for (seq, scan) in recovered.drain(..) {
+            self.recovered_segments.fetch_add(1, Ordering::Relaxed);
+            self.recovered_bytes
+                .fetch_add(scan.dropped_bytes, Ordering::Relaxed);
+            self.telemetry.counter("store.recovered", 1);
+            self.telemetry.event(
+                "store.recovery",
+                vec![
+                    kv("segment", seq),
+                    kv("good_bytes", scan.good_bytes),
+                    kv("dropped_bytes", scan.dropped_bytes),
+                ],
+            );
+        }
+        let seqs: Vec<u64> = inner.segments.keys().copied().collect();
 
-        // the highest segment continues as the active one
-        if !self.read_only {
-            let seq = seqs.last().copied().unwrap_or(0).max(1);
-            let path = self.segment_path(seq);
-            let file = OpenOptions::new().create(true).append(true).open(&path)?;
-            let bytes = inner.segments.get(&seq).map_or(0, |s| s.bytes);
-            inner.segments.entry(seq).or_default();
-            inner.active = Some(ActiveSegment {
-                seq,
-                writer: BufWriter::new(file),
-                bytes,
-            });
+        match self.mode {
+            // the highest segment continues as the active one
+            StoreMode::Exclusive => {
+                let seq = seqs.last().copied().unwrap_or(0).max(1);
+                let path = self.segment_path(seq);
+                let file = OpenOptions::new().create(true).append(true).open(&path)?;
+                let bytes = inner.segments.get(&seq).map_or(0, |s| s.bytes);
+                inner.segments.entry(seq).or_default();
+                inner.active = Some(ActiveSegment {
+                    seq,
+                    writer: BufWriter::new(file),
+                    bytes,
+                });
+            }
+            // a shared writer must never append into another writer's
+            // segment: claim a fresh sequence number atomically
+            StoreMode::Shared => {
+                let from = seqs.last().copied().unwrap_or(0) + 1;
+                self.claim_fresh_segment(&mut inner, from)?;
+            }
+            StoreMode::ReadOnly => {}
         }
         let (entries, segments) = (inner.index.len(), inner.segments.len());
         drop(inner);
@@ -649,11 +971,39 @@ impl AnswerStore {
                     kv("entries", entries),
                     kv("segments", segments),
                     kv("generation", self.generation.load(Ordering::Relaxed)),
-                    kv("read_only", self.read_only),
+                    kv("read_only", self.mode == StoreMode::ReadOnly),
                 ],
             );
         }
         Ok(())
+    }
+
+    /// Claims the first free segment sequence number at or after `from`
+    /// with `create_new` — atomic against every other shared writer —
+    /// and installs it as this handle's active segment.
+    fn claim_fresh_segment(&self, inner: &mut Inner, from: u64) -> io::Result<()> {
+        let mut seq = from.max(1);
+        loop {
+            match OpenOptions::new()
+                .create_new(true)
+                .append(true)
+                .open(self.segment_path(seq))
+            {
+                Ok(file) => {
+                    inner.segments.entry(seq).or_default();
+                    inner.active = Some(ActiveSegment {
+                        seq,
+                        writer: BufWriter::new(file),
+                        bytes: 0,
+                    });
+                    return Ok(());
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    seq += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     fn segment_path(&self, seq: u64) -> PathBuf {
@@ -667,7 +1017,12 @@ impl AnswerStore {
 
     /// Whether this handle was opened read-only.
     pub fn is_read_only(&self) -> bool {
-        self.read_only
+        self.mode == StoreMode::ReadOnly
+    }
+
+    /// How this handle was opened.
+    pub fn mode(&self) -> StoreMode {
+        self.mode
     }
 
     /// The current eviction generation: bumped whenever live answers
@@ -750,7 +1105,7 @@ impl AnswerStore {
     /// is read-only, or when the key already maps to this exact answer
     /// (idempotent re-insert needs no new record).
     pub fn insert(&self, key: CacheKey, answer: CachedAnswer) -> bool {
-        if self.read_only {
+        if self.mode == StoreMode::ReadOnly {
             return false;
         }
         if is_corrupted_text(&answer.text) {
@@ -828,16 +1183,22 @@ impl AnswerStore {
         let mut writer = old.writer;
         writer.flush()?;
         let seq = old.seq + 1;
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(self.segment_path(seq))?;
-        inner.segments.entry(seq).or_default();
-        inner.active = Some(ActiveSegment {
-            seq,
-            writer: BufWriter::new(file),
-            bytes: 0,
-        });
+        if self.mode == StoreMode::Shared {
+            // another shared writer may own seq already — claim
+            // atomically past it
+            self.claim_fresh_segment(inner, seq)?;
+        } else {
+            let file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.segment_path(seq))?;
+            inner.segments.entry(seq).or_default();
+            inner.active = Some(ActiveSegment {
+                seq,
+                writer: BufWriter::new(file),
+                bytes: 0,
+            });
+        }
         self.telemetry.counter("store.rotate", 1);
         Ok(())
     }
@@ -846,6 +1207,11 @@ impl AnswerStore {
     /// [`StoreConfig::max_bytes`]. Each eviction drops that segment's
     /// live entries and bumps the generation.
     fn evict_to_bound(&self, inner: &mut Inner) -> io::Result<()> {
+        if self.mode != StoreMode::Exclusive {
+            // shared writers never drop live answers: the generation
+            // must stay frozen while a fleet runs
+            return Ok(());
+        }
         loop {
             let total: u64 = inner.segments.values().map(|s| s.bytes).sum();
             if total <= self.config.max_bytes {
@@ -889,7 +1255,7 @@ impl AnswerStore {
     /// live answer, so the generation is untouched. Returns bytes
     /// reclaimed.
     pub fn compact(&self) -> io::Result<u64> {
-        if self.read_only {
+        if self.mode != StoreMode::Exclusive {
             return Ok(0);
         }
         let mut inner = lock_inner(&self.inner);
@@ -1002,9 +1368,12 @@ impl AnswerStore {
     }
 
     /// Flushes buffered appends and persists `meta.json` (generation +
-    /// run-spanning counters). A no-op on read-only handles.
+    /// run-spanning counters). A no-op on read-only handles. Shared
+    /// handles flush their segment but skip `meta.json` — concurrent
+    /// writers would race the lifetime counters, and the generation
+    /// never changes in shared mode anyway.
     pub fn flush(&self) -> io::Result<()> {
-        if self.read_only {
+        if self.mode == StoreMode::ReadOnly {
             return Ok(());
         }
         {
@@ -1012,6 +1381,9 @@ impl AnswerStore {
             if let Some(active) = inner.active.as_mut() {
                 active.writer.flush()?;
             }
+        }
+        if self.mode == StoreMode::Shared {
+            return Ok(());
         }
         write_meta(
             &self.dir,
@@ -1080,7 +1452,7 @@ impl AnswerStore {
 
 impl Drop for AnswerStore {
     fn drop(&mut self) {
-        if !self.read_only {
+        if self.mode != StoreMode::ReadOnly {
             let _ = self.flush();
         }
     }
@@ -1325,6 +1697,106 @@ mod tests {
         // the repaired file replays cleanly
         let (_, scan) = decode_segment(&store.segment_paths()[0]).expect("decodes");
         assert_eq!(scan.dropped_bytes, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pid_reuse_stale_lock_is_broken_on_token_mismatch() {
+        let dir = tmp_dir("pidreuse");
+        fs::create_dir_all(&dir).expect("mkdir");
+        if process_start_token(1).is_some() {
+            // pid 1 is always alive, but this start token is from "an
+            // older process that used to own pid 1": recycled pid
+            fs::write(dir.join("store.lock"), "1 18446744073709551615").expect("plants lock");
+            let store = AnswerStore::open(&dir).expect("token mismatch breaks the lock");
+            drop(store);
+        }
+
+        if let Some(token) = process_start_token(1) {
+            // the *real* pid-1 stamp is a live holder: refused
+            fs::write(dir.join("store.lock"), format!("1 {token}")).expect("plants lock");
+            let err = AnswerStore::open(&dir).expect_err("live holder keeps the lock");
+            assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+            fs::remove_file(dir.join("store.lock")).expect("cleanup");
+        }
+
+        // legacy bare-pid stamp of a live pid still blocks
+        fs::write(dir.join("store.lock"), "1").expect("plants lock");
+        if pid_alive(1) {
+            let err = AnswerStore::open(&dir).expect_err("legacy live-pid lock holds");
+            assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_writers_coexist_and_exclusive_sees_the_union() {
+        let dir = tmp_dir("shared");
+        let a = AnswerStore::open_shared(&dir, StoreConfig::default(), Telemetry::disabled())
+            .expect("first shared handle");
+        let b = AnswerStore::open_shared(&dir, StoreConfig::default(), Telemetry::disabled())
+            .expect("second shared handle coexists");
+        assert_eq!(a.mode(), StoreMode::Shared);
+        for i in 0..5 {
+            assert!(a.insert(key(i), answer(i)));
+            assert!(b.insert(key(100 + i), answer(100 + i)));
+        }
+        // a live shared writer excludes an exclusive open
+        let err = AnswerStore::open(&dir).expect_err("exclusive refused under shared writers");
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        drop(a);
+        drop(b);
+        let merged = AnswerStore::open(&dir).expect("markers released on drop");
+        assert_eq!(merged.len(), 10, "both writers' records replay");
+        for i in 0..5 {
+            assert_eq!(merged.lookup(&key(i)), Some(answer(i)));
+            assert_eq!(merged.lookup(&key(100 + i)), Some(answer(100 + i)));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exclusive_writer_excludes_shared_and_crashed_shared_marker_is_swept() {
+        let dir = tmp_dir("sharedx");
+        let exclusive = AnswerStore::open(&dir).expect("opens");
+        let err = AnswerStore::open_shared(&dir, StoreConfig::default(), Telemetry::disabled())
+            .expect_err("shared refused under a live exclusive writer");
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        drop(exclusive);
+
+        let shared = AnswerStore::open_shared(&dir, StoreConfig::default(), Telemetry::disabled())
+            .expect("shared opens after release");
+        shared.insert(key(1), answer(1));
+        shared.flush().expect("flushes");
+        shared.simulate_crash(); // marker left behind, holder "dead"
+        let markers = shared_markers(&fs::canonicalize(&dir).expect("canon")).expect("lists");
+        assert_eq!(markers.len(), 1, "crash leaves the marker");
+        let again = AnswerStore::open(&dir).expect("stale shared marker is swept");
+        assert_eq!(again.lookup(&key(1)), Some(answer(1)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_mode_never_compacts_evicts_or_writes_meta() {
+        let dir = tmp_dir("sharedro");
+        let config = StoreConfig {
+            segment_max_bytes: 256,
+            max_bytes: 512, // would trigger eviction in exclusive mode
+            compact_dead_ratio: 0.0,
+        };
+        let store = AnswerStore::open_shared(&dir, config, Telemetry::disabled()).expect("opens");
+        for i in 0..50 {
+            assert!(store.insert(key(i), answer(i)));
+        }
+        store.flush().expect("flushes");
+        assert_eq!(store.len(), 50, "nothing evicted");
+        assert_eq!(store.generation(), 0, "generation frozen");
+        assert_eq!(store.stats().evicted, 0);
+        assert_eq!(store.compact().expect("no-op"), 0);
+        assert!(
+            !dir.join("meta.json").exists(),
+            "shared flush skips meta.json"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

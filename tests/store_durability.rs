@@ -366,3 +366,107 @@ proptest! {
         let _ = fs::remove_dir_all(&dir);
     }
 }
+
+/// Read-only opens racing an exclusive writer's `compact()` must never
+/// observe a torn segment set. Compaction rewrites live records into
+/// fresh higher-sequence segments *before* deleting the old ones, and a
+/// non-exclusive replay tolerates a segment vanishing between listing
+/// and decode — so every reader, whenever it lands, resolves the full
+/// key set to the latest values.
+#[test]
+fn read_only_opens_racing_compaction_never_observe_a_torn_segment_set() {
+    use chipvqa::eval::{CacheKey, CachedAnswer};
+    use chipvqa::models::backbone::AnswerPath;
+    use std::sync::atomic::AtomicBool;
+
+    const KEYS: u64 = 40;
+    fn key(i: u64) -> CacheKey {
+        CacheKey {
+            model_fingerprint: 0xfeed ^ i,
+            question_id: format!("digital-{i:03}"),
+            prompt_hash: 0x1234_5678 + i,
+            downsample: 1,
+            attempt: 0,
+            dataset_fingerprint: 7,
+        }
+    }
+    fn answer(i: u64, round: u64) -> CachedAnswer {
+        CachedAnswer {
+            text: format!("answer-{i}-r{round}"),
+            path: AnswerPath::Solved,
+            solve_probability: 0.25,
+        }
+    }
+
+    let dir = tmp_dir("reader-vs-compact");
+    // tiny segments: every round spans many files, so compaction has a
+    // wide multi-file window for a reader to land inside
+    let config = StoreConfig {
+        segment_max_bytes: 256,
+        ..StoreConfig::default()
+    };
+    let writer = AnswerStore::open_with_telemetry(&dir, config, Telemetry::disabled())
+        .expect("writer opens");
+    for i in 0..KEYS {
+        writer.insert(key(i), answer(i, 0));
+    }
+    writer.flush().expect("flushes");
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut opens = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        let reader = AnswerStore::open_read_only(&dir)
+                            .expect("a read-only open must always succeed mid-compaction");
+                        assert_eq!(
+                            reader.len(),
+                            KEYS as usize,
+                            "torn segment set: a reader lost keys mid-compaction"
+                        );
+                        for i in 0..KEYS {
+                            let got = reader
+                                .lookup(&key(i))
+                                .unwrap_or_else(|| panic!("key {i} vanished mid-compaction"));
+                            assert!(
+                                got.text.starts_with(&format!("answer-{i}-r")),
+                                "key {i} resolved to a foreign answer: {}",
+                                got.text
+                            );
+                        }
+                        opens += 1;
+                    }
+                    opens
+                })
+            })
+            .collect();
+
+        // the writer churns: overwrite every key (making the previous
+        // round dead) then compact the garbage away, repeatedly
+        for round in 1..=6u64 {
+            for i in 0..KEYS {
+                writer.insert(key(i), answer(i, round));
+            }
+            writer.flush().expect("flushes");
+            writer.compact().expect("compacts");
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: usize = readers
+            .into_iter()
+            .map(|r| r.join().expect("reader thread"))
+            .sum();
+        assert!(total > 0, "readers actually raced the compactor");
+    });
+
+    // post-race: the final generation's values survived the churn
+    let reader = AnswerStore::open_read_only(&dir).expect("final reader");
+    for i in 0..KEYS {
+        assert_eq!(
+            reader.lookup(&key(i)).expect("key survives").text,
+            format!("answer-{i}-r6")
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
