@@ -22,8 +22,17 @@
 //! store generations. `--report-json FILE` writes the table (with the
 //! run-metadata `cache_stats` nulled) as JSON for byte comparison.
 //!
+//! Conflicting mode flags are refused up front with a structured
+//! JSON error on stderr (`{"error":"flag_conflict",...}`) instead of
+//! last-flag-wins or silent ignoring: `--store` with `--fleet` (the
+//! fleet manages its own shared store), `--store` at scale 1 (the
+//! canonical run takes the uncached path), and `--report-json` on a
+//! fleet *worker* (only `merge` produces the table; workers would
+//! silently drop the flag).
+//!
 //! Exit codes: 0 ok · 1 store/trace/report i/o failure · 2 usage ·
-//! 3 table printed with a DEGRADED RUN footer · 4 fleet merge refused.
+//! 3 table printed with a DEGRADED RUN footer · 4 fleet merge refused ·
+//! 5 conflicting mode flags.
 
 use std::sync::Arc;
 
@@ -40,6 +49,28 @@ use chipvqa_telemetry::{JsonlSink, Telemetry};
 const EXIT_DEGRADED: i32 = 3;
 /// Exit code for a refused fleet merge (mismatched identity, incomplete).
 const EXIT_MERGE_REFUSED: i32 = 4;
+/// Exit code for conflicting mode flags (refused before any work).
+const EXIT_FLAG_CONFLICT: i32 = 5;
+
+/// Refuses a run whose flags request contradictory modes: a structured
+/// JSON error on stderr, exit code 5, nothing evaluated.
+fn flag_conflict(detail: &str) -> ! {
+    let body = serde_json::Value::Obj(vec![
+        (
+            "error".to_string(),
+            serde_json::Value::Str("flag_conflict".to_string()),
+        ),
+        (
+            "detail".to_string(),
+            serde_json::Value::Str(detail.to_string()),
+        ),
+    ]);
+    eprintln!(
+        "{}",
+        serde_json::to_string(&body).expect("value serializes")
+    );
+    std::process::exit(EXIT_FLAG_CONFLICT);
+}
 
 fn main() {
     let mut merge_mode = false;
@@ -95,6 +126,24 @@ fn main() {
     if merge_mode && fleet_dir.is_none() {
         eprintln!("table2 merge requires --fleet DIR");
         std::process::exit(2);
+    }
+    if fleet_dir.is_some() && store_dir.is_some() {
+        flag_conflict(
+            "--store cannot be combined with --fleet: the fleet manages its own \
+             shared answer store inside the fleet directory",
+        );
+    }
+    if store_dir.is_some() && scale == 1 {
+        flag_conflict(
+            "--store requires --scale N with N > 1: the canonical scale-1 run \
+             takes the uncached reference path and would silently ignore the store",
+        );
+    }
+    if fleet_dir.is_some() && !merge_mode && report_json.is_some() {
+        flag_conflict(
+            "--report-json is a merge-side flag: fleet workers produce no table; \
+             run `table2 merge --fleet DIR --report-json FILE` instead",
+        );
     }
 
     let sink = trace_file.as_ref().map(|_| Arc::new(JsonlSink::new()));

@@ -231,6 +231,28 @@ pub fn run_table2_fleet_merge(
     Ok(Table2 { rows })
 }
 
+/// The batch-mode equivalent of an evaluation session: each model
+/// evaluated sequentially by the plain harness over the materialized
+/// spec, wrapped the way the resident service wraps its reports. The
+/// serving acceptance contract — and the `chipvqa-load` generator —
+/// byte-compare [`SessionReport::canonical_json`] of an admitted
+/// session against this reference.
+///
+/// [`SessionReport::canonical_json`]: chipvqa_serve::SessionReport::canonical_json
+pub fn batch_reference_report(
+    models: &[chipvqa_models::ModelProfile],
+    spec: &DatasetSpec,
+    options: EvalOptions,
+) -> chipvqa_serve::SessionReport {
+    let bench = spec.build();
+    chipvqa_serve::SessionReport::new(
+        models
+            .iter()
+            .map(|profile| evaluate(&VlmPipeline::new(profile.clone()), &bench, options))
+            .collect(),
+    )
+}
+
 /// The paper's Table II reference numbers `(standard all, challenge all)`
 /// per model, used for shape comparison in harness output.
 pub fn paper_reference() -> Vec<(&'static str, f64, f64)> {

@@ -318,6 +318,14 @@ impl Checkpoint {
         self.completed.len()
     }
 
+    /// Shards a resume still has to execute — what a driver (the
+    /// resident service's progress reporting, a fleet coordinator)
+    /// shows as remaining work.
+    pub fn pending_shards(&self, bench: &ChipVqa) -> usize {
+        self.total_shards(bench)
+            .saturating_sub(self.completed.len())
+    }
+
     /// Total shards a full run of this grid needs.
     pub fn total_shards(&self, bench: &ChipVqa) -> usize {
         shard_keys(self.model_fingerprints.len(), bench.len()).len()
@@ -455,6 +463,7 @@ mod tests {
             .expect("valid");
         assert!(first.is_none(), "run is incomplete after 3 shards");
         assert_eq!(ckpt.completed_shards(), 3);
+        assert_eq!(ckpt.pending_shards(&bench), ckpt.total_shards(&bench) - 3);
 
         let json = ckpt.to_json().expect("serializes");
         let mut restored = Checkpoint::from_json(&json).expect("parses");

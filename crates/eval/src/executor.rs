@@ -166,6 +166,14 @@ struct Shard {
 }
 
 /// Work-stealing evaluator producing sequential-identical reports.
+///
+/// Worker threads are scoped per call: every entry point joins its
+/// workers before returning, so a driver that returns from (or stops
+/// calling) the executor has no evaluation threads left running. The
+/// resident service (`chipvqa-serve`) builds its cancel-at-batch-
+/// boundary and graceful-shutdown guarantees directly on this property
+/// plus [`evaluate_grid_resumable`](ParallelExecutor::evaluate_grid_resumable)'s
+/// bounded `max_shards` budget.
 #[derive(Debug, Clone)]
 pub struct ParallelExecutor {
     workers: usize,

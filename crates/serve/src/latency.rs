@@ -1,0 +1,112 @@
+//! Latency percentile summaries for the serving benchmark.
+//!
+//! The load generator measures end-to-end session latency (submit →
+//! terminal state) and folds each concurrency level into one
+//! [`LatencySummary`], serialized as one JSON line of
+//! `BENCH_service.json` — the same one-line-per-measurement shape
+//! `BENCH_store.json` uses, so the committed perf trajectory stays
+//! grep-able.
+
+use serde::{Deserialize, Serialize};
+
+/// Percentile summary of one batch of latency samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// What was measured (e.g. `service/sessions_8`).
+    pub label: String,
+    /// Sample count.
+    pub samples: usize,
+    /// 50th percentile, nanoseconds.
+    pub p50_ns: u64,
+    /// 95th percentile, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: u64,
+    /// Arithmetic mean, nanoseconds.
+    pub mean_ns: u64,
+    /// Slowest sample, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes `samples` (nanoseconds) under `label`. Percentiles
+    /// use the nearest-rank method on the sorted samples, so every
+    /// reported value is an actually observed latency. Panics on an
+    /// empty batch — a level with zero completed sessions is a lost
+    ///-session bug the caller must surface, not a row of zeros.
+    pub fn from_ns(label: impl Into<String>, mut samples: Vec<u64>) -> Self {
+        assert!(!samples.is_empty(), "latency summary of zero samples");
+        samples.sort_unstable();
+        let mean_ns =
+            (samples.iter().map(|&ns| u128::from(ns)).sum::<u128>() / samples.len() as u128) as u64;
+        LatencySummary {
+            label: label.into(),
+            samples: samples.len(),
+            p50_ns: nearest_rank(&samples, 50),
+            p95_ns: nearest_rank(&samples, 95),
+            p99_ns: nearest_rank(&samples, 99),
+            mean_ns,
+            max_ns: *samples.last().expect("non-empty"),
+        }
+    }
+
+    /// One `BENCH_service.json` line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        serde_json::to_string(self).expect("summary serializes")
+    }
+}
+
+/// Nearest-rank percentile of pre-sorted samples: the smallest value
+/// with at least `pct`% of the samples at or below it.
+fn nearest_rank(sorted: &[u64], pct: usize) -> u64 {
+    debug_assert!((1..=100).contains(&pct));
+    let rank = (sorted.len() * pct).div_ceil(100).max(1);
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_observed_values() {
+        // 1..=100 makes ranks legible: pN == N
+        let samples: Vec<u64> = (1..=100).collect();
+        let s = LatencySummary::from_ns("t", samples);
+        assert_eq!(s.samples, 100);
+        assert_eq!(s.p50_ns, 50);
+        assert_eq!(s.p95_ns, 95);
+        assert_eq!(s.p99_ns, 99);
+        assert_eq!(s.max_ns, 100);
+        assert_eq!(s.mean_ns, 50);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let s = LatencySummary::from_ns("one", vec![42]);
+        assert_eq!((s.p50_ns, s.p95_ns, s.p99_ns, s.max_ns), (42, 42, 42, 42));
+        assert_eq!(s.samples, 1);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_first() {
+        let s = LatencySummary::from_ns("shuffled", vec![30, 10, 20]);
+        assert_eq!(s.p50_ns, 20);
+        assert_eq!(s.max_ns, 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_batch_panics() {
+        let _ = LatencySummary::from_ns("none", Vec::new());
+    }
+
+    #[test]
+    fn json_line_roundtrips() {
+        let s = LatencySummary::from_ns("service/sessions_8", vec![5, 7, 9]);
+        let line = s.to_json_line();
+        assert!(!line.contains('\n'));
+        let back: LatencySummary = serde_json::from_str(&line).expect("parses");
+        assert_eq!(back, s);
+    }
+}

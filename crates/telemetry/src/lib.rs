@@ -65,7 +65,7 @@ use std::sync::Arc;
 
 pub use clock::{Clock, MockClock, MonotonicClock};
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot, SpanStat};
-pub use sink::{kv, parse_jsonl, JsonlSink, KeyValues, MemorySink, TraceRecord, TraceSink};
+pub use sink::{kv, parse_jsonl, FnSink, JsonlSink, KeyValues, MemorySink, TraceRecord, TraceSink};
 pub use span::{Span, Timer};
 pub use summary::{HistogramRow, SpanRow, TelemetrySummary};
 

@@ -184,6 +184,36 @@ impl TraceSink for JsonlSink {
     }
 }
 
+/// Adapts a closure into a [`TraceSink`] — the hook that lets a caller
+/// stream live trace records somewhere structured (a progress channel,
+/// a metrics bridge) without defining a sink type.
+///
+/// The closure runs on whichever thread completes the span or emits the
+/// event, so it must be `Send + Sync` and should stay cheap; anything
+/// expensive belongs behind a channel on the far side.
+pub struct FnSink<F: Fn(&TraceRecord) + Send + Sync> {
+    f: F,
+}
+
+impl<F: Fn(&TraceRecord) + Send + Sync> FnSink<F> {
+    /// Wraps `f` as a sink.
+    pub fn new(f: F) -> Self {
+        FnSink { f }
+    }
+}
+
+impl<F: Fn(&TraceRecord) + Send + Sync> TraceSink for FnSink<F> {
+    fn record(&self, record: &TraceRecord) {
+        (self.f)(record);
+    }
+}
+
+impl<F: Fn(&TraceRecord) + Send + Sync> std::fmt::Debug for FnSink<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FnSink")
+    }
+}
+
 /// Parses a JSONL trace document back into records (the inverse of
 /// [`JsonlSink::to_jsonl`]); blank lines are skipped.
 pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRecord>, serde_json::Error> {
@@ -239,6 +269,24 @@ mod tests {
         assert_eq!(text.lines().count(), 2);
         let back = parse_jsonl(&text).expect("parses");
         assert_eq!(back, records);
+    }
+
+    #[test]
+    fn fn_sink_forwards_records() {
+        let seen = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let sink = {
+            let seen = std::sync::Arc::clone(&seen);
+            FnSink::new(move |r: &TraceRecord| {
+                lock(&seen).push(r.name().to_string());
+            })
+        };
+        for r in sample() {
+            sink.record(&r);
+        }
+        assert_eq!(
+            *lock(&seen),
+            vec!["shard".to_string(), "fault.injected".to_string()]
+        );
     }
 
     #[test]

@@ -51,5 +51,7 @@ pub use chipvqa_models as models;
 pub use chipvqa_physd as physd;
 /// The raster substrate (pixmaps, rendering, legibility metrics).
 pub use chipvqa_raster as raster;
+/// The resident evaluation service (sessions, admission control).
+pub use chipvqa_serve as serve;
 /// Deterministic observability (spans, metrics, trace sinks).
 pub use chipvqa_telemetry as telemetry;
