@@ -3,13 +3,12 @@
 //! elements — the topic list of §III-B.1.
 
 use chipvqa_logic::expr::{Expr, TruthTable};
-use chipvqa_logic::minimize::minimize_table;
 use chipvqa_logic::seq::{FlipFlop, StateTable};
 use chipvqa_logic::{builders, numbers, render};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use super::{expr_distractors, numeric_distractors, pick, shuffle_choices, text_panel};
+use super::{expr_distractors, memo, numeric_distractors, pick, shuffle_choices, text_panel};
 use crate::question::{
     trim_float, AnswerSpec, Category, Difficulty, Question, QuestionKind, VisualKind,
 };
@@ -98,7 +97,7 @@ fn state_table_question(k: usize, idx: &mut usize, rng: &mut StdRng) -> Question
         // form is pinned to the paper's literal text after verifying
         // equivalence.
         let t = StateTable::paper_example();
-        let derived = t.next_state_expr(0);
+        let derived = memo::next_state_expr_cached(&t, 0);
         let paper = Expr::parse("S'Q + SR'").expect("well-formed");
         assert!(
             derived.equivalent(&paper).expect("small expr"),
@@ -112,7 +111,7 @@ fn state_table_question(k: usize, idx: &mut usize, rng: &mut StdRng) -> Question
             let Ok(t) = StateTable::new(1, vec!['S', 'R'], rows) else {
                 continue;
             };
-            let g = t.next_state_expr(0);
+            let g = memo::next_state_expr_cached(&t, 0);
             if !matches!(g, Expr::Const(_)) && g.literal_count() >= 2 {
                 break (t, g);
             }
@@ -161,7 +160,7 @@ fn random_function(rng: &mut StdRng, vars: usize) -> TruthTable {
 fn kmap_question(idx: &mut usize, rng: &mut StdRng) -> Question {
     let vars = 3 + rng.gen_range(0..2); // 3 or 4
     let table = random_function(rng, vars);
-    let gold = minimize_table(&table);
+    let gold = memo::minimize_table_cached(&table);
     let vis = render::render_kmap(&table);
     let key_marks: Vec<usize> = (0..vis.marks.len()).collect();
     let gold_text = format!("F = {gold}");
@@ -190,7 +189,7 @@ fn kmap_question(idx: &mut usize, rng: &mut StdRng) -> Question {
 
 fn schematic_function_question(idx: &mut usize, rng: &mut StdRng) -> Question {
     let table = random_function(rng, 3);
-    let gold = minimize_table(&table);
+    let gold = memo::minimize_table_cached(&table);
     let netlist = chipvqa_logic::Netlist::from_expr(&gold);
     let vis = render::render_schematic(&netlist);
     let key_marks: Vec<usize> = (0..vis.marks.len()).collect();
@@ -326,6 +325,12 @@ fn twos_complement_question(idx: &mut usize, rng: &mut StdRng) -> Question {
         trim_float(-(((!bits) & 0xFF) as f64)), // negated one's complement confusion
         trim_float(gold + 1.0),
     ];
+    // Degenerate draws exist (value −64: the sign-magnitude reading IS the
+    // gold, and the one's-complement confusion always equals gold+1), so
+    // append fallbacks; they are only reached when the confusions collapse,
+    // since shuffle_choices keeps the first three distinct entries.
+    distractors.push(trim_float(gold - 1.0));
+    distractors.push(trim_float(gold * 2.0));
     distractors.retain(|d| *d != trim_float(gold));
     let (choices, correct) = shuffle_choices(trim_float(gold), distractors, rng);
     Question {
@@ -362,6 +367,12 @@ fn gray_code_question(idx: &mut usize, rng: &mut StdRng) -> Question {
         trim_float(gold - 1.0),
         trim_float(numbers::to_gray(gray) as f64), // double-encoded
     ];
+    // Degenerate draws exist (value 6: gray is 5 and the double-encoding
+    // is 7, both colliding with value±1), so append fallbacks; they are
+    // only reached when the confusions collapse, since shuffle_choices
+    // keeps the first three distinct entries.
+    distractors.push(trim_float(gold + 2.0));
+    distractors.push(trim_float(gold - 2.0));
     distractors.retain(|d| *d != trim_float(gold));
     let (choices, correct) = shuffle_choices(trim_float(gold), distractors, rng);
     Question {

@@ -12,6 +12,7 @@ pub mod architecture;
 pub mod digital;
 pub mod extension;
 pub mod manufacturing;
+pub mod memo;
 pub mod physical;
 pub mod verify;
 
@@ -162,22 +163,24 @@ pub(crate) fn expr_distractors(
     rng: &mut StdRng,
     want: usize,
 ) -> Vec<String> {
-    use chipvqa_logic::minimize::minimize_table;
     let table = gold
         .truth_table_over(vars)
         .expect("generator exprs are small");
     let rows = table.outputs.len();
     let mut out: Vec<String> = Vec::new();
     let mut guard = 0;
+    // One flip buffer reused across attempts (the loop runs up to 200
+    // times); each attempt restores the gold outputs in place.
+    let mut flipped = table.clone();
     while out.len() < want && guard < 200 {
         guard += 1;
-        let mut flipped = table.clone();
+        flipped.outputs.copy_from_slice(&table.outputs);
         let flips = 1 + rng.gen_range(0..2);
         for _ in 0..flips {
             let i = rng.gen_range(0..rows);
             flipped.outputs[i] = !flipped.outputs[i];
         }
-        let cand = minimize_table(&flipped);
+        let cand = memo::minimize_table_cached(&flipped);
         if matches!(cand, chipvqa_logic::Expr::Const(_)) {
             continue;
         }

@@ -10,11 +10,11 @@ use chipvqa_physd::net::Net;
 use chipvqa_physd::place::{legalize, total_displacement, Cell, PlacementRegion};
 use chipvqa_physd::render as prender;
 use chipvqa_physd::sta::{TimingGraph, TimingNode};
-use chipvqa_physd::steiner::{rmst, rsmt, star_tree};
+use chipvqa_physd::steiner::{rmst, star_tree};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use super::{numeric_distractors, shuffle_choices, text_panel};
+use super::{memo, numeric_distractors, shuffle_choices, text_panel};
 use crate::question::{
     trim_float, AnswerSpec, Category, Difficulty, Question, QuestionKind, VisualKind,
 };
@@ -80,7 +80,7 @@ fn random_pins(rng: &mut StdRng, n: usize) -> Vec<Point> {
 fn route_comparison_question(k: usize, idx: &mut usize, rng: &mut StdRng) -> Question {
     let extra = rng.gen_range(0..2);
     let pins = random_pins(rng, 4 + extra);
-    let good = rsmt(&pins);
+    let good = memo::rsmt_cached(&pins);
     let bad = star_tree(&pins);
     let vis = prender::render_route_comparison(&good, &bad, &pins);
     let key_marks: Vec<usize> = (0..vis.marks.len()).collect();
@@ -170,17 +170,19 @@ fn hpwl_question(idx: &mut usize, rng: &mut StdRng) -> Question {
 }
 
 fn steiner_gain_question(idx: &mut usize, rng: &mut StdRng) -> Question {
-    // force a pin set with genuine Steiner gain
-    let (pins, mst_cost, smt_cost) = loop {
+    // force a pin set with genuine Steiner gain; keep the accepted
+    // draw's trees instead of re-solving them for the render (both
+    // solvers are deterministic, so the trees are the same)
+    let (pins, mst, smt) = loop {
         let pins = random_pins(rng, 4);
-        let m = rmst(&pins).cost();
-        let s = rsmt(&pins).cost();
-        if s < m {
+        let m = rmst(&pins);
+        let s = memo::rsmt_cached(&pins);
+        if s.cost() < m.cost() {
             break (pins, m, s);
         }
     };
-    let gold = (mst_cost - smt_cost) as f64;
-    let vis = prender::render_route_comparison(&rsmt(&pins), &rmst(&pins), &pins);
+    let gold = (mst.cost() - smt.cost()) as f64;
+    let vis = prender::render_route_comparison(&smt, &mst, &pins);
     let key_marks: Vec<usize> = (0..vis.marks.len()).collect();
     Question {
         id: next_id(idx),

@@ -212,6 +212,16 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, sampling: bool, samples: usize, 
     }
 }
 
+/// Records a measurement taken outside the [`Bencher`] sampling loop —
+/// the escape hatch for *macro* benchmarks (whole-grid evaluations that
+/// are far too slow to sample) that must still land in the printed
+/// summary and the `$CRITERION_JSON` trend file. The single observed
+/// wall time serves as both mean and median.
+pub fn export_measurement(label: &str, observed: Duration) {
+    println!("{label:<48} mean {observed:>12?}  median {observed:>12?}");
+    export_json_line(label, observed, observed);
+}
+
 /// Appends one measurement as a JSON line to `$CRITERION_JSON`, when
 /// set. Failures are reported but never fail the bench run.
 fn export_json_line(label: &str, mean: Duration, median: Duration) {

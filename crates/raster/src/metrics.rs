@@ -70,11 +70,11 @@ impl Pixmap {
         }
         let mut ink = 0usize;
         for y in y1..y2 {
-            for x in x1..x2 {
-                if self.pixels()[y * self.width() + x] < INK_THRESHOLD {
-                    ink += 1;
-                }
-            }
+            let base = y * self.width();
+            ink += self.pixels()[base + x1..base + x2]
+                .iter()
+                .filter(|&&p| p < INK_THRESHOLD)
+                .count();
         }
         ink as f64 / area as f64
     }
@@ -109,8 +109,33 @@ pub fn legibility_after_downsample(img: &Pixmap, region: Region, factor: usize) 
         return 1.0;
     }
     let small = img.downsample(factor);
+    retained_fraction(&small, region, factor, original_ink)
+}
+
+/// [`legibility_after_downsample`] against a caller-supplied
+/// `downsampled` image (which must be `img.downsample(factor)`). Lets
+/// callers measuring many regions of the *same* image at the *same*
+/// factor — the encoder's per-question key marks — downsample once
+/// instead of once per region, with bit-identical results.
+pub fn legibility_with_downsampled(
+    img: &Pixmap,
+    downsampled: &Pixmap,
+    region: Region,
+    factor: usize,
+) -> f64 {
+    if factor <= 1 {
+        return 1.0;
+    }
+    let original_ink = region_ink(img, region);
+    if original_ink == 0 {
+        return 1.0;
+    }
+    retained_fraction(downsampled, region, factor, original_ink)
+}
+
+fn retained_fraction(small: &Pixmap, region: Region, factor: usize, original_ink: usize) -> f64 {
     let small_region = region.scaled_down(factor);
-    let retained = region_ink(&small, small_region) * factor * factor;
+    let retained = region_ink(small, small_region) * factor * factor;
     (retained as f64 / original_ink as f64).min(1.0)
 }
 
@@ -121,11 +146,11 @@ fn region_ink(img: &Pixmap, region: Region) -> usize {
     let y2 = (region.y + region.h).min(img.height());
     let mut ink = 0usize;
     for y in y1..y2 {
-        for x in x1..x2 {
-            if img.pixels()[y * img.width() + x] < INK_THRESHOLD {
-                ink += 1;
-            }
-        }
+        let base = y * img.width();
+        ink += img.pixels()[base + x1..base + x2]
+            .iter()
+            .filter(|&&p| p < INK_THRESHOLD)
+            .count();
     }
     ink
 }

@@ -60,6 +60,7 @@ impl Pixmap {
     }
 
     /// Returns the shade at `(x, y)`, or `None` when out of bounds.
+    #[inline]
     pub fn get(&self, x: i64, y: i64) -> Option<u8> {
         if x < 0 || y < 0 || x as usize >= self.width || y as usize >= self.height {
             None
@@ -69,6 +70,7 @@ impl Pixmap {
     }
 
     /// Sets the shade at `(x, y)`; out-of-bounds writes are ignored.
+    #[inline]
     pub fn set(&mut self, x: i64, y: i64, shade: u8) {
         if x >= 0 && y >= 0 && (x as usize) < self.width && (y as usize) < self.height {
             self.data[y as usize * self.width + x as usize] = shade;
@@ -83,16 +85,41 @@ impl Pixmap {
     /// Fills the axis-aligned rectangle with top-left `(x, y)` and the given
     /// width/height.
     pub fn fill_rect(&mut self, x: i64, y: i64, w: i64, h: i64, shade: u8) {
-        for yy in y..y + h {
-            for xx in x..x + w {
-                self.set(xx, yy, shade);
-            }
+        // Clip once, then fill whole row slices instead of testing bounds
+        // per pixel — this primitive underlies lines, text, and stamps,
+        // so it is the hottest routine in the renderer.
+        let x0 = x.max(0);
+        let y0 = y.max(0);
+        let x1 = x.saturating_add(w.max(0)).min(self.width as i64);
+        let y1 = y.saturating_add(h.max(0)).min(self.height as i64);
+        if x0 >= x1 || y0 >= y1 {
+            return;
+        }
+        let (x0, x1) = (x0 as usize, x1 as usize);
+        for yy in y0 as usize..y1 as usize {
+            let base = yy * self.width;
+            self.data[base + x0..base + x1].fill(shade);
         }
     }
 
     /// Draws a straight line between `(x0, y0)` and `(x1, y1)` with the given
     /// stroke width (in pixels) using Bresenham stepping.
     pub fn draw_line(&mut self, x0: i64, y0: i64, x1: i64, y1: i64, stroke: i64, shade: u8) {
+        // Axis-aligned lines (the vast majority in schematic renders) are
+        // exactly the union of their per-step stamps, which collapses to a
+        // single clipped rectangle fill.
+        let s = stroke.max(1);
+        let half = (s - 1) / 2;
+        if y0 == y1 {
+            let left = x0.min(x1);
+            self.fill_rect(left - half, y0 - half, (x1 - x0).abs() + s, s, shade);
+            return;
+        }
+        if x0 == x1 {
+            let top = y0.min(y1);
+            self.fill_rect(x0 - half, top - half, s, (y1 - y0).abs() + s, shade);
+            return;
+        }
         let dx = (x1 - x0).abs();
         let dy = -(y1 - y0).abs();
         let sx = if x0 < x1 { 1 } else { -1 };
@@ -197,12 +224,20 @@ impl Pixmap {
 
     /// Fills a disc centred at `(cx, cy)`.
     pub fn fill_circle(&mut self, cx: i64, cy: i64, r: i64, shade: u8) {
+        // One clipped span per scanline: the row's extent is the largest
+        // xx with xx² + yy² ≤ r² (float sqrt as a seed, corrected to the
+        // exact integer bound so the pixel set matches the per-pixel
+        // membership test).
         for yy in -r..=r {
-            for xx in -r..=r {
-                if xx * xx + yy * yy <= r * r {
-                    self.set(cx + xx, cy + yy, shade);
-                }
+            let limit = r * r - yy * yy;
+            let mut xx = (limit as f64).sqrt() as i64;
+            while (xx + 1) * (xx + 1) <= limit {
+                xx += 1;
             }
+            while xx > 0 && xx * xx > limit {
+                xx -= 1;
+            }
+            self.fill_rect(cx - xx, cy + yy, 2 * xx + 1, 1, shade);
         }
     }
 
@@ -279,20 +314,56 @@ impl Pixmap {
         let nw = self.width.div_ceil(factor);
         let nh = self.height.div_ceil(factor);
         let mut out = Pixmap::new(nw, nh);
+        self.box_filter(factor, nw, nh, &mut out.data);
+        out
+    }
+
+    /// [`Pixmap::downsample`] into a caller-owned scratch image, avoiding
+    /// the per-call allocation on hot encoder paths. `out` is resized (and
+    /// its previous contents discarded) to the downsampled dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn downsample_into(&self, factor: usize, out: &mut Pixmap) {
+        assert!(factor > 0, "downsample factor must be nonzero");
+        let nw = self.width.div_ceil(factor);
+        let nh = self.height.div_ceil(factor);
+        out.width = nw;
+        out.height = nh;
+        out.data.clear();
+        out.data.resize(nw * nh, WHITE);
+        if factor == 1 {
+            out.data.copy_from_slice(&self.data);
+        } else {
+            self.box_filter(factor, nw, nh, &mut out.data);
+        }
+    }
+
+    /// Box filter core shared by [`Pixmap::downsample`] and
+    /// [`Pixmap::downsample_into`]: accumulates each output row band by
+    /// walking input rows once and summing `factor`-wide chunks, instead
+    /// of re-deriving block bounds per output pixel. Integer sums are
+    /// order-independent, so the result is bit-identical to the naive
+    /// per-block mean.
+    fn box_filter(&self, factor: usize, nw: usize, nh: usize, out: &mut [u8]) {
+        let mut sums = vec![0u64; nw];
         for by in 0..nh {
-            for bx in 0..nw {
-                let mut sum = 0u64;
-                let mut count = 0u64;
-                for yy in by * factor..((by + 1) * factor).min(self.height) {
-                    for xx in bx * factor..((bx + 1) * factor).min(self.width) {
-                        sum += u64::from(self.data[yy * self.width + xx]);
-                        count += 1;
-                    }
+            sums.fill(0);
+            let y_start = by * factor;
+            let y_end = ((by + 1) * factor).min(self.height);
+            for yy in y_start..y_end {
+                let row = &self.data[yy * self.width..(yy + 1) * self.width];
+                for (sum, chunk) in sums.iter_mut().zip(row.chunks(factor)) {
+                    *sum += chunk.iter().map(|&p| u64::from(p)).sum::<u64>();
                 }
-                out.data[by * nw + bx] = (sum / count.max(1)) as u8;
+            }
+            let rows = (y_end - y_start) as u64;
+            for (bx, o) in out[by * nw..(by + 1) * nw].iter_mut().enumerate() {
+                let cols = (((bx + 1) * factor).min(self.width) - bx * factor) as u64;
+                *o = (sums[bx] / (rows * cols).max(1)) as u8;
             }
         }
-        out
     }
 
     /// Counts pixels darker than [`INK_THRESHOLD`] over the whole image.
@@ -303,29 +374,39 @@ impl Pixmap {
     /// Renders the image as ASCII art (one character per `cell x cell`
     /// block), handy for terminal exploration of generated visuals.
     pub fn to_ascii(&self, cell: usize) -> String {
+        let mut s = String::new();
+        self.to_ascii_into(cell, &mut s);
+        s
+    }
+
+    /// [`Pixmap::to_ascii`] into a caller-owned string (cleared first),
+    /// avoiding the per-call allocation when rendering many frames.
+    pub fn to_ascii_into(&self, cell: usize, s: &mut String) {
         let cell = cell.max(1);
         let shades = [b'#', b'+', b'.', b' '];
-        let mut s = String::new();
-        let mut y = 0;
-        while y < self.height {
-            let mut x = 0;
-            while x < self.width {
-                let mut sum = 0u64;
-                let mut n = 0u64;
-                for yy in y..(y + cell).min(self.height) {
-                    for xx in x..(x + cell).min(self.width) {
-                        sum += u64::from(self.data[yy * self.width + xx]);
-                        n += 1;
-                    }
+        let nw = self.width.div_ceil(cell);
+        let nh = self.height.div_ceil(cell);
+        s.clear();
+        s.reserve(nh * (nw + 1));
+        let mut sums = vec![0u64; nw];
+        for by in 0..nh {
+            sums.fill(0);
+            let y_start = by * cell;
+            let y_end = ((by + 1) * cell).min(self.height);
+            for yy in y_start..y_end {
+                let row = &self.data[yy * self.width..(yy + 1) * self.width];
+                for (sum, chunk) in sums.iter_mut().zip(row.chunks(cell)) {
+                    *sum += chunk.iter().map(|&p| u64::from(p)).sum::<u64>();
                 }
-                let avg = (sum / n.max(1)) as usize;
+            }
+            let rows = (y_end - y_start) as u64;
+            for (bx, &sum) in sums.iter().enumerate() {
+                let cols = (((bx + 1) * cell).min(self.width) - bx * cell) as u64;
+                let avg = (sum / (rows * cols).max(1)) as usize;
                 s.push(shades[avg * shades.len() / 256] as char);
-                x += cell;
             }
             s.push('\n');
-            y += cell;
         }
-        s
     }
 
     /// Writes the image as a binary PGM (P5) stream. A mutable reference

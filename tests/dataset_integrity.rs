@@ -268,3 +268,63 @@ fn dataset_spec_at_scale_one_is_the_standard_collection() {
         assert_eq!(a, b, "{}", a.id);
     }
 }
+
+#[test]
+fn streamed_scale10_report_bytes_are_frozen() {
+    // PR 9's behaviour-neutrality wall: the hot-path speed campaign
+    // (row-sliced raster primitives, shared-downsample perception,
+    // solver memoization) must change ZERO report bytes. This freezes
+    // the canonical JSON of the full streamed `table2 --scale 10` grid
+    // — every zoo model, standard and challenge columns — against a
+    // hash captured before the optimizations landed. Re-capture (only
+    // for a deliberate behaviour change) with CHIPVQA_PRINT_GOLDENS=1.
+    use chipvqa::core::{DatasetSpec, BASE_SIZE};
+    use chipvqa::eval::harness::EvalOptions;
+    use chipvqa::eval::report::{ModelRow, Table2};
+    use chipvqa::eval::ParallelExecutor;
+    use chipvqa::models::{ModelZoo, VlmPipeline};
+
+    let standard = DatasetSpec::scaled(10);
+    let challenge = standard.clone().with_mc_sa_ratio(0.0);
+    let exec = ParallelExecutor::new(4);
+    let rows = ModelZoo::all()
+        .into_iter()
+        .map(|profile| {
+            let pipe = VlmPipeline::new(profile);
+            let (std_report, _) =
+                exec.evaluate_spec_stream(&pipe, &standard, BASE_SIZE, EvalOptions::default());
+            let (chal_report, _) =
+                exec.evaluate_spec_stream(&pipe, &challenge, BASE_SIZE, EvalOptions::default());
+            ModelRow {
+                standard: std_report,
+                challenge: chal_report,
+            }
+        })
+        .collect();
+    let mut table = Table2 { rows };
+    // cache_stats is run metadata (excluded from report equality and
+    // from table2 --report-json); null it the same way the bin does.
+    for row in &mut table.rows {
+        row.standard.cache_stats = None;
+        row.challenge.cache_stats = None;
+    }
+    let json = serde_json::to_string(&table).expect("table serializes");
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in json.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    if std::env::var("CHIPVQA_PRINT_GOLDENS").is_ok() {
+        println!(
+            "streamed scale-10 report hash: 0x{h:016x} ({} bytes)",
+            json.len()
+        );
+        return;
+    }
+    const FROZEN: u64 = 0x24a58e347df841cf;
+    assert_eq!(
+        h, FROZEN,
+        "streamed --scale 10 report bytes drifted (got 0x{h:016x}); \
+         the perf campaign must be behaviour-neutral"
+    );
+}
