@@ -223,6 +223,8 @@ fn run_level(
                     models: vec![model],
                     spec,
                     options: EvalOptions::default(),
+                    fault_plan: None,
+                    stream_shard_len: None,
                 };
                 // Submit with bounded retry: a shed is backpressure,
                 // not failure — but it must be structured, and the
@@ -330,6 +332,8 @@ fn run_store_smoke(
             models: vec![model.clone()],
             spec: spec.clone(),
             options: EvalOptions::default(),
+            fault_plan: None,
+            stream_shard_len: None,
         };
         let id = service
             .submit(request)

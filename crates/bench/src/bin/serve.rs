@@ -196,6 +196,8 @@ fn handle(service: &EvalService, zoo: &[chipvqa_models::ModelProfile], cmd: &Val
                 models,
                 spec,
                 options: EvalOptions::default(),
+                fault_plan: None,
+                stream_shard_len: None,
             };
             match service.submit(request) {
                 Ok(id) => ok(obj(vec![("session", Value::U64(id.0))])),

@@ -22,13 +22,23 @@
 //! store generations. `--report-json FILE` writes the table (with the
 //! run-metadata `cache_stats` nulled) as JSON for byte comparison.
 //!
+//! `--chaos RATE` (scaled runs) places the whole grid under a seeded
+//! fault supervisor: every fault kind injected at RATE, seed taken from
+//! `--chaos-seed` (default: `CHIPVQA_CHAOS_SEED`, then 20260806). Chaos
+//! runs stream by default; `--batch` evaluates the same supervised grid
+//! over fully materialized benches — the two produce byte-identical
+//! `--report-json` files, which is exactly what the `stream-chaos` CI
+//! job `cmp`s.
+//!
 //! Conflicting mode flags are refused up front with a structured
 //! JSON error on stderr (`{"error":"flag_conflict",...}`) instead of
 //! last-flag-wins or silent ignoring: `--store` with `--fleet` (the
 //! fleet manages its own shared store), `--store` at scale 1 (the
-//! canonical run takes the uncached path), and `--report-json` on a
+//! canonical run takes the uncached path), `--report-json` on a
 //! fleet *worker* (only `merge` produces the table; workers would
-//! silently drop the flag).
+//! silently drop the flag), `--chaos` with `--fleet` or `--store`
+//! (supervised runs are a differential fixture, not a durability mode),
+//! and `--batch` without `--chaos` (unsupervised runs already stream).
 //!
 //! Exit codes: 0 ok · 1 store/trace/report i/o failure · 2 usage ·
 //! 3 table printed with a DEGRADED RUN footer · 4 fleet merge refused ·
@@ -38,7 +48,7 @@ use std::sync::Arc;
 
 use chipvqa_bench::{
     paper_reference, run_table2, run_table2_fleet_merge, run_table2_fleet_worker,
-    run_table2_scaled, run_table2_scaled_with_store,
+    run_table2_scaled, run_table2_scaled_supervised, run_table2_scaled_with_store,
 };
 use chipvqa_core::{ChipVqa, DatasetSpec};
 use chipvqa_eval::fleet::FleetConfig;
@@ -80,6 +90,9 @@ fn main() {
     let mut fleet_dir: Option<std::path::PathBuf> = None;
     let mut trace_file: Option<std::path::PathBuf> = None;
     let mut report_json: Option<std::path::PathBuf> = None;
+    let mut chaos_rate: Option<f64> = None;
+    let mut chaos_seed: Option<u64> = None;
+    let mut batch_mode = false;
     let mut args = std::env::args().skip(1).peekable();
     if args.peek().map(String::as_str) == Some("merge") {
         merge_mode = true;
@@ -113,11 +126,30 @@ fn main() {
             "--report-json" => {
                 report_json = Some(args.next().expect("--report-json takes a file path").into());
             }
+            "--chaos" => {
+                chaos_rate = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|r: &f64| (0.0..=0.16).contains(r))
+                        .expect("--chaos takes a per-kind fault rate in [0, 0.16]"),
+                );
+            }
+            "--chaos-seed" => {
+                chaos_seed = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--chaos-seed takes an unsigned integer"),
+                );
+            }
+            "--batch" => {
+                batch_mode = true;
+            }
             other => {
                 eprintln!(
                     "unknown argument `{other}` \
                      (usage: table2 [merge] [--scale N] [--workers W] [--store DIR] \
-                     [--fleet DIR] [--trace FILE] [--report-json FILE])"
+                     [--fleet DIR] [--trace FILE] [--report-json FILE] \
+                     [--chaos RATE] [--chaos-seed S] [--batch])"
                 );
                 std::process::exit(2);
             }
@@ -143,6 +175,25 @@ fn main() {
         flag_conflict(
             "--report-json is a merge-side flag: fleet workers produce no table; \
              run `table2 merge --fleet DIR --report-json FILE` instead",
+        );
+    }
+    if chaos_rate.is_some() && fleet_dir.is_some() {
+        flag_conflict(
+            "--chaos cannot be combined with --fleet: supervised chaos runs are a \
+             single-process differential fixture; fleet durability has its own \
+             chaos harness (tests/fleet_chaos.rs)",
+        );
+    }
+    if chaos_rate.is_some() && store_dir.is_some() {
+        flag_conflict(
+            "--chaos cannot be combined with --store: faulted answers must never \
+             be persisted, so supervised runs always take the uncached path",
+        );
+    }
+    if batch_mode && chaos_rate.is_none() {
+        flag_conflict(
+            "--batch only selects the reference mode for a --chaos run: \
+             unsupervised runs already stream; add --chaos RATE",
         );
     }
 
@@ -192,6 +243,38 @@ fn main() {
             scale
         );
         write_trace(trace_file, sink);
+        return;
+    }
+
+    if let Some(rate) = chaos_rate {
+        let seed = chaos_seed
+            .or_else(|| {
+                std::env::var("CHIPVQA_CHAOS_SEED")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+            })
+            .unwrap_or(20_260_806);
+        let spec = DatasetSpec::scaled(scale);
+        println!(
+            "chaos run: {} questions per column ({}x), {} workers, \
+             seed {seed}, per-kind rate {rate}, {}\n",
+            spec.total(),
+            scale,
+            workers,
+            if batch_mode {
+                "batch (reference)"
+            } else {
+                "streamed"
+            },
+        );
+        let plan = chipvqa_eval::FaultPlan::uniform(seed, rate);
+        let table = run_table2_scaled_supervised(scale, workers, plan, !batch_mode, telemetry);
+        println!("{table}");
+        write_report_json(report_json, &table);
+        write_trace(trace_file, sink);
+        if table.is_degraded() {
+            std::process::exit(EXIT_DEGRADED);
+        }
         return;
     }
 

@@ -58,6 +58,60 @@ pub fn run_table2_scaled(scale: usize, workers: usize) -> Table2 {
     Table2 { rows }
 }
 
+/// [`run_table2_scaled`] under a [`chipvqa_eval::Supervisor`]:
+/// chaos-supervised
+/// Table-II at scale. With `streamed` true each column is evaluated
+/// through [`ParallelExecutor::evaluate_spec_stream`] (generation
+/// overlapped with inference, windowed breaker driven by the producer);
+/// with `streamed` false both collections are materialized once and
+/// evaluated on the batch supervised path. The two modes produce
+/// byte-identical tables — that contract is what the `stream-chaos` CI
+/// job `cmp`s.
+pub fn run_table2_scaled_supervised(
+    scale: usize,
+    workers: usize,
+    plan: chipvqa_eval::FaultPlan,
+    streamed: bool,
+    telemetry: Telemetry,
+) -> Table2 {
+    chipvqa_eval::fault::install_quiet_panic_hook();
+    let standard = DatasetSpec::scaled(scale);
+    let challenge = standard.clone().with_mc_sa_ratio(0.0);
+    let exec = ParallelExecutor::new(workers)
+        .with_supervisor(chipvqa_eval::Supervisor::new(plan))
+        .with_telemetry(telemetry);
+    let rows = if streamed {
+        ModelZoo::all()
+            .into_iter()
+            .map(|profile| {
+                let pipe = VlmPipeline::new(profile);
+                let (std_report, _) =
+                    exec.evaluate_spec_stream(&pipe, &standard, BASE_SIZE, EvalOptions::default());
+                let (chal_report, _) =
+                    exec.evaluate_spec_stream(&pipe, &challenge, BASE_SIZE, EvalOptions::default());
+                ModelRow {
+                    standard: std_report,
+                    challenge: chal_report,
+                }
+            })
+            .collect()
+    } else {
+        let standard_bench = standard.build();
+        let challenge_bench = challenge.build();
+        ModelZoo::all()
+            .into_iter()
+            .map(|profile| {
+                let pipe = VlmPipeline::new(profile);
+                ModelRow {
+                    standard: exec.evaluate(&pipe, &standard_bench, EvalOptions::default()),
+                    challenge: exec.evaluate(&pipe, &challenge_bench, EvalOptions::default()),
+                }
+            })
+            .collect()
+    };
+    Table2 { rows }
+}
+
 /// [`run_table2_scaled`] backed by a persistent [`AnswerStore`] at
 /// `store_dir`: a cache with the store attached is shared across the
 /// whole grid, so a rerun in a fresh process serves every answer from

@@ -236,6 +236,7 @@ impl DatasetSpec {
             block_pos: 0,
             mc_ordinal: 0,
             peak_resident: 0,
+            shards_emitted: 0,
         }
     }
 }
@@ -280,6 +281,7 @@ pub struct ShardStream {
     block_pos: usize,
     mc_ordinal: u64,
     peak_resident: usize,
+    shards_emitted: usize,
 }
 
 impl ShardStream {
@@ -298,6 +300,23 @@ impl ShardStream {
     /// Always ≤ `shard_len + RESIDENT_SLACK`.
     pub fn peak_resident(&self) -> usize {
         self.peak_resident
+    }
+
+    /// How many shards this stream has emitted so far — i.e. the shard
+    /// index the *next* [`next`](Iterator::next) call will produce.
+    /// Shard indices are a stable property of `(spec, shard_len)`:
+    /// regenerating the stream yields the same shard at the same index,
+    /// which is what lets a quarantined-shard requeue regenerate only
+    /// selected indices.
+    pub fn shards_emitted(&self) -> usize {
+        self.shards_emitted
+    }
+
+    /// [`next`](Iterator::next) paired with the emitted shard's stable
+    /// index.
+    pub fn next_indexed(&mut self) -> Option<(usize, Vec<Question>)> {
+        let idx = self.shards_emitted;
+        self.next().map(|shard| (idx, shard))
     }
 
     /// The next question of the global sequence, or `None` when every
@@ -386,6 +405,7 @@ impl Iterator for ShardStream {
         if shard.is_empty() {
             None
         } else {
+            self.shards_emitted += 1;
             Some(shard)
         }
     }
@@ -497,6 +517,42 @@ mod tests {
                 stream.peak_resident() <= shard_len + RESIDENT_SLACK,
                 "shard_len {shard_len}: peak {} over bound",
                 stream.peak_resident()
+            );
+            assert_eq!(
+                stream.shards_emitted(),
+                built.len().div_ceil(shard_len),
+                "shard_len {shard_len}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_indices_are_stable_under_selective_regeneration() {
+        let spec = DatasetSpec::scaled(2);
+        let shard_len = 17;
+        let all: Vec<(usize, Vec<Question>)> = {
+            let mut stream = spec.stream(shard_len);
+            let mut out = Vec::new();
+            while let Some(pair) = stream.next_indexed() {
+                out.push(pair);
+            }
+            out
+        };
+        assert_eq!(all.first().map(|(i, _)| *i), Some(0));
+        assert_eq!(all.last().map(|(i, _)| *i), Some(all.len() - 1));
+        // regenerate, keeping only a scattered subset of indices: each
+        // survivor is identical to the same index of the full pass
+        let keep = [0usize, 3, all.len() - 1];
+        let selected: Vec<(usize, Vec<Question>)> = spec
+            .stream(shard_len)
+            .enumerate()
+            .filter(|(i, _)| keep.contains(i))
+            .collect();
+        assert_eq!(selected.len(), keep.len());
+        for (idx, shard) in &selected {
+            assert_eq!(
+                shard, &all[*idx].1,
+                "shard {idx} drifted under regeneration"
             );
         }
     }

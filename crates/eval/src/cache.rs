@@ -539,6 +539,7 @@ mod tests {
                 0,
                 Some(&cache),
                 &chipvqa_telemetry::Telemetry::disabled(),
+                0,
             )
             .expect("recovers on attempt 1");
         assert_eq!(cache.len(), 1, "only the clean success is cached");

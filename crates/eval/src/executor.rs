@@ -24,6 +24,12 @@
 //!   so one poisoned question quarantines its shard instead of aborting
 //!   the run). With the all-zero [`FaultPlan`](crate::fault::FaultPlan)
 //!   the supervised path is byte-identical to the unsupervised one.
+//!   Supervision covers the streaming intake path too: the producer
+//!   drives the supervisor's windowed breaker
+//!   ([`WindowedBreaker`](crate::supervisor::WindowedBreaker)) in
+//!   global question order and ships each shard's admit decisions with
+//!   the shard, so supervised streamed reports are byte-identical to
+//!   supervised batch reports at any worker count and shard length.
 
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
@@ -41,7 +47,7 @@ use serde::{Deserialize, Serialize};
 use crate::cache::{AnswerCache, CacheKey, CachedAnswer};
 use crate::harness::{EvalOptions, EvalReport, QuestionOutcome};
 use crate::judge::{Judge, RuleJudge};
-use crate::supervisor::{BreakerSchedule, EvalError, Supervisor};
+use crate::supervisor::{BreakerSchedule, BreakerScope, EvalError, Supervisor};
 
 /// How many questions one shard covers. Small enough that 8 workers on
 /// one 142-question model all stay busy, large enough that shard
@@ -128,34 +134,6 @@ pub(crate) fn seeded_jitter_ms(seed: u64, question_id: &str, attempt: u64, base:
         h % base
     }
 }
-
-/// Structured rejection of a streaming-evaluation request — what the
-/// `try_*` streaming entry points return instead of panicking.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[non_exhaustive]
-pub enum StreamError {
-    /// A [`Supervisor`] (i.e. a [`FaultPlan`](crate::fault::FaultPlan))
-    /// was combined with streaming intake. Breaker schedules are
-    /// derived from the *full* bench, which a stream never holds;
-    /// supervised runs must materialize the spec and take the
-    /// checkpointed grid path.
-    StreamingUnsupervised,
-}
-
-impl std::fmt::Display for StreamError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            StreamError::StreamingUnsupervised => write!(
-                f,
-                "streaming intake does not support supervised execution: breaker \
-                 schedules are derived from the full bench. Materialize the spec \
-                 with DatasetSpec::build and use the checkpointed grid path."
-            ),
-        }
-    }
-}
-
-impl std::error::Error for StreamError {}
 
 /// One unit of parallel work: a contiguous question range of one model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -416,6 +394,7 @@ impl ParallelExecutor {
                                         &schedules[shard.model_idx],
                                         shard.q_start + offset,
                                         tele,
+                                        0,
                                     ),
                                     _ => eval_question(
                                         pipe, q, options, judge, &retry, cache, tele, 0,
@@ -448,13 +427,11 @@ impl ParallelExecutor {
     /// evaluation is deterministic and the merge is positional by shard
     /// index). Judged by the default [`RuleJudge`].
     ///
-    /// # Panics
-    ///
-    /// Panics when a [`Supervisor`] is attached — supervised execution
-    /// derives its breaker schedule from the full bench, which a stream
-    /// does not have. Materialize with
-    /// [`DatasetSpec::build`](chipvqa_core::spec::DatasetSpec::build)
-    /// and use the checkpointed grid path instead.
+    /// With a [`Supervisor`] attached the producer decides each
+    /// question's fate through the windowed breaker as it generates
+    /// (see the [`supervisor`](crate::supervisor) module docs on
+    /// determinism), so supervised streamed reports are byte-identical
+    /// to supervised batch reports.
     pub fn evaluate_stream<I>(
         &self,
         pipe: &VlmPipeline,
@@ -494,9 +471,7 @@ impl ParallelExecutor {
     ///
     /// # Panics
     ///
-    /// Panics when a [`Supervisor`] is attached (see
-    /// [`evaluate_stream`](ParallelExecutor::evaluate_stream)), when
-    /// `shard_len` is zero, or when the spec is invalid.
+    /// Panics when `shard_len` is zero or when the spec is invalid.
     pub fn evaluate_spec_stream(
         &self,
         pipe: &VlmPipeline,
@@ -505,43 +480,6 @@ impl ParallelExecutor {
         options: EvalOptions,
     ) -> (EvalReport, StreamStats) {
         self.evaluate_spec_stream_with_judge(pipe, spec, shard_len, options, &RuleJudge::new())
-    }
-
-    /// Non-panicking [`evaluate_stream`](ParallelExecutor::evaluate_stream):
-    /// returns [`StreamError::StreamingUnsupervised`] instead of
-    /// panicking when a [`Supervisor`] is attached.
-    pub fn try_evaluate_stream<I>(
-        &self,
-        pipe: &VlmPipeline,
-        shards: I,
-        options: EvalOptions,
-    ) -> Result<(EvalReport, StreamStats), StreamError>
-    where
-        I: IntoIterator<Item = Vec<Question>>,
-    {
-        if self.supervisor.is_some() {
-            return Err(StreamError::StreamingUnsupervised);
-        }
-        Ok(self.evaluate_stream(pipe, shards, options))
-    }
-
-    /// Non-panicking
-    /// [`evaluate_spec_stream`](ParallelExecutor::evaluate_spec_stream):
-    /// returns [`StreamError::StreamingUnsupervised`] instead of
-    /// panicking when a [`Supervisor`] (a `FaultPlan`) is attached.
-    /// Still panics on `shard_len == 0` or an invalid spec — those are
-    /// caller bugs, not run configurations.
-    pub fn try_evaluate_spec_stream(
-        &self,
-        pipe: &VlmPipeline,
-        spec: &DatasetSpec,
-        shard_len: usize,
-        options: EvalOptions,
-    ) -> Result<(EvalReport, StreamStats), StreamError> {
-        if self.supervisor.is_some() {
-            return Err(StreamError::StreamingUnsupervised);
-        }
-        Ok(self.evaluate_spec_stream(pipe, spec, shard_len, options))
     }
 
     /// [`evaluate_spec_stream`](ParallelExecutor::evaluate_spec_stream)
@@ -554,11 +492,97 @@ impl ParallelExecutor {
         options: EvalOptions,
         judge: &dyn Judge,
     ) -> (EvalReport, StreamStats) {
-        let mut stream = spec.stream(shard_len);
+        // the guard owns the stream so the generator-side high-water
+        // mark is emitted even when the run unwinds mid-stream
+        let mut guard = PeakResidentGuard {
+            stream: spec.stream(shard_len),
+            tele: self.telemetry.clone(),
+        };
         let (report, mut stats) =
-            self.run_stream(pipe, &mut stream, options, judge, spec.fingerprint());
-        stats.generator_peak_resident = Some(stream.peak_resident());
+            self.run_stream(pipe, &mut guard, options, judge, spec.fingerprint());
+        stats.generator_peak_resident = Some(guard.stream.peak_resident());
         (report, stats)
+    }
+
+    /// Heals a *streamed* supervised report the way
+    /// [`requeue_quarantined`](crate::checkpoint::Checkpoint::requeue_quarantined)
+    /// heals a checkpointed one: every shard containing a
+    /// [`EvalError::WorkerPanic`] outcome is regenerated lazily from the
+    /// spec (only those shards — the rest of the stream is skipped
+    /// without being evaluated) and re-run *unsupervised*, and the
+    /// healed outcomes are patched back positionally. Returns the
+    /// number of shards healed. `shard_len` must match the original
+    /// streamed run, and `report` must cover the full spec.
+    pub fn requeue_quarantined_stream(
+        &self,
+        pipe: &VlmPipeline,
+        spec: &DatasetSpec,
+        shard_len: usize,
+        options: EvalOptions,
+        report: &mut EvalReport,
+    ) -> usize {
+        self.requeue_quarantined_stream_with_judge(
+            pipe,
+            spec,
+            shard_len,
+            options,
+            &RuleJudge::new(),
+            report,
+        )
+    }
+
+    /// [`requeue_quarantined_stream`](ParallelExecutor::requeue_quarantined_stream)
+    /// with a caller-supplied judge.
+    #[allow(clippy::too_many_arguments)]
+    pub fn requeue_quarantined_stream_with_judge(
+        &self,
+        pipe: &VlmPipeline,
+        spec: &DatasetSpec,
+        shard_len: usize,
+        options: EvalOptions,
+        judge: &dyn Judge,
+        report: &mut EvalReport,
+    ) -> usize {
+        assert!(shard_len > 0, "shard_len must be positive");
+        assert_eq!(
+            report.outcomes.len(),
+            spec.total(),
+            "report must cover the full spec"
+        );
+        let quarantined: std::collections::BTreeSet<usize> = report
+            .outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.error == Some(EvalError::WorkerPanic))
+            .map(|(pos, _)| pos / shard_len)
+            .collect();
+        if quarantined.is_empty() {
+            return 0;
+        }
+        if self.telemetry.enabled() {
+            self.telemetry
+                .counter("stream.requeue.shards", quarantined.len() as u64);
+        }
+        // lazily regenerate only the quarantined shards — windowed
+        // shard indices are stable under regeneration, so skipping
+        // clean shards cannot shift the quarantined ones
+        let calm = self.unsupervised();
+        let mut selected = spec
+            .stream(shard_len)
+            .enumerate()
+            .filter_map(|(idx, shard)| quarantined.contains(&idx).then_some(shard));
+        let (healed, _) = calm.run_stream(pipe, &mut selected, options, judge, spec.fingerprint());
+        let total = report.outcomes.len();
+        let mut healed_iter = healed.outcomes.into_iter();
+        for &shard_idx in &quarantined {
+            let start = shard_idx * shard_len;
+            let end = ((shard_idx + 1) * shard_len).min(total);
+            for pos in start..end {
+                report.outcomes[pos] = healed_iter.next().expect("healed outcome per position");
+            }
+        }
+        debug_assert!(healed_iter.next().is_none(), "healed run matched selection");
+        quarantined.len()
     }
 
     /// The streaming engine: a bounded channel between the generating
@@ -567,6 +591,13 @@ impl ParallelExecutor {
     /// memory bound is observable, not aspirational: the peak never
     /// exceeds `(workers + channel capacity + 1) × shard_len` =
     /// `(2·workers + 1) × shard_len`.
+    ///
+    /// With a [`Supervisor`] attached, the producer drives the windowed
+    /// breaker in global question order as it generates and ships the
+    /// per-question admit decisions alongside each shard, so workers
+    /// obey the exact trajectory a batch [`BreakerSchedule`] would
+    /// prescribe — shed/attempt decisions cannot depend on worker
+    /// count, steal order or shard length.
     fn run_stream(
         &self,
         pipe: &VlmPipeline,
@@ -575,13 +606,6 @@ impl ParallelExecutor {
         judge: &dyn Judge,
         dataset_fp: u64,
     ) -> (EvalReport, StreamStats) {
-        // the panicking entry points surface the same structured error
-        // the try_* variants return, so the message is pinned once
-        assert!(
-            self.supervisor.is_none(),
-            "{}",
-            StreamError::StreamingUnsupervised
-        );
         let workers = self.workers;
         let tele = &self.telemetry;
         let _run_span = if tele.enabled() {
@@ -590,10 +614,23 @@ impl ParallelExecutor {
             tele.span("executor.stream")
         };
 
-        let (tx, rx) = mpsc::sync_channel::<(usize, Vec<Question>)>(workers);
+        let peak_in_flight = Arc::new(AtomicUsize::new(0));
+        // emits the run's lifetime gauges even if generation or a
+        // worker panic unwinds the scope below
+        let _stats_guard = StreamRunGuard {
+            tele: tele.clone(),
+            peak_in_flight: Arc::clone(&peak_in_flight),
+            cache: self.cache.clone(),
+        };
+
+        let supervisor = self.supervisor.as_deref();
+        let fingerprint = pipe.fingerprint();
+        let mut breaker = supervisor.map(Supervisor::stream_breaker);
+
+        type StreamItem = (usize, Vec<Question>, Option<Vec<bool>>);
+        let (tx, rx) = mpsc::sync_channel::<StreamItem>(workers);
         let rx = Mutex::new(rx);
         let in_flight = AtomicUsize::new(0);
-        let peak_in_flight = AtomicUsize::new(0);
         let results: Mutex<Vec<(usize, Vec<QuestionOutcome>)>> = Mutex::new(Vec::new());
         let cache = self.cache.as_deref();
         let retry = self.retry;
@@ -607,25 +644,53 @@ impl ParallelExecutor {
                 let in_flight = &in_flight;
                 scope.spawn(move || loop {
                     let received = rx.lock().expect("stream receiver lock").recv();
-                    let Ok((idx, shard)) = received else { break };
+                    let Ok((idx, shard, admits)) = received else {
+                        break;
+                    };
                     let _shard_span = tele.span("stream.shard");
                     let outcomes: Vec<QuestionOutcome> = shard
                         .iter()
-                        .map(|q| {
+                        .enumerate()
+                        .map(|(offset, q)| {
                             let _t = tele.timer("executor.question_ns");
                             let _q_span = tele.span("executor.question");
-                            std::panic::catch_unwind(AssertUnwindSafe(|| {
-                                eval_question(
-                                    pipe, q, options, judge, &retry, cache, tele, dataset_fp,
-                                )
-                            }))
-                            .unwrap_or_else(|_| {
-                                if tele.enabled() {
-                                    tele.counter("executor.panic_caught", 1);
-                                    tele.event("worker.panic", vec![kv("question", &q.id)]);
+                            match (supervisor, &admits) {
+                                (Some(sup), Some(admits)) => {
+                                    if !admits[offset] {
+                                        tele.counter("stream.breaker.shed", 1);
+                                        return failed_outcome(
+                                            q,
+                                            String::new(),
+                                            EvalError::BreakerOpen,
+                                        );
+                                    }
+                                    std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                        eval_question_supervised(
+                                            pipe, q, options, judge, &retry, cache, sup, tele,
+                                            dataset_fp,
+                                        )
+                                    }))
+                                    .unwrap_or_else(|_| {
+                                        if tele.enabled() {
+                                            tele.counter("executor.panic_caught", 1);
+                                            tele.event("worker.panic", vec![kv("question", &q.id)]);
+                                        }
+                                        failed_outcome(q, String::new(), EvalError::WorkerPanic)
+                                    })
                                 }
-                                failed_outcome(q, String::new(), EvalError::WorkerPanic)
-                            })
+                                _ => std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                    eval_question(
+                                        pipe, q, options, judge, &retry, cache, tele, dataset_fp,
+                                    )
+                                }))
+                                .unwrap_or_else(|_| {
+                                    if tele.enabled() {
+                                        tele.counter("executor.panic_caught", 1);
+                                        tele.event("worker.panic", vec![kv("question", &q.id)]);
+                                    }
+                                    failed_outcome(q, String::new(), EvalError::WorkerPanic)
+                                }),
+                            }
                         })
                         .collect();
                     in_flight.fetch_sub(shard.len(), Ordering::Relaxed);
@@ -637,8 +702,9 @@ impl ParallelExecutor {
                 });
             }
 
-            // the calling thread is the producer: generation overlaps
-            // the workers' inference
+            // the calling thread is the producer: generation (and,
+            // supervised, breaker admission) overlaps the workers'
+            // inference
             let mut idx = 0usize;
             loop {
                 let shard = {
@@ -647,6 +713,16 @@ impl ParallelExecutor {
                     shards.next()
                 };
                 let Some(shard) = shard else { break };
+                let admits = supervisor.map(|sup| {
+                    let wb = breaker.as_mut().expect("breaker exists with supervisor");
+                    let _b_span = tele.span("stream.breaker");
+                    shard
+                        .iter()
+                        .map(|q| {
+                            sup.admit_traced(wb, fingerprint, &q.id, tele, BreakerScope::Stream)
+                        })
+                        .collect::<Vec<bool>>()
+                });
                 shard_count += 1;
                 question_count += shard.len();
                 let now = in_flight.fetch_add(shard.len(), Ordering::Relaxed) + shard.len();
@@ -655,7 +731,7 @@ impl ParallelExecutor {
                     tele.counter("stream.shard_generated", 1);
                     tele.counter("stream.questions", shard.len() as u64);
                 }
-                if tx.send((idx, shard)).is_err() {
+                if tx.send((idx, shard, admits)).is_err() {
                     break; // all workers gone (cannot happen unpanicked)
                 }
                 idx += 1;
@@ -665,6 +741,14 @@ impl ParallelExecutor {
 
         let mut pairs = results.into_inner().expect("stream results lock");
         pairs.sort_by_key(|&(idx, _)| idx);
+        let quarantined_shards = pairs
+            .iter()
+            .filter(|(_, outcomes)| {
+                outcomes
+                    .iter()
+                    .any(|o| o.error == Some(EvalError::WorkerPanic))
+            })
+            .count();
         let report = EvalReport {
             model: pipe.profile().name.clone(),
             outcomes: pairs.into_iter().flat_map(|(_, o)| o).collect(),
@@ -679,8 +763,68 @@ impl ParallelExecutor {
             questions: question_count,
             peak_in_flight: peak_in_flight.load(Ordering::Relaxed),
             generator_peak_resident: None,
+            quarantined_shards,
         };
         (report, stats)
+    }
+}
+
+/// Drop-guard that emits a streaming run's lifetime gauges —
+/// `stream.peak_in_flight` plus the attached cache's
+/// `cache.lifetime_hits` / `cache.lifetime_misses` — when the run ends
+/// *however* it ends. A panicking generator or a worker panic that
+/// escapes isolation unwinds through [`ParallelExecutor::run_stream`];
+/// without the guard those emissions would sit after the unwind point
+/// and be lost.
+struct StreamRunGuard {
+    tele: Telemetry,
+    peak_in_flight: Arc<AtomicUsize>,
+    cache: Option<Arc<AnswerCache>>,
+}
+
+impl Drop for StreamRunGuard {
+    fn drop(&mut self) {
+        if !self.tele.enabled() {
+            return;
+        }
+        self.tele.gauge(
+            "stream.peak_in_flight",
+            self.peak_in_flight.load(Ordering::Relaxed) as f64,
+        );
+        if let Some(cache) = &self.cache {
+            let stats = cache.stats();
+            self.tele
+                .gauge("cache.lifetime_hits", stats.lifetime_hits as f64);
+            self.tele
+                .gauge("cache.lifetime_misses", stats.lifetime_misses as f64);
+        }
+    }
+}
+
+/// Drop-guard around a [`ShardStream`](chipvqa_core::spec::ShardStream):
+/// delegates iteration, and emits the generator-side
+/// `stream.peak_resident` gauge on drop so the memory high-water mark
+/// survives error/early-return paths (the happy path additionally
+/// records it on [`StreamStats`]).
+struct PeakResidentGuard {
+    stream: chipvqa_core::spec::ShardStream,
+    tele: Telemetry,
+}
+
+impl Iterator for PeakResidentGuard {
+    type Item = Vec<Question>;
+
+    fn next(&mut self) -> Option<Vec<Question>> {
+        self.stream.next()
+    }
+}
+
+impl Drop for PeakResidentGuard {
+    fn drop(&mut self) {
+        if self.tele.enabled() {
+            self.tele
+                .gauge("stream.peak_resident", self.stream.peak_resident() as f64);
+        }
     }
 }
 
@@ -701,6 +845,12 @@ pub struct StreamStats {
     /// recorded by the spec-streaming entry points; `None` for generic
     /// iterator streams.
     pub generator_peak_resident: Option<usize>,
+    /// Shards containing at least one
+    /// [`EvalError::WorkerPanic`] outcome — the ones
+    /// [`requeue_quarantined_stream`](ParallelExecutor::requeue_quarantined_stream)
+    /// would heal. Zero on unsupervised runs without genuine panics.
+    #[serde(default)]
+    pub quarantined_shards: usize,
 }
 
 /// Pops local work, stealing from the busiest-looking victim when the
@@ -824,13 +974,14 @@ fn eval_question_isolated(
     schedule: &BreakerSchedule,
     question_index: usize,
     tele: &Telemetry,
+    dataset_fp: u64,
 ) -> QuestionOutcome {
     if !schedule.attempts_question(question_index) {
         tele.counter("breaker.shed", 1);
         return failed_outcome(q, String::new(), EvalError::BreakerOpen);
     }
     std::panic::catch_unwind(AssertUnwindSafe(|| {
-        eval_question_supervised(pipe, q, options, judge, retry, cache, sup, tele)
+        eval_question_supervised(pipe, q, options, judge, retry, cache, sup, tele, dataset_fp)
     }))
     .unwrap_or_else(|_| {
         if tele.enabled() {
@@ -856,6 +1007,7 @@ fn eval_question_supervised(
     cache: Option<&AnswerCache>,
     sup: &Supervisor,
     tele: &Telemetry,
+    dataset_fp: u64,
 ) -> QuestionOutcome {
     let fingerprint = pipe.fingerprint();
     let mut passed = false;
@@ -863,7 +1015,15 @@ fn eval_question_supervised(
     let mut first_path = AnswerPath::Failed;
     let mut error = None;
     'attempts: for attempt in 0..options.attempts.max(1) {
-        match sup.infer(pipe, q, options.downsample, attempt, cache, tele) {
+        match sup.infer(
+            pipe,
+            q,
+            options.downsample,
+            attempt,
+            cache,
+            tele,
+            dataset_fp,
+        ) {
             Ok(answer) => {
                 if attempt == 0 {
                     first_response = answer.text.clone();
@@ -921,19 +1081,8 @@ fn failed_outcome(q: &Question, response: String, error: EvalError) -> QuestionO
     }
 }
 
-pub(crate) fn infer_cached(
-    pipe: &VlmPipeline,
-    q: &Question,
-    downsample: usize,
-    attempt: u64,
-    cache: Option<&AnswerCache>,
-    tele: &Telemetry,
-) -> CachedAnswer {
-    infer_cached_for(pipe, q, downsample, attempt, cache, tele, 0)
-}
-
-/// [`infer_cached`] with the cache keyed to a spec fingerprint, so
-/// answers for spec-generated collections never cross specs.
+/// Cache-interposed inference, keyed to a spec fingerprint so answers
+/// for spec-generated collections never cross specs (0 = canonical).
 pub(crate) fn infer_cached_for(
     pipe: &VlmPipeline,
     q: &Question,
@@ -1100,7 +1249,7 @@ mod tests {
 
         let cold = exec.evaluate(&pipe, &bench, EvalOptions::default());
         assert_eq!(cache.hits(), 0, "cold run cannot hit");
-        assert_eq!(cache.len() as usize, bench.len());
+        assert_eq!(cache.len(), bench.len());
 
         let warm = exec.evaluate(&pipe, &bench, EvalOptions::default());
         assert_eq!(cold, warm, "warm report identical");
@@ -1182,6 +1331,7 @@ mod tests {
         let shards = plan_shards(3, 142);
         let mut seen = vec![vec![0u8; 142]; 3];
         for s in &shards {
+            #[allow(clippy::needless_range_loop)]
             for qi in s.q_start..s.q_end {
                 seen[s.model_idx][qi] += 1;
             }
@@ -1402,44 +1552,138 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "streaming intake does not support supervised execution")]
-    fn supervised_streaming_is_rejected() {
-        use crate::fault::FaultPlan;
+    fn supervised_streaming_matches_supervised_batch() {
+        use crate::fault::{install_quiet_panic_hook, FaultPlan};
+        install_quiet_panic_hook();
         let pipe = VlmPipeline::new(ModelZoo::gpt4o());
-        let exec = ParallelExecutor::new(2).with_supervisor(Supervisor::new(FaultPlan::none()));
-        let _ = exec.evaluate_stream(&pipe, Vec::new(), EvalOptions::default());
+        let spec = DatasetSpec::scaled(1);
+        let bench = spec.build();
+        let sup = || Supervisor::new(FaultPlan::uniform(902, 0.03));
+        let batch = ParallelExecutor::new(2).with_supervisor(sup()).evaluate(
+            &pipe,
+            &bench,
+            EvalOptions::default(),
+        );
+        assert!(batch.is_degraded(), "the plan must hit something");
+        for workers in [1usize, 4] {
+            let supervised = ParallelExecutor::new(workers).with_supervisor(sup());
+            let (streamed, stats) =
+                supervised.evaluate_spec_stream(&pipe, &spec, SHARD_SIZE, EvalOptions::default());
+            assert_eq!(
+                serde_json::to_string(&batch).expect("serializes"),
+                serde_json::to_string(&streamed).expect("serializes"),
+                "workers = {workers}"
+            );
+            assert_eq!(stats.questions, spec.total());
+        }
     }
 
     #[test]
-    fn supervised_streaming_yields_structured_error_with_pinned_message() {
+    fn supervised_stream_zero_plan_matches_unsupervised_stream() {
         use crate::fault::FaultPlan;
         let pipe = VlmPipeline::new(ModelZoo::gpt4o());
         let spec = DatasetSpec::scaled(1);
-        let supervised =
-            ParallelExecutor::new(2).with_supervisor(Supervisor::new(FaultPlan::none()));
-        let err = supervised
-            .try_evaluate_spec_stream(&pipe, &spec, SHARD_SIZE, EvalOptions::default())
-            .expect_err("FaultPlan + streaming is refused");
-        assert_eq!(err, StreamError::StreamingUnsupervised);
-        // the message is API: the panic path formats this same error,
-        // and callers (fleet orchestration, CI) match on its prefix
+        let calm = ParallelExecutor::new(2);
+        let (plain, _) =
+            calm.evaluate_spec_stream(&pipe, &spec, SHARD_SIZE, EvalOptions::default());
+        let supervised = calm
+            .clone()
+            .with_supervisor(Supervisor::new(FaultPlan::none()));
+        let (zero, stats) =
+            supervised.evaluate_spec_stream(&pipe, &spec, SHARD_SIZE, EvalOptions::default());
         assert_eq!(
-            err.to_string(),
-            "streaming intake does not support supervised execution: breaker \
-             schedules are derived from the full bench. Materialize the spec \
-             with DatasetSpec::build and use the checkpointed grid path."
+            serde_json::to_string(&plain).expect("serializes"),
+            serde_json::to_string(&zero).expect("serializes"),
+            "zero-plan supervised streaming is byte-identical to unsupervised"
         );
-        let err2 = supervised
-            .try_evaluate_stream(&pipe, Vec::new(), EvalOptions::default())
-            .expect_err("shard-iterator streaming is refused too");
-        assert_eq!(err2, StreamError::StreamingUnsupervised);
-        // detaching the supervisor (the fleet healing path) streams fine
-        let calm = supervised.unsupervised();
-        assert!(calm.supervisor().is_none());
-        let (report, _) = calm
-            .try_evaluate_spec_stream(&pipe, &spec, SHARD_SIZE, EvalOptions::default())
-            .expect("unsupervised streaming works");
+        assert_eq!(stats.quarantined_shards, 0);
+        // detaching the supervisor (the fleet healing path) still works
+        let detached = supervised.unsupervised();
+        assert!(detached.supervisor().is_none());
+        let (report, _) =
+            detached.evaluate_spec_stream(&pipe, &spec, SHARD_SIZE, EvalOptions::default());
         assert_eq!(report.outcomes.len(), spec.total());
+    }
+
+    #[test]
+    fn streamed_quarantine_heals_by_requeue() {
+        use crate::fault::{install_quiet_panic_hook, FaultPlan};
+        install_quiet_panic_hook();
+        let pipe = VlmPipeline::new(ModelZoo::paligemma());
+        let spec = DatasetSpec::scaled(1);
+        let clean = ParallelExecutor::new(4).evaluate(&pipe, &spec.build(), EvalOptions::default());
+        let exec = ParallelExecutor::new(4).with_supervisor(Supervisor::new(FaultPlan {
+            panic_rate: 0.08,
+            ..FaultPlan::none()
+        }));
+        let (mut report, stats) =
+            exec.evaluate_spec_stream(&pipe, &spec, SHARD_SIZE, EvalOptions::default());
+        assert!(stats.quarantined_shards > 0, "panics were injected");
+        let healed = exec.requeue_quarantined_stream(
+            &pipe,
+            &spec,
+            SHARD_SIZE,
+            EvalOptions::default(),
+            &mut report,
+        );
+        assert_eq!(healed, stats.quarantined_shards);
+        report.cache_stats = None;
+        assert_eq!(
+            serde_json::to_string(&clean).expect("serializes"),
+            serde_json::to_string(&report).expect("serializes"),
+            "healed streamed report converges to the clean bytes"
+        );
+        // a clean report heals nothing
+        let mut untouched = report.clone();
+        assert_eq!(
+            exec.requeue_quarantined_stream(
+                &pipe,
+                &spec,
+                SHARD_SIZE,
+                EvalOptions::default(),
+                &mut untouched
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn stream_gauges_survive_a_generator_panic() {
+        use crate::fault::install_quiet_panic_hook;
+        install_quiet_panic_hook();
+        let bench = ChipVqa::standard();
+        let pipe = VlmPipeline::new(ModelZoo::gpt4o());
+        let cache = Arc::new(AnswerCache::new());
+        let tele = Telemetry::recording();
+        let exec = ParallelExecutor::new(2)
+            .with_cache(Arc::clone(&cache))
+            .with_telemetry(tele.clone());
+        let questions = bench.questions().to_vec();
+        let shards = (0..4).map(move |i| {
+            if i == 2 {
+                panic!("generator exploded mid-stream");
+            }
+            questions[i * SHARD_SIZE..(i + 1) * SHARD_SIZE].to_vec()
+        });
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            exec.evaluate_stream(&pipe, shards, EvalOptions::default())
+        }));
+        assert!(caught.is_err(), "the generator panic propagates");
+        // the drop-guard emitted the lifetime gauges despite the unwind
+        let snap = tele.snapshot();
+        assert!(
+            snap.gauges["stream.peak_in_flight"] >= SHARD_SIZE as f64,
+            "peak gauge emitted on the unwind path"
+        );
+        let stats = cache.stats();
+        assert_eq!(
+            snap.gauges["cache.lifetime_misses"],
+            stats.lifetime_misses as f64
+        );
+        assert_eq!(
+            snap.gauges["cache.lifetime_hits"],
+            stats.lifetime_hits as f64
+        );
     }
 
     #[test]
@@ -1450,7 +1694,7 @@ mod tests {
                 true
             }
             fn verdict(&self, _q: &Question, _r: &str, attempt: u64) -> bool {
-                attempt % 2 == 0
+                attempt.is_multiple_of(2)
             }
         }
         let bench = ChipVqa::standard();

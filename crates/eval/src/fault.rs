@@ -188,6 +188,44 @@ impl FaultPlan {
     }
 }
 
+/// Call-site coordinates of one streamed question: which breaker
+/// *window* its global index falls in, and the slot within that window.
+///
+/// Streamed supervised execution partitions the question sequence into
+/// fixed windows of [`StreamCoord::WINDOW`] questions. Breaker state is
+/// a pure function of the window's own prefix (it resets at every
+/// window boundary), so the coordinates — not the arrival order —
+/// fully locate a decision. Telemetry events on the streamed breaker
+/// path are tagged with these coordinates, and the differential chaos
+/// wall relies on them being identical however the spec was generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamCoord {
+    /// Breaker window index (`global_index / WINDOW`).
+    pub window: usize,
+    /// Slot within the window (`global_index % WINDOW`).
+    pub slot: usize,
+}
+
+impl StreamCoord {
+    /// Questions per breaker window. Matches the executor's shard size
+    /// so the default streamed shard grid and the breaker windows
+    /// coincide, but the breaker math never assumes they do.
+    pub const WINDOW: usize = 16;
+
+    /// The coordinates of the question at `global_index`.
+    pub fn of(global_index: usize) -> StreamCoord {
+        StreamCoord {
+            window: global_index / StreamCoord::WINDOW,
+            slot: global_index % StreamCoord::WINDOW,
+        }
+    }
+
+    /// The global question index these coordinates name.
+    pub fn global_index(&self) -> usize {
+        self.window * StreamCoord::WINDOW + self.slot
+    }
+}
+
 /// Everything identifying one supervised call attempt — the draw key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CallKey<'a> {
@@ -503,6 +541,22 @@ mod tests {
             .validate()
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn stream_coords_roundtrip_the_global_index() {
+        for global in [0usize, 1, 15, 16, 17, 141, 142, 1419, 14_200] {
+            let c = StreamCoord::of(global);
+            assert_eq!(c.global_index(), global);
+            assert!(c.slot < StreamCoord::WINDOW);
+            assert_eq!(c.window, global / StreamCoord::WINDOW);
+        }
+        // window boundaries are exactly multiples of WINDOW
+        assert_eq!(StreamCoord::of(0), StreamCoord { window: 0, slot: 0 });
+        assert_eq!(
+            StreamCoord::of(StreamCoord::WINDOW),
+            StreamCoord { window: 1, slot: 0 }
+        );
     }
 
     #[test]

@@ -28,11 +28,13 @@
 //! fault-injection harness (timeouts, truncated/garbled responses,
 //! rate-limit bursts, transient errors, worker panics) and
 //! [`supervisor`] the recovery side: deadlines, bounded jittered
-//! retries, per-model circuit breakers, and panic isolation. Failures
-//! that exhaust recovery become a structured
-//! [`EvalError`](supervisor::EvalError) on the outcome, and reports
-//! carry explicit coverage/failure accounting so a degraded report is
-//! visibly degraded rather than silently wrong.
+//! retries, per-model *windowed* circuit breakers, and panic isolation.
+//! Supervision works on both the materialized grid path and streaming
+//! intake ([`evaluate_spec_stream`](executor::ParallelExecutor::evaluate_spec_stream))
+//! with byte-identical reports. Failures that exhaust recovery become a
+//! structured [`EvalError`](supervisor::EvalError) on the outcome, and
+//! reports carry explicit coverage/failure accounting so a degraded
+//! report is visibly degraded rather than silently wrong.
 //!
 //! For horizontal scale-out, [`fleet`] turns N independent processes
 //! into one cooperative run: workers claim shards through atomically
@@ -83,7 +85,7 @@ pub mod supervisor;
 
 pub use cache::{AnswerCache, CacheKey, CacheSnapshot, CacheStats, CachedAnswer};
 pub use checkpoint::{Checkpoint, CheckpointError, ShardResult};
-pub use executor::{ParallelExecutor, RetryPolicy, StreamError, StreamStats};
+pub use executor::{ParallelExecutor, RetryPolicy, StreamStats};
 pub use fault::{FaultInjector, FaultKind, FaultPlan};
 pub use fleet::{FleetConfig, FleetError, FleetJob, FleetManifest, FleetOutcome};
 pub use harness::{evaluate, EvalOptions, EvalReport};
@@ -92,4 +94,5 @@ pub use noisy::{HybridJudge, NoisyJudge};
 pub use store::{AnswerStore, StoreConfig, StoreMode, StoreStats};
 pub use supervisor::{
     BreakerConfig, BreakerState, CircuitBreaker, EvalError, RecoveryPolicy, Supervisor,
+    WindowedBreaker, BREAKER_WINDOW,
 };

@@ -15,12 +15,19 @@
 //!
 //! # Determinism
 //!
-//! Breaker decisions are precomputed as a [`BreakerSchedule`] by
-//! replaying each model's *first-attempt health* (a pure function of the
-//! fault plan) over the benchmark in question order. Workers consult the
-//! schedule instead of mutating shared breaker state, so reports are
-//! identical for any worker count and any shard-stealing order; the
-//! schedule has exactly the semantics a sequential run's breaker would.
+//! Breaker decisions are *windowed*: the question sequence is cut into
+//! fixed windows of [`BREAKER_WINDOW`] questions, the breaker state
+//! resets at every window boundary, and within a window the trajectory
+//! is replayed from each question's *first-attempt health* (a pure
+//! function of the fault plan). A decision therefore depends only on
+//! `(plan seed, model fingerprint, window index, the window's own
+//! question ids)` — never on how much of the collection exists yet, so
+//! the same trajectory falls out whether the bench was materialized
+//! up-front (batch replays it into a [`BreakerSchedule`] workers
+//! consult read-only) or generated lazily (the streaming producer
+//! drives a [`WindowedBreaker`] incrementally). That is what lets
+//! supervised streamed reports be byte-identical to supervised batch
+//! reports at any worker count and any shard length.
 
 use std::panic::panic_any;
 
@@ -266,9 +273,83 @@ impl CircuitBreaker {
     }
 }
 
+/// Questions per breaker window: the state-reset period of the
+/// windowed breaker (see the module docs on determinism). Equal to
+/// [`StreamCoord::WINDOW`](crate::fault::StreamCoord::WINDOW) — the
+/// streamed call-site coordinate system names exactly these windows.
+pub const BREAKER_WINDOW: usize = crate::fault::StreamCoord::WINDOW;
+
+/// The streaming face of the windowed breaker: incremental per-window
+/// replay, advanced one question at a time in global-index order by
+/// [`Supervisor::admit`]. Holds O(1) state — exactly what a lazily
+/// generated collection permits — while producing decisions identical
+/// to the batch [`BreakerSchedule`] (which is itself computed by
+/// driving one of these over the materialized bench).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowedBreaker {
+    zero: bool,
+    breaker: CircuitBreaker,
+    next_index: usize,
+    trips: u32,
+}
+
+impl WindowedBreaker {
+    /// Cumulative breaker trips across every window so far.
+    pub fn trips(&self) -> u32 {
+        self.trips
+    }
+
+    /// Breaker state after the most recent decision (resets at window
+    /// boundaries).
+    pub fn state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+
+    /// Global index of the next question to be decided.
+    pub fn next_index(&self) -> usize {
+        self.next_index
+    }
+}
+
+/// Which telemetry namespace a windowed-breaker decision reports under:
+/// `breaker.*` for the batch schedule replay, `stream.breaker.*` for
+/// streamed intake. The decisions themselves are identical — only the
+/// names differ, so traces say which path shed a question.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BreakerScope {
+    /// Batch replay into a [`BreakerSchedule`] (`breaker.*`).
+    Batch,
+    /// Incremental streamed intake (`stream.breaker.*`).
+    Stream,
+}
+
+impl BreakerScope {
+    pub(crate) fn transition(self) -> &'static str {
+        match self {
+            BreakerScope::Batch => "breaker.transition",
+            BreakerScope::Stream => "stream.breaker.transition",
+        }
+    }
+
+    pub(crate) fn transitions(self) -> &'static str {
+        match self {
+            BreakerScope::Batch => "breaker.transitions",
+            BreakerScope::Stream => "stream.breaker.transitions",
+        }
+    }
+
+    pub(crate) fn trips(self) -> &'static str {
+        match self {
+            BreakerScope::Batch => "breaker.trips",
+            BreakerScope::Stream => "stream.breaker.trips",
+        }
+    }
+}
+
 /// Precomputed breaker decisions for one model over one benchmark —
-/// the sequential-order breaker trajectory, shared read-only by all
-/// workers (see the module docs on determinism).
+/// the windowed trajectory replayed over the materialized question
+/// sequence, shared read-only by all workers (see the module docs on
+/// determinism).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BreakerSchedule {
     attempts: Vec<bool>,
@@ -393,8 +474,9 @@ impl Supervisor {
         None
     }
 
-    /// Replays the breaker over `bench` in question order for one model,
-    /// producing the deterministic shed/attempt schedule workers obey.
+    /// Replays the windowed breaker over `bench` in question order for
+    /// one model, producing the deterministic shed/attempt schedule
+    /// workers obey.
     pub fn breaker_schedule(&self, fingerprint: u64, bench: &ChipVqa) -> BreakerSchedule {
         self.breaker_schedule_traced(fingerprint, bench, &Telemetry::disabled())
     }
@@ -416,43 +498,107 @@ impl Supervisor {
                 final_state: BreakerState::Closed,
             };
         }
-        let mut breaker = CircuitBreaker::new(self.breaker);
-        let mut attempts = Vec::with_capacity(bench.len());
-        for q in bench.iter() {
-            let before = breaker.state();
-            let trips_before = breaker.trips();
-            let allowed = breaker.allow();
-            if allowed {
-                attempts.push(true);
-                match self.question_health(fingerprint, &q.id) {
-                    None => breaker.record_success(),
-                    Some(_) => breaker.record_failure(),
-                }
-            } else {
-                attempts.push(false);
-            }
-            let after = breaker.state();
-            if tele.enabled() && after != before {
-                tele.counter("breaker.transitions", 1);
-                tele.event(
-                    "breaker.transition",
-                    vec![
-                        kv("model_fingerprint", fingerprint),
-                        kv("question", &q.id),
-                        kv("from", before.label()),
-                        kv("to", after.label()),
-                    ],
-                );
-            }
-            if breaker.trips() > trips_before {
-                tele.counter("breaker.trips", 1);
-            }
-        }
+        let mut wb = self.stream_breaker();
+        let attempts: Vec<bool> = bench
+            .iter()
+            .map(|q| self.admit_traced(&mut wb, fingerprint, &q.id, tele, BreakerScope::Batch))
+            .collect();
         BreakerSchedule {
             attempts,
-            trips: breaker.trips(),
-            final_state: breaker.state(),
+            trips: wb.trips(),
+            final_state: wb.state(),
         }
+    }
+
+    /// A fresh [`WindowedBreaker`] positioned at global index 0 — the
+    /// incremental twin of [`breaker_schedule`](Supervisor::breaker_schedule)
+    /// for streamed intake, where the bench is never materialized.
+    pub fn stream_breaker(&self) -> WindowedBreaker {
+        self.stream_breaker_at(0)
+    }
+
+    /// A [`WindowedBreaker`] positioned at the start of breaker window
+    /// `window` (global index `window × BREAKER_WINDOW`). Because state
+    /// resets at every window boundary, decisions from here on are
+    /// identical to a breaker that walked the whole prefix — the
+    /// order-independence the streamed requeue path and the chaos wall
+    /// rely on.
+    pub fn stream_breaker_at(&self, window: usize) -> WindowedBreaker {
+        WindowedBreaker {
+            zero: self.plan().is_zero(),
+            breaker: CircuitBreaker::new(self.breaker),
+            next_index: window * BREAKER_WINDOW,
+            trips: 0,
+        }
+    }
+
+    /// Decides the question at `wb`'s next global index: `true` to
+    /// attempt, `false` to shed. Must be called in global-index order
+    /// (the stream producer's natural order). A zero plan admits
+    /// everything without touching breaker state, so zero-plan
+    /// supervised streaming stays byte- and trace-identical to
+    /// unsupervised streaming.
+    pub fn admit(&self, wb: &mut WindowedBreaker, fingerprint: u64, question_id: &str) -> bool {
+        self.admit_traced(
+            wb,
+            fingerprint,
+            question_id,
+            &Telemetry::disabled(),
+            BreakerScope::Stream,
+        )
+    }
+
+    /// [`admit`](Supervisor::admit) with telemetry: state changes emit
+    /// one `{scope}.transition` event and bump the
+    /// `{scope}.transitions` / `{scope}.trips` counters, where the
+    /// scope prefix is `breaker` (batch replay) or `stream.breaker`
+    /// (streamed intake). Stream events additionally carry the
+    /// [`StreamCoord`](crate::fault::StreamCoord) window.
+    pub(crate) fn admit_traced(
+        &self,
+        wb: &mut WindowedBreaker,
+        fingerprint: u64,
+        question_id: &str,
+        tele: &Telemetry,
+        scope: BreakerScope,
+    ) -> bool {
+        let index = wb.next_index;
+        wb.next_index += 1;
+        if wb.zero {
+            return true;
+        }
+        if index.is_multiple_of(BREAKER_WINDOW) {
+            // window boundary: state resets, cumulative trips persist
+            wb.breaker = CircuitBreaker::new(self.breaker);
+        }
+        let before = wb.breaker.state();
+        let trips_before = wb.breaker.trips();
+        let allowed = wb.breaker.allow();
+        if allowed {
+            match self.question_health(fingerprint, question_id) {
+                None => wb.breaker.record_success(),
+                Some(_) => wb.breaker.record_failure(),
+            }
+        }
+        let after = wb.breaker.state();
+        if tele.enabled() && after != before {
+            tele.counter(scope.transitions(), 1);
+            let mut kvs = vec![
+                kv("model_fingerprint", fingerprint),
+                kv("question", question_id),
+                kv("from", before.label()),
+                kv("to", after.label()),
+            ];
+            if scope == BreakerScope::Stream {
+                kvs.push(kv("window", crate::fault::StreamCoord::of(index).window));
+            }
+            tele.event(scope.transition(), kvs);
+        }
+        if wb.breaker.trips() > trips_before {
+            wb.trips += 1;
+            tele.counter(scope.trips(), 1);
+        }
+        allowed
     }
 
     /// Supervised inference: the faultable, retried, cache-aware call.
@@ -468,6 +614,7 @@ impl Supervisor {
     ///
     /// An injected [`FaultKind::WorkerPanic`] genuinely panics — the
     /// executor isolates it with `catch_unwind`.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn infer(
         &self,
         pipe: &VlmPipeline,
@@ -476,6 +623,7 @@ impl Supervisor {
         attempt: u64,
         cache: Option<&AnswerCache>,
         tele: &Telemetry,
+        dataset_fp: u64,
     ) -> Result<CachedAnswer, (EvalError, Option<String>)> {
         let fingerprint = pipe.fingerprint();
         let mut last: Option<(FaultKind, Option<String>)> = None;
@@ -493,8 +641,8 @@ impl Supervisor {
             };
             match self.injector.draw(key) {
                 None => {
-                    return Ok(crate::executor::infer_cached(
-                        pipe, question, downsample, attempt, cache, tele,
+                    return Ok(crate::executor::infer_cached_for(
+                        pipe, question, downsample, attempt, cache, tele, dataset_fp,
                     ));
                 }
                 Some(FaultKind::WorkerPanic) => {
@@ -735,17 +883,125 @@ mod tests {
             "most of a dead model's grid is shed, got {}",
             sched.shed_count()
         );
-        // the attempted count is bounded by threshold + periodic probes
+        // per window, attempts are bounded by threshold + periodic
+        // probes; the windowed reset restarts that budget each window
         let attempted = bench.len() - sched.shed_count();
         let cfg = sup.breaker_config();
-        let max_attempted =
-            cfg.failure_threshold as usize + bench.len() / (cfg.cooldown as usize + 1) + 1;
+        let per_window =
+            cfg.failure_threshold as usize + BREAKER_WINDOW / (cfg.cooldown as usize + 1) + 1;
+        let max_attempted = per_window * bench.len().div_ceil(BREAKER_WINDOW);
         assert!(
             attempted <= max_attempted,
             "{attempted} attempted > bound {max_attempted}"
         );
         // a healthy model on the same plan is untouched
         assert_eq!(sup.breaker_schedule(0x1, &bench).shed_count(), 0);
+    }
+
+    #[test]
+    fn incremental_admits_match_the_batch_schedule() {
+        let bench = ChipVqa::standard();
+        for (fp, plan) in [
+            (
+                0xfeed_beef,
+                FaultPlan::none().with_broken_model(0xfeed_beef),
+            ),
+            (42, FaultPlan::uniform(7, 0.08)),
+            (42, FaultPlan::uniform(20_260_806, 0.15)),
+        ] {
+            let sup = Supervisor::new(plan);
+            let sched = sup.breaker_schedule(fp, &bench);
+            let mut wb = sup.stream_breaker();
+            let admits: Vec<bool> = bench
+                .iter()
+                .map(|q| sup.admit(&mut wb, fp, &q.id))
+                .collect();
+            let replayed: Vec<bool> = (0..bench.len())
+                .map(|i| sched.attempts_question(i))
+                .collect();
+            assert_eq!(
+                admits, replayed,
+                "streamed admits diverge from batch schedule"
+            );
+            assert_eq!(wb.trips(), sched.trips());
+            assert_eq!(wb.state(), sched.final_state());
+            assert_eq!(wb.next_index(), bench.len());
+        }
+    }
+
+    #[test]
+    fn windows_are_order_independent() {
+        // Deciding a window with a breaker positioned directly at its
+        // start yields the same admits as one that walked the whole
+        // prefix — the property that lets a streamed requeue re-decide
+        // only quarantined shards.
+        let bench = ChipVqa::standard();
+        let fp = 0x51ac;
+        let sup = Supervisor::new(FaultPlan::uniform(11, 0.15));
+        let mut full = sup.stream_breaker();
+        let all: Vec<bool> = bench
+            .iter()
+            .map(|q| sup.admit(&mut full, fp, &q.id))
+            .collect();
+        for window in 0..bench.len().div_ceil(BREAKER_WINDOW) {
+            let start = window * BREAKER_WINDOW;
+            let end = (start + BREAKER_WINDOW).min(bench.len());
+            let mut wb = sup.stream_breaker_at(window);
+            assert_eq!(wb.next_index(), start);
+            let alone: Vec<bool> = bench.questions()[start..end]
+                .iter()
+                .map(|q| sup.admit(&mut wb, fp, &q.id))
+                .collect();
+            assert_eq!(
+                alone,
+                all[start..end],
+                "window {window} depends on its prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_plan_admits_everything_without_breaker_state() {
+        let bench = ChipVqa::standard();
+        let sup = Supervisor::new(FaultPlan::none());
+        let mut wb = sup.stream_breaker();
+        for q in bench.iter() {
+            assert!(sup.admit(&mut wb, 99, &q.id));
+        }
+        assert_eq!(wb.trips(), 0);
+        assert_eq!(wb.state(), BreakerState::Closed);
+        assert_eq!(wb.next_index(), bench.len());
+    }
+
+    #[test]
+    fn stream_scope_emits_prefixed_telemetry() {
+        use chipvqa_telemetry::{MemorySink, MockClock};
+        use std::sync::Arc;
+
+        let bench = ChipVqa::standard();
+        let fp = 0xfeed_beef;
+        let sup = Supervisor::new(FaultPlan::none().with_broken_model(fp));
+        let sink = Arc::new(MemorySink::new());
+        let tele = chipvqa_telemetry::Telemetry::builder()
+            .clock(MockClock::new(1))
+            .sink(Arc::clone(&sink))
+            .build();
+        let mut wb = sup.stream_breaker();
+        for q in bench.iter() {
+            sup.admit_traced(&mut wb, fp, &q.id, &tele, BreakerScope::Stream);
+        }
+        let snap = tele.snapshot();
+        assert!(snap.counters["stream.breaker.trips"] >= 1);
+        assert_eq!(snap.counters["stream.breaker.trips"], u64::from(wb.trips()));
+        assert!(
+            !snap.counters.contains_key("breaker.trips"),
+            "batch names unused"
+        );
+        let transitions = sink.named("stream.breaker.transition");
+        assert!(!transitions.is_empty());
+        assert_eq!(transitions[0].get("from"), Some("closed"));
+        assert_eq!(transitions[0].get("to"), Some("open"));
+        assert_eq!(transitions[0].get("window"), Some("0"));
     }
 
     #[test]
@@ -763,7 +1019,7 @@ mod tests {
         let sup = Supervisor::new(FaultPlan::none());
         let q = &bench.questions()[0];
         let supervised = sup
-            .infer(&pipe, q, 1, 0, None, &Telemetry::disabled())
+            .infer(&pipe, q, 1, 0, None, &Telemetry::disabled(), 0)
             .expect("no faults");
         let plain = pipe.infer(q, 1, 0);
         assert_eq!(supervised.text, plain.text);
@@ -781,7 +1037,7 @@ mod tests {
             });
         let q = &bench.questions()[0];
         let (err, degraded) = sup
-            .infer(&pipe, q, 1, 0, None, &Telemetry::disabled())
+            .infer(&pipe, q, 1, 0, None, &Telemetry::disabled(), 0)
             .unwrap_err();
         assert_eq!(err, EvalError::Transient);
         assert_eq!(degraded, None, "transient errors leave no evidence");
@@ -810,7 +1066,7 @@ mod tests {
         .with_deadline_ms(1234);
         let q = &bench.questions()[3];
         let (err, _) = sup
-            .infer(&pipe, q, 1, 0, None, &Telemetry::disabled())
+            .infer(&pipe, q, 1, 0, None, &Telemetry::disabled(), 0)
             .unwrap_err();
         assert_eq!(err, EvalError::Timeout { deadline_ms: 1234 });
         assert_eq!(err.label(), "timeout");
@@ -866,7 +1122,7 @@ mod tests {
             .sink(Arc::clone(&sink))
             .build();
         let q = &bench.questions()[0];
-        let (err, _) = sup.infer(&pipe, q, 1, 0, None, &tele).unwrap_err();
+        let (err, _) = sup.infer(&pipe, q, 1, 0, None, &tele, 0).unwrap_err();
         assert!(matches!(err, EvalError::Timeout { .. }));
         let snap = tele.snapshot();
         assert_eq!(snap.counters["fault.injected"], 2, "two recovery draws");

@@ -528,8 +528,8 @@ mod tests {
         let mut img = Pixmap::new(64, 64);
         img.draw_arrow(4, 32, 60, 32, 1, 0);
         // barbs extend above and below the shaft near the tip
-        let above = (50..60).any(|x| img.get(x, 29).map_or(false, |p| p == 0));
-        let below = (50..60).any(|x| img.get(x, 35).map_or(false, |p| p == 0));
+        let above = (50..60).any(|x| img.get(x, 29) == Some(0));
+        let below = (50..60).any(|x| img.get(x, 35) == Some(0));
         assert!(above && below);
     }
 

@@ -571,6 +571,22 @@ fn run_session(shared: &Shared, id: SessionId, tenant: &str) {
         .cloned()
         .map(VlmPipeline::new)
         .collect();
+
+    if let Some(shard_len) = request.stream_shard_len {
+        run_session_streamed(
+            shared,
+            id,
+            tenant,
+            &request,
+            &pipes,
+            shard_len,
+            &cancel,
+            &shards_done,
+            &epoch,
+        );
+        return;
+    }
+
     let bench = request.spec.build();
     let options = request.options;
 
@@ -623,7 +639,7 @@ fn run_session(shared: &Shared, id: SessionId, tenant: &str) {
 
     loop {
         if cancel.load(Ordering::SeqCst) || shared.stop.load(Ordering::SeqCst) {
-            finish_cancelled(shared, id, tenant, checkpoint);
+            finish_cancelled(shared, id, tenant, Some(checkpoint));
             return;
         }
         match executor.evaluate_grid_resumable(
@@ -651,6 +667,83 @@ fn run_session(shared: &Shared, id: SessionId, tenant: &str) {
     }
 }
 
+/// Runs a streamed (optionally chaos-supervised) session: one
+/// [`ParallelExecutor::evaluate_spec_stream`] per model over the lazy
+/// [`ShardStream`](chipvqa_core::spec::ShardStream), never
+/// materializing the collection. The cancel flag is checked between
+/// models; a cancelled streamed session retains no checkpoint —
+/// resuming restarts it, and determinism (the windowed breaker's
+/// decisions are a pure function of plan seed, model fingerprint and
+/// question position) converges the rerun to the same bytes an
+/// uninterrupted run would have produced.
+///
+/// Chaos sessions share the service's answer-cache plane safely:
+/// answers are keyed to the spec fingerprint, and the supervised
+/// inference path caches only clean (fault-free) answers.
+#[allow(clippy::too_many_arguments)]
+fn run_session_streamed(
+    shared: &Shared,
+    id: SessionId,
+    tenant: &str,
+    request: &SessionRequest,
+    pipes: &[VlmPipeline],
+    shard_len: usize,
+    cancel: &AtomicBool,
+    shards_done: &Arc<AtomicUsize>,
+    epoch: &Arc<AtomicU64>,
+) {
+    if shard_len == 0 {
+        finish_failed(
+            shared,
+            id,
+            tenant,
+            "stream_shard_len must be >= 1".to_string(),
+        );
+        return;
+    }
+    let shards_per_model = request.spec.total().div_ceil(shard_len);
+    let shards_total = shards_per_model * pipes.len();
+    shards_done.store(0, Ordering::SeqCst);
+    {
+        let mut st = lock(&shared.state);
+        let entry = st.sessions.get_mut(&id).expect("admitted session exists");
+        entry.shards_total = shards_total;
+        entry.state = SessionState::Running;
+        shared.publish_state(id, SessionState::Running);
+    }
+
+    let telemetry = session_progress_telemetry(
+        Arc::clone(&shared.hub),
+        id,
+        shards_total,
+        Arc::clone(shards_done),
+        Arc::clone(epoch),
+    );
+    let mut executor = ParallelExecutor::new(shared.config.workers)
+        .with_cache(Arc::clone(&shared.cache))
+        .with_telemetry(telemetry);
+    if let Some(plan) = &request.fault_plan {
+        executor = executor.with_supervisor(chipvqa_eval::Supervisor::new(plan.clone()));
+    }
+
+    let mut reports = Vec::with_capacity(pipes.len());
+    for pipe in pipes {
+        if cancel.load(Ordering::SeqCst) || shared.stop.load(Ordering::SeqCst) {
+            finish_cancelled(shared, id, tenant, None);
+            return;
+        }
+        let (report, _stats) =
+            executor.evaluate_spec_stream(pipe, &request.spec, shard_len, request.options);
+        reports.push(report);
+        // The streamed executor traces `stream.shard` spans, which the
+        // progress sink (watching `executor.shard`) ignores — so tick
+        // progress here, at model granularity.
+        shards_done.fetch_add(shards_per_model, Ordering::SeqCst);
+        epoch.fetch_add(1, Ordering::SeqCst);
+    }
+    finish_done(shared, id, tenant, SessionReport::new(reports));
+}
+
 fn finish_done(shared: &Shared, id: SessionId, tenant: &str, report: SessionReport) {
     let mut st = lock(&shared.state);
     let entry = st.sessions.get_mut(&id).expect("running session exists");
@@ -665,11 +758,11 @@ fn finish_done(shared: &Shared, id: SessionId, tenant: &str, report: SessionRepo
     shared.done_cv.notify_all();
 }
 
-fn finish_cancelled(shared: &Shared, id: SessionId, tenant: &str, checkpoint: Checkpoint) {
+fn finish_cancelled(shared: &Shared, id: SessionId, tenant: &str, checkpoint: Option<Checkpoint>) {
     let mut st = lock(&shared.state);
     let entry = st.sessions.get_mut(&id).expect("running session exists");
     entry.state = SessionState::Cancelled;
-    entry.checkpoint = Some(checkpoint);
+    entry.checkpoint = checkpoint;
     entry.total_ns = Some(entry.submitted_at.elapsed().as_nanos() as u64);
     st.cancelled += 1;
     st.admission.settle(tenant, SessionOutcome::Neutral);

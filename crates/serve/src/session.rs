@@ -89,6 +89,19 @@ pub struct SessionRequest {
     pub spec: DatasetSpec,
     /// Evaluation options.
     pub options: EvalOptions,
+    /// Run the session under a chaos [`FaultPlan`](chipvqa_eval::FaultPlan)
+    /// supervisor. `None` (the default, and what old clients send) is an
+    /// unsupervised run.
+    #[serde(default)]
+    pub fault_plan: Option<chipvqa_eval::FaultPlan>,
+    /// Evaluate through the streaming intake path with this shard
+    /// length instead of materializing the collection. Streamed
+    /// sessions produce reports byte-identical to their batch
+    /// equivalents (supervised or not); they cancel at model
+    /// granularity and resume from the start — determinism makes the
+    /// restart converge to the same bytes.
+    #[serde(default)]
+    pub stream_shard_len: Option<usize>,
 }
 
 impl SessionRequest {
@@ -99,6 +112,8 @@ impl SessionRequest {
             models: vec![model],
             spec: DatasetSpec::default(),
             options: EvalOptions::default(),
+            fault_plan: None,
+            stream_shard_len: None,
         }
     }
 
@@ -111,6 +126,19 @@ impl SessionRequest {
     /// Replaces the options.
     pub fn with_options(mut self, options: EvalOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// Places the session under a chaos supervisor.
+    pub fn with_fault_plan(mut self, plan: chipvqa_eval::FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Routes the session through the streaming intake path.
+    pub fn with_streaming(mut self, shard_len: usize) -> Self {
+        assert!(shard_len >= 1, "shard_len must be >= 1");
+        self.stream_shard_len = Some(shard_len);
         self
     }
 }
@@ -260,10 +288,31 @@ mod tests {
             .with_options(EvalOptions {
                 attempts: 2,
                 downsample: 1,
-            });
+            })
+            .with_fault_plan(chipvqa_eval::FaultPlan::uniform(42, 0.05))
+            .with_streaming(17);
         let json = serde_json::to_string(&req).expect("serializes");
         let back: SessionRequest = serde_json::from_str(&json).expect("parses");
         assert_eq!(back, req);
+    }
+
+    #[test]
+    fn old_client_requests_without_chaos_fields_still_parse() {
+        // A pre-chaos client omits `fault_plan` and `stream_shard_len`
+        // entirely; both must default to None (unsupervised batch).
+        let req = SessionRequest::single("legacy", ModelZoo::gpt4o());
+        let mut value: serde_json::Value =
+            serde_json::from_str(&serde_json::to_string(&req).expect("serializes"))
+                .expect("parses");
+        if let serde_json::Value::Obj(fields) = &mut value {
+            fields.retain(|(k, _)| k != "fault_plan" && k != "stream_shard_len");
+        }
+        let back: SessionRequest =
+            serde_json::from_str(&serde_json::to_string(&value).expect("serializes"))
+                .expect("old-shape request parses");
+        assert_eq!(back, req);
+        assert!(back.fault_plan.is_none());
+        assert!(back.stream_shard_len.is_none());
     }
 
     #[test]

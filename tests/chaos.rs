@@ -298,3 +298,141 @@ fn scaled_quarantine_and_requeue_heal_a_1420_question_storm() {
     );
     assert!(!recovered[0].is_degraded());
 }
+
+#[test]
+fn streamed_accounting_closes_at_scale_10() {
+    // Property 3 on the streaming intake path at N = 1420: a supervised
+    // streamed run over a 10×-scaled spec accounts for every question,
+    // never materializing the collection.
+    install_quiet_panic_hook();
+    let spec = DatasetSpec::scaled(10);
+    let plan = FaultPlan::uniform(chaos_seed(), 0.02);
+    let exec = ParallelExecutor::new(4).with_supervisor(Supervisor::new(plan));
+    let pipe = VlmPipeline::new(ModelZoo::phi3_vision());
+    let (report, stats) = exec.evaluate_spec_stream(&pipe, &spec, 142, EvalOptions::default());
+    assert_eq!(spec.total(), 1420);
+    assert_eq!(
+        report.answered() + report.failed() + report.breaker_skipped(),
+        1420,
+        "streamed accounting leaks at scale"
+    );
+    assert_eq!(stats.questions, 1420);
+    let by_cat = report.category_accounting();
+    let total: usize = by_cat.values().map(|(a, f, s)| a + f + s).sum();
+    assert_eq!(total, 1420, "streamed category accounting leaks at scale");
+}
+
+#[test]
+fn scaled_streamed_quarantine_and_requeue_heal_a_1420_question_storm() {
+    // The streamed twin of the scaled checkpoint test above: a panic
+    // storm on the streaming path quarantines shards (counted in
+    // StreamStats), and requeue_quarantined_stream re-derives exactly
+    // those shards from the spec and heals the report to clean bytes.
+    install_quiet_panic_hook();
+    let spec = DatasetSpec::scaled(10);
+    let shard_len = 142;
+    let options = EvalOptions::default();
+    let pipe = VlmPipeline::new(ModelZoo::neva_22b());
+    let (clean, _) =
+        ParallelExecutor::new(4).evaluate_spec_stream(&pipe, &spec, shard_len, options);
+
+    let plan = FaultPlan {
+        panic_rate: 0.02,
+        ..FaultPlan::none()
+    };
+    let stormy = ParallelExecutor::new(4).with_supervisor(Supervisor::new(plan));
+    let (mut report, stats) = stormy.evaluate_spec_stream(&pipe, &spec, shard_len, options);
+    assert!(
+        stats.quarantined_shards > 0,
+        "the storm must hit something at N = 1420"
+    );
+    assert_eq!(
+        report.answered() + report.failed() + report.breaker_skipped(),
+        1420,
+        "degraded streamed accounting closes at scale"
+    );
+
+    let healed = stormy.requeue_quarantined_stream(&pipe, &spec, shard_len, options, &mut report);
+    assert_eq!(healed, stats.quarantined_shards);
+    assert_eq!(report, clean, "requeued shards heal the streamed report");
+    assert!(!report.is_degraded());
+}
+
+#[test]
+fn streamed_storm_never_persists_faulted_answers_and_heals_warm() {
+    // The persistent tier under streamed chaos: a supervised streamed
+    // storm writing through to an on-disk store must keep every segment
+    // free of fault markers, and a calm warm streamed run over the same
+    // store converges to the clean report byte-for-byte with the
+    // storm's clean answers served from disk.
+    install_quiet_panic_hook();
+    let dir = std::env::temp_dir().join(format!(
+        "chipvqa-stream-chaos-store-{}-{}",
+        std::process::id(),
+        chaos_seed()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = DatasetSpec::scaled(2);
+    let shard_len = 17;
+    let options = EvalOptions::default();
+    let pipe = VlmPipeline::new(ModelZoo::neva_22b());
+    let (clean, _) =
+        ParallelExecutor::new(4).evaluate_spec_stream(&pipe, &spec, shard_len, options);
+
+    // streamed storm pass, write-behind to the store
+    let plan = FaultPlan::uniform(chaos_seed(), 0.08);
+    {
+        let store = Arc::new(AnswerStore::open(&dir).expect("store opens"));
+        let cache = Arc::new(AnswerCache::new().with_store(store));
+        let stormy = ParallelExecutor::new(4)
+            .with_supervisor(Supervisor::new(plan))
+            .with_cache(cache);
+        let (degraded, _) = stormy.evaluate_spec_stream(&pipe, &spec, shard_len, options);
+        let mut degraded = degraded;
+        degraded.cache_stats = None;
+        assert!(
+            degraded.failed() + degraded.breaker_skipped() > 0 || degraded == clean,
+            "either the storm hit something or the run is already clean"
+        );
+    }
+
+    // every record of every segment carries a clean answer
+    let reader = AnswerStore::open_read_only(&dir).expect("reader opens");
+    let mut records = 0usize;
+    for seg in reader.segment_paths() {
+        let (decoded, _) = decode_segment(&seg).expect("segment decodes");
+        for record in decoded {
+            records += 1;
+            assert!(
+                !is_corrupted_text(&record.answer.text),
+                "faulted answer persisted via streaming in {}: {:?}",
+                seg.display(),
+                record.answer.text
+            );
+        }
+    }
+    assert!(
+        records > 0,
+        "the streamed storm still persisted its clean answers"
+    );
+    drop(reader);
+
+    // calm warm streamed start over the same store heals to clean bytes
+    let store = Arc::new(AnswerStore::open(&dir).expect("store reopens"));
+    let cache = Arc::new(AnswerCache::new().with_store(store));
+    let calm = ParallelExecutor::new(4).with_cache(Arc::clone(&cache));
+    let (mut healed, _) = calm.evaluate_spec_stream(&pipe, &spec, shard_len, options);
+    let stats = healed.cache_stats.take().expect("cache attached");
+    assert_eq!(healed, clean, "streamed persistence plus a calm pass heals");
+    assert!(!healed.is_degraded());
+    assert!(
+        stats.store_hits > 0,
+        "the streamed storm's clean answers warm-start the healing run"
+    );
+    assert_eq!(
+        serde_json::to_string(&healed).expect("serialize"),
+        serde_json::to_string(&clean).expect("serialize"),
+        "healed streamed report serializes byte-identically (modulo run metadata)"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -552,6 +552,8 @@ fn scaled_specs_and_multi_model_grids_serve_identically() {
         models: vec![ModelZoo::gpt4o(), ModelZoo::llava_7b()],
         spec: DatasetSpec::scaled(2),
         options: EvalOptions::default(),
+        fault_plan: None,
+        stream_shard_len: None,
     };
     let reference = batch_reference(&request);
     let id = service.submit(request).expect("accepted");
@@ -559,6 +561,127 @@ fn scaled_specs_and_multi_model_grids_serve_identically() {
         service.wait(id, WAIT).expect("terminates"),
         SessionState::Done
     );
+    assert_eq!(
+        service.report(id).expect("done").canonical_json(),
+        reference
+    );
+    service.shutdown().expect("clean stop");
+}
+
+#[test]
+fn supervised_streamed_sessions_match_supervised_batch_bytes() {
+    use chipvqa::eval::{FaultPlan, ParallelExecutor, Supervisor};
+
+    let plan = FaultPlan::uniform(907, 0.04);
+    let spec = DatasetSpec::scaled(2);
+    let request = SessionRequest::single("chaos", ModelZoo::gpt4o())
+        .with_spec(spec.clone())
+        .with_fault_plan(plan.clone())
+        .with_streaming(17);
+
+    // Batch-supervised reference over the materialized bench, wrapped
+    // like a session report (cache_stats cleared).
+    let bench = spec.build();
+    let exec = ParallelExecutor::new(2).with_supervisor(Supervisor::new(plan));
+    let reference = SessionReport::new(vec![exec.evaluate(
+        &VlmPipeline::new(ModelZoo::gpt4o()),
+        &bench,
+        request.options,
+    )])
+    .canonical_json();
+
+    for workers in [1, 4] {
+        let mut service = EvalService::start(ServiceConfig {
+            workers,
+            runners: 1,
+            ..ServiceConfig::default()
+        })
+        .expect("no store");
+        let id = service.submit(request.clone()).expect("accepted");
+        assert_eq!(
+            service.wait(id, WAIT).expect("terminates"),
+            SessionState::Done
+        );
+        assert_eq!(
+            service.report(id).expect("done").canonical_json(),
+            reference,
+            "streamed supervised session ({workers} workers) diverged from supervised batch"
+        );
+        service.shutdown().expect("clean stop");
+    }
+}
+
+#[test]
+fn streamed_sessions_without_chaos_match_the_batch_reference() {
+    let request = SessionRequest::single("stream", ModelZoo::llava_7b())
+        .with_spec(DatasetSpec::scaled(2))
+        .with_streaming(1);
+    let reference = batch_reference(&request);
+    let mut service = EvalService::start(ServiceConfig {
+        workers: 4,
+        runners: 1,
+        ..ServiceConfig::default()
+    })
+    .expect("no store");
+    let id = service.submit(request).expect("accepted");
+    assert_eq!(
+        service.wait(id, WAIT).expect("terminates"),
+        SessionState::Done
+    );
+    assert_eq!(
+        service.report(id).expect("done").canonical_json(),
+        reference
+    );
+    service.shutdown().expect("clean stop");
+}
+
+#[test]
+fn cancelled_streamed_chaos_sessions_resume_to_identical_bytes() {
+    use chipvqa::eval::{FaultPlan, ParallelExecutor, Supervisor};
+
+    let plan = FaultPlan::uniform(31, 0.05);
+    let spec = DatasetSpec::scaled(2);
+    let request = SessionRequest {
+        tenant: "restart".to_string(),
+        models: vec![ModelZoo::gpt4o(), ModelZoo::llava_7b()],
+        spec: spec.clone(),
+        options: EvalOptions::default(),
+        fault_plan: Some(plan.clone()),
+        stream_shard_len: Some(17),
+    };
+    let bench = spec.build();
+    let exec = ParallelExecutor::new(2).with_supervisor(Supervisor::new(plan));
+    let reference = SessionReport::new(
+        request
+            .models
+            .iter()
+            .map(|profile| {
+                exec.evaluate(&VlmPipeline::new(profile.clone()), &bench, request.options)
+            })
+            .collect(),
+    )
+    .canonical_json();
+
+    let mut service = EvalService::start(ServiceConfig {
+        workers: 2,
+        runners: 1,
+        ..ServiceConfig::default()
+    })
+    .expect("no store");
+    let id = service.submit(request).expect("accepted");
+    // Race a cancel against the run: streamed sessions cancel at model
+    // granularity and retain no checkpoint, so whichever way the race
+    // lands, the session either finishes or resumes from scratch — and
+    // determinism converges both to the same bytes.
+    let _ = service.cancel(id);
+    let state = service.wait(id, WAIT).expect("terminates");
+    if state == SessionState::Cancelled {
+        service.resume(id).expect("cancelled sessions resume");
+        assert_eq!(
+            service.wait(id, WAIT).expect("terminates"),
+            SessionState::Done
+        );
+    }
     assert_eq!(
         service.report(id).expect("done").canonical_json(),
         reference
